@@ -1,0 +1,48 @@
+//! Baseline resource-allocation algorithms the MIRAS paper compares against
+//! (§VI-D).
+//!
+//! All baselines implement the common [`Allocator`] trait — WIP observation
+//! in, consumer allocation out — so the evaluation harness can run them
+//! interchangeably with MIRAS:
+//!
+//! * [`DrsAllocator`] — *stream* in the paper's figures: DRS (Fu et al.,
+//!   ICDCS 2015), a Jackson open-queueing-network allocator that picks the
+//!   consumer counts minimising total expected sojourn time via Erlang-C,
+//! * [`HeftAllocator`] — *heft*: upward-rank task priorities (Yu & Buyya)
+//!   adapted to window-based consumer allocation, weighting queues by both
+//!   backlog and rank as §VI-D describes,
+//! * [`MonadAllocator`] — *MONAD* (Nguyen & Nahrstedt, ICAC 2017):
+//!   model-predictive control with an online-identified linear performance
+//!   model and a one-step (short-horizon) lookahead,
+//! * [`ModelFreeDdpg`] — *rl*: DDPG trained directly against the real
+//!   environment with the same interaction budget as MIRAS (the paper's
+//!   sample-efficiency comparison),
+//! * [`UniformAllocator`] / [`WipProportionalAllocator`] — static
+//!   references.
+//!
+//! # Examples
+//!
+//! ```
+//! use baselines::{Allocator, UniformAllocator};
+//!
+//! let mut alloc = UniformAllocator::new(4, 14);
+//! let m = alloc.allocate(&[10.0, 0.0, 5.0, 2.0], None);
+//! assert_eq!(m.iter().sum::<usize>(), 14);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod drs;
+mod heft;
+mod model_free;
+mod monad;
+mod statics;
+mod traits;
+
+pub use drs::DrsAllocator;
+pub use heft::HeftAllocator;
+pub use model_free::{train_model_free, ModelFreeDdpg};
+pub use monad::MonadAllocator;
+pub use statics::{UniformAllocator, WipProportionalAllocator};
+pub use traits::Allocator;

@@ -1,0 +1,142 @@
+//! Static reference allocators.
+
+use microsim::WindowMetrics;
+use rl::policy::{allocation_largest_remainder, distribution_from_allocation};
+
+use crate::Allocator;
+
+/// Splits the budget evenly across task types, ignoring the observed state.
+///
+/// # Examples
+///
+/// ```
+/// use baselines::{Allocator, UniformAllocator};
+///
+/// let mut u = UniformAllocator::new(4, 14);
+/// assert_eq!(u.allocate(&[0.0; 4], None).iter().sum::<usize>(), 14);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniformAllocator {
+    num_task_types: usize,
+    budget: usize,
+}
+
+impl UniformAllocator {
+    /// Creates a uniform allocator over `num_task_types` task types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_task_types` is zero.
+    #[must_use]
+    pub fn new(num_task_types: usize, budget: usize) -> Self {
+        assert!(num_task_types > 0, "need at least one task type");
+        UniformAllocator {
+            num_task_types,
+            budget,
+        }
+    }
+}
+
+impl Allocator for UniformAllocator {
+    fn name(&self) -> &str {
+        "uniform"
+    }
+
+    fn allocate(&mut self, _wip: &[f64], _previous: Option<&WindowMetrics>) -> Vec<usize> {
+        let even = vec![1.0 / self.num_task_types as f64; self.num_task_types];
+        allocation_largest_remainder(&even, self.budget)
+    }
+
+    fn consumer_budget(&self) -> usize {
+        self.budget
+    }
+}
+
+/// Allocates consumers proportionally to each queue's share of total WIP —
+/// the simplest adaptive heuristic and a useful floor for the learned
+/// policies.
+///
+/// # Examples
+///
+/// ```
+/// use baselines::{Allocator, WipProportionalAllocator};
+///
+/// let mut p = WipProportionalAllocator::new(2, 10);
+/// let m = p.allocate(&[30.0, 10.0], None);
+/// assert_eq!(m, vec![8, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WipProportionalAllocator {
+    num_task_types: usize,
+    budget: usize,
+}
+
+impl WipProportionalAllocator {
+    /// Creates a WIP-proportional allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_task_types` is zero.
+    #[must_use]
+    pub fn new(num_task_types: usize, budget: usize) -> Self {
+        assert!(num_task_types > 0, "need at least one task type");
+        WipProportionalAllocator {
+            num_task_types,
+            budget,
+        }
+    }
+}
+
+impl Allocator for WipProportionalAllocator {
+    fn name(&self) -> &str {
+        "wip-proportional"
+    }
+
+    fn allocate(&mut self, wip: &[f64], _previous: Option<&WindowMetrics>) -> Vec<usize> {
+        assert_eq!(wip.len(), self.num_task_types, "WIP dimension mismatch");
+        let counts: Vec<usize> = wip.iter().map(|&w| w.max(0.0).round() as usize).collect();
+        let dist = distribution_from_allocation(&counts);
+        allocation_largest_remainder(&dist, self.budget)
+    }
+
+    fn consumer_budget(&self) -> usize {
+        self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_splits_evenly_with_remainder() {
+        let mut u = UniformAllocator::new(3, 14);
+        let m = u.allocate(&[1.0, 2.0, 3.0], None);
+        assert_eq!(m.iter().sum::<usize>(), 14);
+        assert!(m.iter().all(|&x| x == 4 || x == 5));
+    }
+
+    #[test]
+    fn proportional_follows_backlog() {
+        let mut p = WipProportionalAllocator::new(3, 12);
+        let m = p.allocate(&[60.0, 30.0, 30.0], None);
+        assert_eq!(m, vec![6, 3, 3]);
+    }
+
+    #[test]
+    fn proportional_handles_all_zero_wip() {
+        let mut p = WipProportionalAllocator::new(4, 14);
+        let m = p.allocate(&[0.0; 4], None);
+        assert_eq!(m.iter().sum::<usize>(), 14);
+    }
+
+    #[test]
+    fn budgets_are_respected() {
+        let mut u = UniformAllocator::new(5, 7);
+        let mut p = WipProportionalAllocator::new(5, 7);
+        for wip in [[0.0; 5], [100.0, 0.0, 0.0, 0.0, 0.0]] {
+            assert!(u.allocate(&wip, None).iter().sum::<usize>() <= 7);
+            assert!(p.allocate(&wip, None).iter().sum::<usize>() <= 7);
+        }
+    }
+}

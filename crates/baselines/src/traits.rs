@@ -1,0 +1,59 @@
+//! The common allocator interface.
+
+use microsim::WindowMetrics;
+
+/// A resource-allocation policy: WIP observation in, consumer counts out.
+///
+/// Implementations receive the current per-task-type WIP vector and,
+/// after the first window, the [`WindowMetrics`] of the *previous* window
+/// (arrival counts, applied action, completions), which adaptive baselines
+/// use to update their internal estimates. Allocations must respect the
+/// implementation's consumer budget.
+pub trait Allocator {
+    /// Short name used in reports (matches the paper's figure legends:
+    /// `miras`, `stream`, `heft`, `monad`, `rl`, …).
+    fn name(&self) -> &str;
+
+    /// Consumer counts for the next window given the observed WIP and the
+    /// previous window's metrics (absent on the very first decision).
+    fn allocate(&mut self, wip: &[f64], previous: Option<&WindowMetrics>) -> Vec<usize>;
+
+    /// The total-consumer constraint this allocator was configured with.
+    fn consumer_budget(&self) -> usize;
+}
+
+/// [`miras_core::MirasAgent`] is itself an allocator, so the harness can run
+/// MIRAS and the baselines through one code path.
+impl Allocator for miras_core::MirasAgent {
+    fn name(&self) -> &str {
+        "miras"
+    }
+
+    fn allocate(&mut self, wip: &[f64], _previous: Option<&WindowMetrics>) -> Vec<usize> {
+        miras_core::MirasAgent::allocate(self, wip)
+    }
+
+    fn consumer_budget(&self) -> usize {
+        miras_core::MirasAgent::consumer_budget(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::{Activation, Mlp};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn miras_agent_is_an_allocator() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let actor = Mlp::new(&[4, 8, 4], Activation::Relu, Activation::Softmax, &mut rng);
+        let mut agent = miras_core::MirasAgent::new(actor, 14);
+        let alloc: &mut dyn Allocator = &mut agent;
+        assert_eq!(alloc.name(), "miras");
+        assert_eq!(alloc.consumer_budget(), 14);
+        let m = alloc.allocate(&[1.0, 2.0, 3.0, 4.0], None);
+        assert!(m.iter().sum::<usize>() <= 14);
+    }
+}

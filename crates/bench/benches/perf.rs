@@ -1,0 +1,101 @@
+//! Criterion performance benchmarks for the reproduction's building blocks:
+//! emulator step throughput, neural-network training throughput, DDPG
+//! update latency, and per-window allocator decision latency.
+//!
+//! Run: `cargo bench -p miras-bench`
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use microsim::{EnvConfig, MicroserviceEnv};
+use nn::{Activation, Adam, Matrix, Mlp};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rl::{Ddpg, DdpgConfig};
+use workflow::{BurstSpec, Ensemble};
+
+fn bench_env_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("microsim");
+    for (name, ensemble) in [("msd", Ensemble::msd()), ("ligo", Ensemble::ligo())] {
+        group.bench_function(format!("env_step_30s_window_{name}"), |b| {
+            let budget = ensemble.default_consumer_budget();
+            let j = ensemble.num_task_types();
+            let config = EnvConfig::for_ensemble(&ensemble).with_seed(1);
+            let mut env = MicroserviceEnv::new(ensemble.clone(), config);
+            let _ = env.reset();
+            env.inject_burst(&BurstSpec::new(vec![50; ensemble.num_workflow_types()]));
+            let action = vec![budget / j; j];
+            b.iter(|| black_box(env.step(black_box(&action))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn");
+    let mut rng = SmallRng::seed_from_u64(2);
+    // The paper's MSD actor architecture.
+    let net = Mlp::new(
+        &[4, 256, 256, 256, 4],
+        Activation::Relu,
+        Activation::Softmax,
+        &mut rng,
+    );
+    let batch = Matrix::zeros(64, 4);
+    group.bench_function("forward_actor256_batch64", |b| {
+        b.iter(|| black_box(net.forward(black_box(&batch))));
+    });
+
+    let mut train_net = Mlp::new(
+        &[8, 20, 20, 20, 4],
+        Activation::Relu,
+        Activation::Linear,
+        &mut rng,
+    );
+    let mut opt = Adam::new(1e-3);
+    let x = Matrix::zeros(64, 8);
+    let y = Matrix::zeros(64, 4);
+    group.bench_function("train_mse_envmodel20_batch64", |b| {
+        b.iter(|| black_box(train_net.train_mse(black_box(&x), black_box(&y), &mut opt)));
+    });
+    group.finish();
+}
+
+fn bench_ddpg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ddpg");
+    group.sample_size(20);
+    let mut agent = Ddpg::new(4, 4, DdpgConfig::paper(64, 3));
+    for i in 0..256 {
+        let s = [i as f64 % 13.0, i as f64 % 7.0, i as f64 % 5.0, 1.0];
+        agent.observe(&s, &[0.25; 4], -(i as f64 % 9.0), &s);
+    }
+    group.bench_function("train_step_hidden64_batch64", |b| {
+        b.iter(|| black_box(agent.train_step()));
+    });
+    group.bench_function("act_greedy", |b| {
+        b.iter(|| black_box(agent.act(black_box(&[3.0, 1.0, 4.0, 1.0]))));
+    });
+    group.finish();
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    use baselines::{Allocator, DrsAllocator, HeftAllocator, MonadAllocator};
+    let mut group = c.benchmark_group("allocators");
+    let ensemble = Ensemble::ligo();
+    let wip = vec![12.0, 30.0, 55.0, 8.0, 4.0, 6.0, 2.0, 40.0, 3.0];
+
+    let mut drs = DrsAllocator::new(&ensemble, 30, 30.0);
+    group.bench_function("drs_ligo_decision", |b| {
+        b.iter(|| black_box(drs.allocate(black_box(&wip), None)));
+    });
+    let mut heft = HeftAllocator::new(&ensemble, 30);
+    group.bench_function("heft_ligo_decision", |b| {
+        b.iter(|| black_box(heft.allocate(black_box(&wip), None)));
+    });
+    let mut monad = MonadAllocator::new(9, 30, 30.0);
+    group.bench_function("monad_ligo_decision", |b| {
+        b.iter(|| black_box(monad.allocate(black_box(&wip), None)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_env_step, bench_nn, bench_ddpg, bench_allocators);
+criterion_main!(benches);

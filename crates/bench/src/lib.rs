@@ -1,0 +1,543 @@
+//! Shared harness code for the figure-reproduction binaries.
+//!
+//! Every figure in the MIRAS paper's evaluation has a binary in
+//! `src/bin/` (see `DESIGN.md` §5 for the index); this library holds the
+//! pieces they share: ensemble selection, the evaluation loop that runs an
+//! [`Allocator`] against the emulated cluster, MIRAS training with on-disk
+//! caching of the trained agent, and plain-text table output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use baselines::Allocator;
+use microsim::{EnvConfig, MicroserviceEnv};
+use miras_core::{ClusterEnvAdapter, IterationReport, MirasAgent, MirasConfig, MirasTrainer};
+use serde::{Deserialize, Serialize};
+use workflow::{BurstSpec, Ensemble};
+
+/// Which of the paper's two workload ensembles to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnsembleKind {
+    /// Material Science Data: 3 workflows, 4 task types, C = 14.
+    Msd,
+    /// LIGO inspiral analysis: 4 workflows, 9 task types, C = 30.
+    Ligo,
+}
+
+impl EnsembleKind {
+    /// Builds the ensemble definition.
+    #[must_use]
+    pub fn ensemble(self) -> Ensemble {
+        match self {
+            EnsembleKind::Msd => Ensemble::msd(),
+            EnsembleKind::Ligo => Ensemble::ligo(),
+        }
+    }
+
+    /// Lower-case name used in output and cache paths.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EnsembleKind::Msd => "msd",
+            EnsembleKind::Ligo => "ligo",
+        }
+    }
+
+    /// The MIRAS configuration: paper-scale when `paper` is set, otherwise
+    /// the proportionally scaled-down fast variant.
+    #[must_use]
+    pub fn miras_config(self, seed: u64, paper: bool) -> MirasConfig {
+        match (self, paper) {
+            (EnsembleKind::Msd, true) => MirasConfig::msd_paper(seed),
+            (EnsembleKind::Msd, false) => MirasConfig::msd_fast(seed),
+            (EnsembleKind::Ligo, true) => MirasConfig::ligo_paper(seed),
+            (EnsembleKind::Ligo, false) => MirasConfig::ligo_fast(seed),
+        }
+    }
+
+    /// The paper's three burst scenarios for this ensemble (§VI-D).
+    #[must_use]
+    pub fn burst_scenarios(self) -> Vec<BurstSpec> {
+        match self {
+            EnsembleKind::Msd => vec![
+                BurstSpec::new(vec![300, 200, 300]),
+                BurstSpec::new(vec![1000, 300, 400]),
+                BurstSpec::new(vec![500, 500, 500]),
+            ],
+            EnsembleKind::Ligo => vec![
+                BurstSpec::new(vec![100, 100, 50, 30]),
+                BurstSpec::new(vec![150, 150, 80, 50]),
+                BurstSpec::new(vec![80, 80, 80, 80]),
+            ],
+        }
+    }
+
+    /// Evaluation horizon (decision windows) used by the comparison figures.
+    #[must_use]
+    pub fn comparison_steps(self) -> usize {
+        match self {
+            EnsembleKind::Msd => 25,
+            EnsembleKind::Ligo => 40,
+        }
+    }
+
+    /// Parses `"msd"` / `"ligo"`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "msd" => Some(EnsembleKind::Msd),
+            "ligo" => Some(EnsembleKind::Ligo),
+            _ => None,
+        }
+    }
+}
+
+/// Command-line arguments shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Which ensemble(s) to run; `None` means both.
+    pub ensemble: Option<EnsembleKind>,
+    /// Master seed.
+    pub seed: u64,
+    /// Run at the paper's full scale instead of the fast scale.
+    pub paper: bool,
+    /// Override the number of outer iterations (training traces).
+    pub iterations: Option<usize>,
+    /// Ignore any cached trained agent.
+    pub no_cache: bool,
+    /// Evaluate in the steady-state (burst-free) regime where applicable
+    /// (used by the sample-efficiency ablation).
+    pub steady: bool,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`: `[--ensemble msd|ligo] [--seed N]
+    /// [--paper] [--iterations N] [--no-cache]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    #[must_use]
+    pub fn parse() -> Self {
+        let mut args = BenchArgs {
+            ensemble: None,
+            seed: 42,
+            paper: false,
+            iterations: None,
+            no_cache: false,
+            steady: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--ensemble" => {
+                    let v = it.next().expect("--ensemble needs a value");
+                    args.ensemble =
+                        Some(EnsembleKind::parse(&v).expect("ensemble must be msd or ligo"));
+                }
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("seed must be an integer");
+                }
+                "--iterations" => {
+                    args.iterations = Some(
+                        it.next()
+                            .expect("--iterations needs a value")
+                            .parse()
+                            .expect("iterations must be an integer"),
+                    );
+                }
+                "--paper" => args.paper = true,
+                "--no-cache" => args.no_cache = true,
+                "--steady" => args.steady = true,
+                other => panic!(
+                    "unknown flag {other}; usage: [--ensemble msd|ligo] [--seed N] \
+                     [--paper] [--iterations N] [--no-cache] [--steady]"
+                ),
+            }
+        }
+        args
+    }
+
+    /// The ensembles selected (both when unspecified).
+    #[must_use]
+    pub fn ensembles(&self) -> Vec<EnsembleKind> {
+        match self.ensemble {
+            Some(k) => vec![k],
+            None => vec![EnsembleKind::Msd, EnsembleKind::Ligo],
+        }
+    }
+}
+
+/// One evaluated decision window of an allocator run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Window index within the run.
+    pub step: usize,
+    /// Total WIP at the window's end.
+    pub total_wip: usize,
+    /// Reward `1 − Σ w`.
+    pub reward: f64,
+    /// Mean response time (seconds) of workflows completing in this window.
+    pub response_secs: Option<f64>,
+    /// Workflow completions in this window (all types).
+    pub completions: usize,
+    /// Total consumers the allocator requested.
+    pub consumers_used: usize,
+}
+
+/// Summary statistics over a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Allocator name.
+    pub algorithm: String,
+    /// Mean response time over windows that had completions.
+    pub mean_response_secs: f64,
+    /// Response time averaged over the last quarter of the run (the
+    /// "long-term" behaviour the paper emphasises).
+    pub tail_response_secs: f64,
+    /// Total workflow completions.
+    pub total_completions: usize,
+    /// Aggregated reward.
+    pub total_reward: f64,
+    /// Final-window total WIP.
+    pub final_wip: usize,
+}
+
+/// Runs `allocator` against a fresh environment for `steps` windows,
+/// injecting `burst` at the start (plus the ensemble's default Poisson
+/// background), and returns the per-window records.
+pub fn run_allocator(
+    kind: EnsembleKind,
+    seed: u64,
+    burst: Option<&BurstSpec>,
+    steps: usize,
+    allocator: &mut dyn Allocator,
+) -> Vec<StepRecord> {
+    let ensemble = kind.ensemble();
+    let config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
+    let mut env = MicroserviceEnv::new(ensemble, config);
+    let _ = env.reset();
+    if let Some(b) = burst {
+        env.inject_burst(b);
+    }
+    let mut records = Vec::with_capacity(steps);
+    let mut previous = None;
+    for step in 0..steps {
+        let wip: Vec<f64> = env.state();
+        let m = allocator.allocate(&wip, previous.as_ref());
+        let out = env.step(&m);
+        records.push(StepRecord {
+            step,
+            total_wip: out.metrics.total_wip(),
+            reward: out.reward,
+            response_secs: out.metrics.overall_mean_response_secs(),
+            completions: out.metrics.completions.iter().sum(),
+            consumers_used: m.iter().sum(),
+        });
+        previous = Some(out.metrics);
+    }
+    records
+}
+
+/// Summarises a run's records.
+#[must_use]
+pub fn summarize(algorithm: &str, records: &[StepRecord]) -> RunSummary {
+    let responses: Vec<f64> = records.iter().filter_map(|r| r.response_secs).collect();
+    let mean = if responses.is_empty() {
+        0.0
+    } else {
+        responses.iter().sum::<f64>() / responses.len() as f64
+    };
+    let tail_start = records.len() - records.len() / 4;
+    let tail: Vec<f64> = records[tail_start..]
+        .iter()
+        .filter_map(|r| r.response_secs)
+        .collect();
+    let tail_mean = if tail.is_empty() {
+        0.0
+    } else {
+        tail.iter().sum::<f64>() / tail.len() as f64
+    };
+    RunSummary {
+        algorithm: algorithm.to_string(),
+        mean_response_secs: mean,
+        tail_response_secs: tail_mean,
+        total_completions: records.iter().map(|r| r.completions).sum(),
+        total_reward: records.iter().map(|r| r.reward).sum(),
+        final_wip: records.last().map_or(0, |r| r.total_wip),
+    }
+}
+
+/// Trains a MIRAS agent for `iterations` outer iterations, returning the
+/// per-iteration reports and the final agent. When `read_cache` is set and a
+/// previously trained agent exists under `bench_artifacts/`, training is
+/// skipped and the reports come back empty; the trained agent is persisted
+/// for later binaries whenever `write_cache` is set.
+pub fn train_miras(
+    kind: EnsembleKind,
+    seed: u64,
+    iterations: usize,
+    paper: bool,
+    read_cache: bool,
+    write_cache: bool,
+) -> (Vec<IterationReport>, MirasAgent) {
+    let cache = cache_path(kind, seed, iterations, paper);
+    if read_cache {
+        if let Some(agent) = load_cached_agent(&cache) {
+            eprintln!("[cache] reusing trained agent from {}", cache.display());
+            return (Vec::new(), agent);
+        }
+    }
+    let ensemble = kind.ensemble();
+    let env_config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
+    let mut env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble, env_config));
+    let config = kind.miras_config(seed, paper);
+    let mut trainer = MirasTrainer::new(&env, config);
+    let mut reports = Vec::with_capacity(iterations);
+    for i in 0..iterations {
+        let report = trainer.run_iteration(&mut env);
+        eprintln!(
+            "[train {}] iter {:>2}: model_loss={:.4} eval_return={:>10.1} dataset={}",
+            kind.name(),
+            i,
+            report.model_loss,
+            report.eval_return,
+            report.dataset_size
+        );
+        reports.push(report);
+    }
+    let agent = trainer.agent();
+    if write_cache {
+        store_cached_agent(&cache, &agent);
+    }
+    (reports, agent)
+}
+
+fn cache_path(kind: EnsembleKind, seed: u64, iterations: usize, paper: bool) -> PathBuf {
+    let scale = if paper { "paper" } else { "fast" };
+    PathBuf::from("bench_artifacts").join(format!(
+        "miras_agent_{}_{scale}_seed{seed}_it{iterations}.json",
+        kind.name()
+    ))
+}
+
+fn load_cached_agent(path: &PathBuf) -> Option<MirasAgent> {
+    let text = fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn store_cached_agent(path: &PathBuf, agent: &MirasAgent) {
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    match serde_json::to_string(agent) {
+        Ok(json) => {
+            if let Err(e) = fs::write(path, json) {
+                eprintln!("[cache] could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("[cache] could not serialise agent: {e}"),
+    }
+}
+
+/// Prints per-step response-time series for several algorithms as an
+/// aligned text table (one row per window, one column per algorithm).
+pub fn print_response_table(title: &str, series: &[(String, Vec<StepRecord>)]) {
+    println!("\n=== {title} ===");
+    print!("{:>5}", "step");
+    for (name, _) in series {
+        print!("{name:>12}");
+    }
+    println!();
+    let steps = series.iter().map(|(_, r)| r.len()).max().unwrap_or(0);
+    for step in 0..steps {
+        print!("{step:>5}");
+        for (_, records) in series {
+            match records.get(step).and_then(|r| r.response_secs) {
+                Some(r) => print!("{r:>12.1}"),
+                None => print!("{:>12}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Prints run summaries as an aligned text table.
+pub fn print_summaries(summaries: &[RunSummary]) {
+    println!(
+        "{:>12} {:>14} {:>14} {:>12} {:>14} {:>10}",
+        "algorithm", "mean_resp(s)", "tail_resp(s)", "completions", "total_reward", "final_wip"
+    );
+    for s in summaries {
+        println!(
+            "{:>12} {:>14.1} {:>14.1} {:>12} {:>14.1} {:>10}",
+            s.algorithm,
+            s.mean_response_secs,
+            s.tail_response_secs,
+            s.total_completions,
+            s.total_reward,
+            s.final_wip
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::UniformAllocator;
+
+    #[test]
+    fn ensemble_kind_round_trips() {
+        assert_eq!(EnsembleKind::parse("MSD"), Some(EnsembleKind::Msd));
+        assert_eq!(EnsembleKind::parse("ligo"), Some(EnsembleKind::Ligo));
+        assert_eq!(EnsembleKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn burst_scenarios_match_paper() {
+        let msd = EnsembleKind::Msd.burst_scenarios();
+        assert_eq!(msd[0].counts(), &[300, 200, 300]);
+        assert_eq!(msd[1].counts(), &[1000, 300, 400]);
+        assert_eq!(msd[2].counts(), &[500, 500, 500]);
+        let ligo = EnsembleKind::Ligo.burst_scenarios();
+        assert_eq!(ligo[0].counts(), &[100, 100, 50, 30]);
+        assert_eq!(ligo[1].counts(), &[150, 150, 80, 50]);
+        assert_eq!(ligo[2].counts(), &[80, 80, 80, 80]);
+    }
+
+    #[test]
+    fn run_allocator_produces_full_series() {
+        let mut alloc = UniformAllocator::new(4, 14);
+        let records = run_allocator(EnsembleKind::Msd, 7, None, 5, &mut alloc);
+        assert_eq!(records.len(), 5);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.step, i);
+            assert!(r.consumers_used <= 14);
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_responses() {
+        let records = vec![
+            StepRecord {
+                step: 0,
+                total_wip: 10,
+                reward: -9.0,
+                response_secs: Some(20.0),
+                completions: 2,
+                consumers_used: 14,
+            },
+            StepRecord {
+                step: 1,
+                total_wip: 5,
+                reward: -4.0,
+                response_secs: None,
+                completions: 0,
+                consumers_used: 14,
+            },
+            StepRecord {
+                step: 2,
+                total_wip: 0,
+                reward: 1.0,
+                response_secs: Some(10.0),
+                completions: 3,
+                consumers_used: 14,
+            },
+        ];
+        let s = summarize("test", &records);
+        assert!((s.mean_response_secs - 15.0).abs() < 1e-12);
+        assert_eq!(s.total_completions, 5);
+        assert_eq!(s.final_wip, 0);
+    }
+}
+
+/// Runs the paper's five-algorithm comparison (Figs. 7 and 8) for one
+/// ensemble: MIRAS vs `stream` (DRS), `heft`, `monad`, and `rl` (model-free
+/// DDPG with the same real-interaction budget), across the paper's three
+/// burst scenarios. Returns `(scenario, algorithm, records)` tuples and
+/// prints tables along the way.
+pub fn run_comparison(
+    kind: EnsembleKind,
+    seed: u64,
+    paper: bool,
+    iterations: usize,
+    read_cache: bool,
+) -> Vec<(usize, String, Vec<StepRecord>)> {
+    let ensemble = kind.ensemble();
+    let j = ensemble.num_task_types();
+    let budget = ensemble.default_consumer_budget();
+    let window_secs = 30.0;
+    let steps = kind.comparison_steps();
+
+    // MIRAS: train (or load) the model-based agent.
+    let (_, miras_agent) = train_miras(kind, seed, iterations, paper, read_cache, true);
+
+    // Model-free DDPG with the same number of real interactions (§VI-D).
+    let miras_cfg = kind.miras_config(seed, paper);
+    let interaction_budget =
+        iterations * (miras_cfg.real_steps_per_iter + miras_cfg.eval_steps);
+    eprintln!(
+        "[train {}] model-free DDPG with {} real interactions",
+        kind.name(),
+        interaction_budget
+    );
+    let env_config = EnvConfig::for_ensemble(&ensemble).with_seed(seed.wrapping_add(7));
+    let mut mf_env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble.clone(), env_config));
+    let model_free = baselines::train_model_free(
+        &mut mf_env,
+        interaction_budget,
+        miras_cfg.reset_every,
+        miras_cfg.ddpg.clone(),
+        miras_cfg.collect_burst_max.as_deref(),
+    );
+
+    let mut results = Vec::new();
+    for (scenario, burst) in kind.burst_scenarios().iter().enumerate() {
+        let mut series: Vec<(String, Vec<StepRecord>)> = Vec::new();
+        let mut summaries = Vec::new();
+
+        let mut allocators: Vec<Box<dyn Allocator>> = vec![
+            Box::new(miras_agent.clone()),
+            Box::new(baselines::DrsAllocator::new(&ensemble, budget, window_secs)),
+            Box::new(baselines::HeftAllocator::new(&ensemble, budget)),
+            Box::new(baselines::MonadAllocator::new(j, budget, window_secs)),
+        ];
+        for alloc in &mut allocators {
+            let name = alloc.name().to_string();
+            let records = run_allocator(kind, seed, Some(burst), steps, alloc.as_mut());
+            summaries.push(summarize(&name, &records));
+            series.push((name, records));
+        }
+        // The model-free agent cannot be cloned through the trait object
+        // cheaply; run it separately with a fresh copy of its greedy policy.
+        {
+            let mut rl_alloc = baselines::ModelFreeDdpg::new(model_free.agent().clone(), budget);
+            let records = run_allocator(kind, seed, Some(burst), steps, &mut rl_alloc);
+            summaries.push(summarize("rl", &records));
+            series.push(("rl".to_string(), records));
+        }
+
+        print_response_table(
+            &format!(
+                "{} burst {} {:?} — mean response time (s) per 30 s window",
+                kind.name().to_uppercase(),
+                scenario + 1,
+                burst.counts()
+            ),
+            &series,
+        );
+        println!();
+        print_summaries(&summaries);
+        for (name, records) in series {
+            results.push((scenario, name, records));
+        }
+    }
+    results
+}

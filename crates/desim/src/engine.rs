@@ -1,0 +1,228 @@
+//! The simulation engine: a clock plus an event queue.
+
+use crate::{EventQueue, SimTime};
+
+/// A discrete-event simulation engine.
+///
+/// The engine owns the simulated clock and the pending-event queue. Client
+/// code drives the simulation by scheduling events and repeatedly calling
+/// [`Engine::pop`] (or [`Engine::run_until`]), handling each event and
+/// scheduling follow-up events in response.
+///
+/// The clock only moves forward: popping an event advances [`Engine::now`] to
+/// that event's timestamp.
+///
+/// # Examples
+///
+/// ```
+/// use desim::{Engine, SimTime};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Arrive, Depart }
+///
+/// let mut engine = Engine::new();
+/// engine.schedule(SimTime::from_secs(1), Ev::Arrive);
+/// engine.schedule_after(SimTime::from_secs(3), Ev::Depart);
+/// let (t1, e1) = engine.pop().unwrap();
+/// assert_eq!((t1, e1), (SimTime::from_secs(1), Ev::Arrive));
+/// let (t2, e2) = engine.pop().unwrap();
+/// assert_eq!((t2, e2), (SimTime::from_secs(3), Ev::Depart));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with an empty queue and the clock at
+    /// [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// The current simulated time (the timestamp of the most recently popped
+    /// event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events popped so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to `now`: the event fires at the
+    /// current instant (after already-pending events at that instant). This
+    /// keeps the clock monotone in the face of, e.g., zero service times.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimTime, event: E) {
+        self.queue.push(self.now.saturating_add(delay), event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.queue.pop()?;
+        debug_assert!(ev.time >= self.now, "event queue went back in time");
+        self.now = ev.time;
+        self.processed += 1;
+        Some((ev.time, ev.event))
+    }
+
+    /// Pops the earliest event only if it fires at or before `horizon`.
+    ///
+    /// Returns `None` either when the queue is empty or when the next event is
+    /// beyond the horizon (in which case the clock is advanced to `horizon`
+    /// so that time-based measurements are well defined).
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self.queue.peek_time() {
+            Some(t) if t <= horizon => self.pop(),
+            _ => {
+                if horizon > self.now {
+                    self.now = horizon;
+                }
+                None
+            }
+        }
+    }
+
+    /// The timestamp of the next pending event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Drains every event with `handler` until the queue is empty.
+    pub fn run<F: FnMut(SimTime, E)>(&mut self, mut handler: F) {
+        while let Some((t, e)) = self.pop() {
+            handler(t, e);
+        }
+    }
+
+    /// Drains events up to and including `horizon`, then advances the clock
+    /// to `horizon`.
+    pub fn run_until<F: FnMut(SimTime, E)>(&mut self, horizon: SimTime, mut handler: F) {
+        while let Some((t, e)) = self.pop_until(horizon) {
+            handler(t, e);
+        }
+    }
+
+    /// Discards all pending events without advancing the clock.
+    pub fn clear_pending(&mut self) {
+        self.queue.clear();
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_secs(5), ());
+        e.schedule(SimTime::from_secs(2), ());
+        assert_eq!(e.now(), SimTime::ZERO);
+        e.pop();
+        assert_eq!(e.now(), SimTime::from_secs(2));
+        e.pop();
+        assert_eq!(e.now(), SimTime::from_secs(5));
+        assert_eq!(e.events_processed(), 2);
+    }
+
+    #[test]
+    fn schedule_in_past_clamps_to_now() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_secs(10), "a");
+        e.pop();
+        e.schedule(SimTime::from_secs(1), "late");
+        let (t, ev) = e.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(10));
+        assert_eq!(ev, "late");
+    }
+
+    #[test]
+    fn pop_until_respects_horizon_and_advances_clock() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_secs(1), 1);
+        e.schedule(SimTime::from_secs(4), 4);
+        assert_eq!(e.pop_until(SimTime::from_secs(2)).unwrap().1, 1);
+        assert!(e.pop_until(SimTime::from_secs(2)).is_none());
+        // Clock parked exactly at the horizon.
+        assert_eq!(e.now(), SimTime::from_secs(2));
+        // The later event is still pending.
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn run_until_handles_events_within_window_only() {
+        let mut e = Engine::new();
+        for s in 1..=10 {
+            e.schedule(SimTime::from_secs(s), s);
+        }
+        let mut seen = Vec::new();
+        e.run_until(SimTime::from_secs(5), |_, v| seen.push(v));
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+        assert_eq!(e.now(), SimTime::from_secs(5));
+        assert_eq!(e.pending(), 5);
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_secs(3), "base");
+        e.pop();
+        e.schedule_after(SimTime::from_secs(2), "rel");
+        assert_eq!(e.pop().unwrap().0, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn run_drains_everything() {
+        let mut e = Engine::new();
+        for s in 0..100 {
+            e.schedule(SimTime::from_millis(s * 10), s);
+        }
+        let mut n = 0;
+        e.run(|_, _| n += 1);
+        assert_eq!(n, 100);
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn clear_pending_keeps_clock() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_secs(1), ());
+        e.pop();
+        e.schedule(SimTime::from_secs(9), ());
+        e.clear_pending();
+        assert_eq!(e.pending(), 0);
+        assert_eq!(e.now(), SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the simulation kernel.
+
+use desim::{Engine, EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always come out in non-decreasing time order regardless of
+    /// insertion order.
+    #[test]
+    fn queue_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.time >= last);
+            last = ev.time;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Among equal-time events, FIFO order is preserved.
+    #[test]
+    fn queue_ties_are_fifo(groups in proptest::collection::vec((0u64..100, 1usize..10), 1..30)) {
+        let mut q = EventQueue::new();
+        let mut id = 0usize;
+        for &(t, n) in &groups {
+            for _ in 0..n {
+                q.push(SimTime::from_micros(t), id);
+                id += 1;
+            }
+        }
+        // Within each timestamp, ids must ascend.
+        let mut per_time: std::collections::BTreeMap<SimTime, Vec<usize>> = Default::default();
+        while let Some(ev) = q.pop() {
+            per_time.entry(ev.time).or_default().push(ev.event);
+        }
+        for ids in per_time.values() {
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(ids, &sorted);
+        }
+    }
+
+    /// The engine clock is monotone non-decreasing over any schedule.
+    #[test]
+    fn engine_clock_monotone(times in proptest::collection::vec(0u64..10_000_000, 1..200)) {
+        let mut e = Engine::new();
+        for &t in &times {
+            e.schedule(SimTime::from_micros(t), ());
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, ())) = e.pop() {
+            prop_assert!(t >= last);
+            prop_assert_eq!(e.now(), t);
+            last = t;
+        }
+    }
+
+    /// run_until never processes an event beyond the horizon and always parks
+    /// the clock exactly at the horizon.
+    #[test]
+    fn run_until_respects_horizon(
+        times in proptest::collection::vec(0u64..2_000_000, 1..100),
+        horizon in 0u64..2_000_000,
+    ) {
+        let mut e = Engine::new();
+        for &t in &times {
+            e.schedule(SimTime::from_micros(t), t);
+        }
+        let h = SimTime::from_micros(horizon);
+        let mut max_seen = None;
+        e.run_until(h, |t, _| { max_seen = Some(t); });
+        if let Some(m) = max_seen {
+            prop_assert!(m <= h);
+        }
+        prop_assert_eq!(e.now(), h);
+        let expected_remaining = times.iter().filter(|&&t| t > horizon).count();
+        prop_assert_eq!(e.pending(), expected_remaining);
+    }
+
+    /// SimTime arithmetic: (a + b) - b == a for values far from saturation.
+    #[test]
+    fn simtime_add_sub_roundtrip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let ta = SimTime::from_micros(a);
+        let tb = SimTime::from_micros(b);
+        prop_assert_eq!((ta + tb) - tb, ta);
+    }
+}

@@ -1,0 +1,220 @@
+//! Configuration for the emulated cluster and the RL-facing environment.
+
+use desim::SimTime;
+use workflow::Ensemble;
+
+/// Low-level emulator parameters.
+///
+/// Defaults follow the paper's measurements: Kubernetes takes 5–10 s to
+/// start/stop a container (§VI-A2), so scaling a consumer pool up incurs a
+/// uniformly distributed start-up delay per consumer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Minimum container start-up delay.
+    pub startup_min: SimTime,
+    /// Maximum container start-up delay.
+    pub startup_max: SimTime,
+    /// Seed for the emulator's service-time and start-up RNG.
+    pub seed: u64,
+    /// Mean consumer failures per consumer-hour of busy time (0 disables
+    /// failure injection). A failing consumer crashes mid-request; the
+    /// request is redelivered to the front of its queue (the paper's
+    /// RabbitMQ acknowledgement mechanism guarantees at-least-once
+    /// processing) and the orchestrator starts a replacement container
+    /// (Kubernetes Replication Controller behaviour, §V).
+    pub failure_rate_per_hour: f64,
+    /// Total CPU cores shared by all consumers, modelling the paper's
+    /// 3-node × 1-vCPU testbed where up to 14 containers contend for 3
+    /// cores. `None` (default) disables contention: every consumer runs at
+    /// full speed. With `Some(cores)`, a task dispatched while `b` consumers
+    /// are busy cluster-wide runs at `max(1, b / cores)` times its nominal
+    /// service time (processor sharing approximated at dispatch time).
+    pub total_cores: Option<f64>,
+}
+
+impl SimConfig {
+    /// Paper-faithful defaults: start-up delay uniform in [5 s, 10 s].
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SimConfig {
+            startup_min: SimTime::from_secs(5),
+            startup_max: SimTime::from_secs(10),
+            seed,
+            failure_rate_per_hour: 0.0,
+            total_cores: None,
+        }
+    }
+
+    /// Enables CPU-contention modelling with the given cluster-wide core
+    /// count (the paper's testbed: 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cores` is positive and finite.
+    #[must_use]
+    pub fn with_total_cores(mut self, cores: f64) -> Self {
+        assert!(cores.is_finite() && cores > 0.0, "core count must be positive");
+        self.total_cores = Some(cores);
+        self
+    }
+
+    /// Enables consumer-failure injection at the given mean rate
+    /// (failures per consumer-hour of busy time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is negative or non-finite.
+    #[must_use]
+    pub fn with_failure_rate(mut self, per_hour: f64) -> Self {
+        assert!(
+            per_hour.is_finite() && per_hour >= 0.0,
+            "failure rate must be non-negative"
+        );
+        self.failure_rate_per_hour = per_hour;
+        self
+    }
+
+    /// Overrides the container start-up delay range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    #[must_use]
+    pub fn with_startup_delay(mut self, min: SimTime, max: SimTime) -> Self {
+        assert!(min <= max, "startup delay range inverted");
+        self.startup_min = min;
+        self.startup_max = max;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::new(0)
+    }
+}
+
+/// Configuration of the windowed RL environment wrapped around a cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvConfig {
+    /// Length of one decision window (paper: 30 s).
+    pub window: SimTime,
+    /// Total-consumer constraint `C` (paper: 14 for MSD, 30 for LIGO).
+    pub consumer_budget: usize,
+    /// Background Poisson arrival rate (requests/s) per workflow type.
+    pub arrival_rates: Vec<f64>,
+    /// Emulator parameters.
+    pub sim: SimConfig,
+    /// When true (default), actions whose consumer total exceeds the budget
+    /// are scaled down proportionally instead of rejected; the violation is
+    /// recorded in the step's [`WindowMetrics`](crate::WindowMetrics).
+    pub clamp_actions: bool,
+    /// Capacity multiple used during [`reset`](crate::MicroserviceEnv::reset)
+    /// ("provision sufficient consumers of each microservice to reduce WIP
+    /// close to 0", §VI-A3).
+    pub reset_capacity_factor: usize,
+    /// Maximum number of windows a reset may run before giving up.
+    pub reset_max_windows: usize,
+    /// Reset finishes once total WIP is at or below this threshold.
+    pub reset_wip_threshold: usize,
+}
+
+impl EnvConfig {
+    /// Paper-faithful configuration for `ensemble`: 30 s windows, the
+    /// ensemble's default consumer budget and background arrival rates.
+    #[must_use]
+    pub fn for_ensemble(ensemble: &Ensemble) -> Self {
+        EnvConfig {
+            window: SimTime::from_secs(30),
+            consumer_budget: ensemble.default_consumer_budget(),
+            arrival_rates: ensemble.default_arrival_rates().to_vec(),
+            sim: SimConfig::default(),
+            clamp_actions: true,
+            reset_capacity_factor: 5,
+            reset_max_windows: 40,
+            reset_wip_threshold: 0,
+        }
+    }
+
+    /// Sets the RNG seed (service times, start-up delays, and arrivals all
+    /// derive from it).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+
+    /// Sets the decision-window length (the paper compares 5 s / 15 s / 30 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is zero.
+    #[must_use]
+    pub fn with_window(mut self, window: SimTime) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        self.window = window;
+        self
+    }
+
+    /// Sets the total-consumer constraint `C`.
+    #[must_use]
+    pub fn with_consumer_budget(mut self, budget: usize) -> Self {
+        self.consumer_budget = budget;
+        self
+    }
+
+    /// Sets the background arrival rates (requests/s per workflow type).
+    #[must_use]
+    pub fn with_arrival_rates(mut self, rates: Vec<f64>) -> Self {
+        self.arrival_rates = rates;
+        self
+    }
+
+    /// Disables proportional clamping: over-budget actions panic instead.
+    /// Used by the exploration ablation to count hard violations.
+    #[must_use]
+    pub fn with_strict_actions(mut self) -> Self {
+        self.clamp_actions = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let msd = Ensemble::msd();
+        let c = EnvConfig::for_ensemble(&msd);
+        assert_eq!(c.window, SimTime::from_secs(30));
+        assert_eq!(c.consumer_budget, 14);
+        assert_eq!(c.sim.startup_min, SimTime::from_secs(5));
+        assert_eq!(c.sim.startup_max, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn builders_apply() {
+        let msd = Ensemble::msd();
+        let c = EnvConfig::for_ensemble(&msd)
+            .with_seed(99)
+            .with_window(SimTime::from_secs(5))
+            .with_consumer_budget(20);
+        assert_eq!(c.sim.seed, 99);
+        assert_eq!(c.window, SimTime::from_secs(5));
+        assert_eq!(c.consumer_budget, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = EnvConfig::for_ensemble(&Ensemble::msd()).with_window(SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "startup delay range inverted")]
+    fn inverted_startup_range_panics() {
+        let _ = SimConfig::new(0)
+            .with_startup_delay(SimTime::from_secs(10), SimTime::from_secs(5));
+    }
+}

@@ -1,0 +1,456 @@
+//! The RL-facing, window-stepped view of the cluster.
+
+use desim::SimTime;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Poisson};
+use workflow::{ArrivalTrace, BurstSpec, Ensemble, WorkflowTypeId};
+
+use crate::{Cluster, EnvConfig, WindowMetrics};
+
+/// The result of advancing the environment by one decision window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome {
+    /// The next state `w(k+1)`: WIP per task type as floats (RL convention).
+    pub state: Vec<f64>,
+    /// The paper's reward `r(k) = 1 − Σ_j w_j(k+1)`.
+    pub reward: f64,
+    /// Full window observability for evaluation harnesses.
+    pub metrics: WindowMetrics,
+}
+
+/// The microservice workflow system viewed as a reinforcement-learning
+/// environment (paper §IV-B).
+///
+/// Each [`step`](MicroserviceEnv::step) applies a consumer allocation
+/// `m(k)`, advances simulated time by one decision window (default 30 s)
+/// while background Poisson arrivals stream in, and returns the WIP state,
+/// reward, and evaluation metrics. [`reset`](MicroserviceEnv::reset)
+/// implements the paper's reset: "provision sufficient consumers of each
+/// microservice to reduce WIP close to 0" (§VI-A3).
+///
+/// # Examples
+///
+/// ```
+/// use microsim::{EnvConfig, MicroserviceEnv};
+/// use workflow::{BurstSpec, Ensemble};
+///
+/// let ensemble = Ensemble::msd();
+/// let config = EnvConfig::for_ensemble(&ensemble).with_seed(3);
+/// let mut env = MicroserviceEnv::new(ensemble, config);
+/// env.reset();
+/// env.inject_burst(&BurstSpec::new(vec![50, 0, 0]));
+/// let out = env.step(&[8, 3, 2, 1]);
+/// assert!(out.metrics.arrivals[0] >= 50);
+/// ```
+#[derive(Debug)]
+pub struct MicroserviceEnv {
+    cluster: Cluster,
+    config: EnvConfig,
+    arrival_rng: SmallRng,
+    window_index: usize,
+    /// Injected (burst/trace) arrivals not yet attributed to a window's
+    /// metrics, sorted by arrival time.
+    injected_schedule: std::collections::VecDeque<(SimTime, usize)>,
+}
+
+impl MicroserviceEnv {
+    /// Creates an environment over a fresh cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.arrival_rates.len()` differs from the ensemble's
+    /// number of workflow types.
+    #[must_use]
+    pub fn new(ensemble: Ensemble, config: EnvConfig) -> Self {
+        assert_eq!(
+            config.arrival_rates.len(),
+            ensemble.num_workflow_types(),
+            "one arrival rate per workflow type"
+        );
+        // Derive a distinct stream for arrivals so that arrival sampling and
+        // service-time sampling do not interleave.
+        let arrival_rng = SmallRng::seed_from_u64(config.sim.seed.wrapping_add(0x9E37_79B9));
+        let cluster = Cluster::new(ensemble, config.sim.clone());
+        MicroserviceEnv {
+            cluster,
+            config,
+            arrival_rng,
+            window_index: 0,
+            injected_schedule: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Number of task types `J` (the state and action dimensionality).
+    #[must_use]
+    pub fn num_task_types(&self) -> usize {
+        self.cluster.ensemble().num_task_types()
+    }
+
+    /// Number of workflow types `N`.
+    #[must_use]
+    pub fn num_workflow_types(&self) -> usize {
+        self.cluster.ensemble().num_workflow_types()
+    }
+
+    /// The total-consumer constraint `C`.
+    #[must_use]
+    pub fn consumer_budget(&self) -> usize {
+        self.config.consumer_budget
+    }
+
+    /// The decision-window length.
+    #[must_use]
+    pub fn window(&self) -> SimTime {
+        self.config.window
+    }
+
+    /// The current state `w(k)` as floats.
+    #[must_use]
+    pub fn state(&self) -> Vec<f64> {
+        self.cluster.wip().iter().map(|&w| w as f64).collect()
+    }
+
+    /// Read-only access to the underlying cluster.
+    #[must_use]
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The environment's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EnvConfig {
+        &self.config
+    }
+
+    /// Index of the next decision window.
+    #[must_use]
+    pub fn window_index(&self) -> usize {
+        self.window_index
+    }
+
+    /// Injects a front-loaded request burst at the current instant (the
+    /// paper's §VI-D evaluation protocol).
+    pub fn inject_burst(&mut self, burst: &BurstSpec) {
+        let now = self.cluster.now();
+        for arrival in burst.trace().arrivals() {
+            self.cluster.submit(now, arrival.workflow_type);
+            self.record_injection(now, arrival.workflow_type.index());
+        }
+    }
+
+    /// Injects a pre-generated arrival trace, offset so that trace time 0 is
+    /// the current instant.
+    pub fn inject_trace(&mut self, trace: &ArrivalTrace) {
+        let now = self.cluster.now();
+        for arrival in trace.arrivals() {
+            let at = now + arrival.time;
+            self.cluster.submit(at, arrival.workflow_type);
+            self.record_injection(at, arrival.workflow_type.index());
+        }
+    }
+
+    /// Queues an injected arrival for metric attribution, keeping the
+    /// schedule time-sorted.
+    fn record_injection(&mut self, at: SimTime, workflow_type: usize) {
+        // Injections come in time order per call; merge lazily by insertion.
+        let pos = self
+            .injected_schedule
+            .iter()
+            .rposition(|&(t, _)| t <= at)
+            .map_or(0, |p| p + 1);
+        self.injected_schedule.insert(pos, (at, workflow_type));
+    }
+
+    /// Applies the consumer allocation `action` for one window and advances
+    /// simulated time to the window's end.
+    ///
+    /// If the allocation's total exceeds the budget it is proportionally
+    /// scaled down (when `clamp_actions` is set) and the violation recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action.len()` differs from the number of task types, or if
+    /// the action violates the budget while `clamp_actions` is disabled.
+    pub fn step(&mut self, action: &[usize]) -> StepOutcome {
+        assert_eq!(
+            action.len(),
+            self.num_task_types(),
+            "one consumer count per task type"
+        );
+        let (applied, violated) = self.enforce_budget(action);
+        self.cluster.set_consumers(&applied);
+
+        // Stream this window's background Poisson arrivals, and attribute
+        // any injected arrivals whose time falls inside this window.
+        let window_start = self.cluster.now();
+        let window_end = window_start + self.config.window;
+        let mut arrivals = vec![0; self.num_workflow_types()];
+        while let Some(&(t, wf)) = self.injected_schedule.front() {
+            if t >= window_end {
+                break;
+            }
+            arrivals[wf] += 1;
+            self.injected_schedule.pop_front();
+        }
+        let window_secs = self.config.window.as_secs_f64();
+        for (i, &rate) in self.config.arrival_rates.clone().iter().enumerate() {
+            if rate <= 0.0 {
+                continue;
+            }
+            let n = Poisson::new(rate * window_secs)
+                .expect("positive mean")
+                .sample(&mut self.arrival_rng) as usize;
+            for _ in 0..n {
+                let offset = self.arrival_rng.gen_range(0.0..window_secs);
+                self.cluster.submit(
+                    window_start + SimTime::from_secs_f64(offset),
+                    WorkflowTypeId::new(i),
+                );
+            }
+            arrivals[i] += n;
+        }
+
+        self.cluster.run_until(window_start + self.config.window);
+
+        let wip = self.cluster.wip();
+        let reward = 1.0 - wip.iter().sum::<usize>() as f64;
+        let (completions, mean_response_secs) = self.summarise_completions();
+        let metrics = WindowMetrics {
+            window_index: self.window_index,
+            wip: wip.clone(),
+            reward,
+            action_applied: applied,
+            constraint_violated: violated,
+            arrivals,
+            completions,
+            mean_response_secs,
+        };
+        self.window_index += 1;
+        StepOutcome {
+            state: wip.iter().map(|&w| w as f64).collect(),
+            reward,
+            metrics,
+        }
+    }
+
+    /// Drains WIP close to zero by provisioning ample consumers, then winds
+    /// the pools back down. Returns the post-reset state.
+    ///
+    /// Background arrivals are paused during the reset, which happens
+    /// "outside" the measured decision timeline (the window index does not
+    /// advance).
+    pub fn reset(&mut self) -> Vec<f64> {
+        let capacity = self.config.consumer_budget * self.config.reset_capacity_factor;
+        let targets = vec![capacity.max(1); self.num_task_types()];
+        self.cluster.force_consumers(&targets);
+        for _ in 0..self.config.reset_max_windows {
+            let horizon = self.cluster.now() + self.config.window;
+            self.cluster.run_until(horizon);
+            if self.cluster.total_wip() <= self.config.reset_wip_threshold {
+                break;
+            }
+        }
+        // Wind the pools back down; the next step's action re-provisions.
+        let zeros = vec![0; self.num_task_types()];
+        self.cluster.set_consumers(&zeros);
+        // Reset-period completions are not part of any window's metrics;
+        // injected arrivals overtaken by the reset drop out of attribution.
+        let _ = self.cluster.drain_completions();
+        let now = self.cluster.now();
+        while matches!(self.injected_schedule.front(), Some(&(t, _)) if t <= now) {
+            self.injected_schedule.pop_front();
+        }
+        self.state()
+    }
+
+    fn enforce_budget(&self, action: &[usize]) -> (Vec<usize>, bool) {
+        let total: usize = action.iter().sum();
+        let budget = self.config.consumer_budget;
+        if total <= budget {
+            return (action.to_vec(), false);
+        }
+        assert!(
+            self.config.clamp_actions,
+            "action uses {total} consumers, budget is {budget}"
+        );
+        // Proportional scale-down with floors keeps Σ m_j ≤ C.
+        let scale = budget as f64 / total as f64;
+        let applied = action
+            .iter()
+            .map(|&m| (m as f64 * scale).floor() as usize)
+            .collect();
+        (applied, true)
+    }
+
+    fn summarise_completions(&mut self) -> (Vec<usize>, Vec<Option<f64>>) {
+        let n = self.num_workflow_types();
+        let mut counts = vec![0usize; n];
+        let mut sums = vec![0.0f64; n];
+        for record in self.cluster.drain_completions() {
+            let i = record.workflow_type.index();
+            counts[i] += 1;
+            sums[i] += record.response_secs();
+        }
+        let means = counts
+            .iter()
+            .zip(&sums)
+            .map(|(&c, &s)| (c > 0).then(|| s / c as f64))
+            .collect();
+        (counts, means)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msd_env(seed: u64) -> MicroserviceEnv {
+        let ensemble = Ensemble::msd();
+        let config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
+        MicroserviceEnv::new(ensemble, config)
+    }
+
+    /// A quiet environment: no background arrivals.
+    fn quiet_env(seed: u64) -> MicroserviceEnv {
+        let ensemble = Ensemble::msd();
+        let config = EnvConfig::for_ensemble(&ensemble)
+            .with_seed(seed)
+            .with_arrival_rates(vec![0.0; 3]);
+        MicroserviceEnv::new(ensemble, config)
+    }
+
+    #[test]
+    fn step_advances_one_window() {
+        let mut env = msd_env(1);
+        let before = env.cluster().now();
+        let _ = env.step(&[4, 4, 4, 2]);
+        assert_eq!(env.cluster().now() - before, SimTime::from_secs(30));
+        assert_eq!(env.window_index(), 1);
+    }
+
+    #[test]
+    fn reward_is_one_minus_total_wip() {
+        let mut env = msd_env(2);
+        let out = env.step(&[4, 4, 4, 2]);
+        assert!((out.reward - (1.0 - out.metrics.total_wip() as f64)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wip_grows_without_consumers() {
+        let mut env = msd_env(3);
+        let mut last = 0usize;
+        for _ in 0..5 {
+            let out = env.step(&[0, 0, 0, 0]);
+            let wip = out.metrics.total_wip();
+            assert!(wip >= last, "WIP must be monotone with no capacity");
+            last = wip;
+        }
+        assert!(last > 0, "arrivals should have accumulated WIP");
+    }
+
+    #[test]
+    fn sufficient_capacity_keeps_wip_low() {
+        let mut env = msd_env(4);
+        env.reset();
+        let mut total = 0usize;
+        for _ in 0..10 {
+            total = env.step(&[4, 4, 4, 2]).metrics.total_wip();
+        }
+        // Offered load ≈ 8.1 consumer-seconds/s vs 14 consumers: stable.
+        assert!(total < 60, "WIP exploded: {total}");
+    }
+
+    #[test]
+    fn reset_drains_wip() {
+        let mut env = msd_env(5);
+        // Pile up a burst with no capacity.
+        env.inject_burst(&BurstSpec::new(vec![100, 100, 100]));
+        let out = env.step(&[0, 0, 0, 0]);
+        assert!(out.metrics.total_wip() >= 300);
+        let state = env.reset();
+        assert!(state.iter().sum::<f64>() <= 1.0, "reset left WIP: {state:?}");
+    }
+
+    #[test]
+    fn over_budget_action_is_clamped_proportionally() {
+        let mut env = quiet_env(6);
+        let out = env.step(&[14, 14, 14, 14]); // 56 > 14
+        assert!(out.metrics.constraint_violated);
+        let total: usize = out.metrics.action_applied.iter().sum();
+        assert!(total <= 14);
+        assert_eq!(out.metrics.action_applied, vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn within_budget_action_untouched() {
+        let mut env = quiet_env(7);
+        let out = env.step(&[5, 4, 3, 2]);
+        assert!(!out.metrics.constraint_violated);
+        assert_eq!(out.metrics.action_applied, vec![5, 4, 3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget is 14")]
+    fn strict_mode_panics_on_violation() {
+        let ensemble = Ensemble::msd();
+        let config = EnvConfig::for_ensemble(&ensemble)
+            .with_seed(8)
+            .with_strict_actions();
+        let mut env = MicroserviceEnv::new(ensemble, config);
+        let _ = env.step(&[14, 14, 14, 14]);
+    }
+
+    #[test]
+    fn burst_is_visible_in_arrival_counts() {
+        let mut env = quiet_env(9);
+        env.inject_burst(&BurstSpec::new(vec![10, 20, 30]));
+        let out = env.step(&[4, 4, 4, 2]);
+        assert_eq!(out.metrics.arrivals, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn completions_report_response_times() {
+        let mut env = quiet_env(10);
+        env.inject_burst(&BurstSpec::new(vec![3, 0, 0]));
+        let mut completed = 0;
+        for _ in 0..10 {
+            let out = env.step(&[4, 4, 4, 2]);
+            for (i, c) in out.metrics.completions.iter().enumerate() {
+                if *c > 0 {
+                    assert!(out.metrics.mean_response_secs[i].unwrap() > 0.0);
+                }
+                completed += c;
+            }
+        }
+        assert_eq!(completed, 3);
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let run = |seed| {
+            let mut env = msd_env(seed);
+            env.reset();
+            let mut states = Vec::new();
+            for k in 0..8 {
+                let a = [(k % 4) + 1, 3, 4, 2];
+                states.push(env.step(&a).state);
+            }
+            states
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn ligo_env_has_nine_dims() {
+        let ensemble = Ensemble::ligo();
+        let config = EnvConfig::for_ensemble(&ensemble).with_seed(11);
+        let mut env = MicroserviceEnv::new(ensemble, config);
+        let state = env.reset();
+        assert_eq!(state.len(), 9);
+        assert_eq!(env.consumer_budget(), 30);
+        let out = env.step(&[4, 4, 4, 3, 3, 3, 3, 3, 3]);
+        assert_eq!(out.state.len(), 9);
+    }
+}

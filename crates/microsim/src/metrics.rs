@@ -1,0 +1,197 @@
+//! Per-window observations produced by the environment.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything observed during one decision window `(T_k, T_{k+1})`.
+///
+/// The RL agent only consumes `wip` (the state) and `reward`; the remaining
+/// fields feed the paper's evaluation figures (response-time comparisons,
+/// constraint-violation counts for the exploration ablation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowMetrics {
+    /// Zero-based index `k` of the window since environment construction.
+    pub window_index: usize,
+    /// Work-in-progress per task type observed at the window's end —
+    /// the paper's state `w(k+1)`.
+    pub wip: Vec<usize>,
+    /// The paper's reward `r = 1 − Σ_j w_j` for this window.
+    pub reward: f64,
+    /// The consumer allocation actually applied this window (after any
+    /// budget clamping).
+    pub action_applied: Vec<usize>,
+    /// True when the requested action exceeded the consumer budget and had
+    /// to be clamped.
+    pub constraint_violated: bool,
+    /// Workflow requests that arrived during the window, per workflow type.
+    pub arrivals: Vec<usize>,
+    /// Workflow requests that completed during the window, per workflow type.
+    pub completions: Vec<usize>,
+    /// Mean end-to-end response time (seconds) of the requests that
+    /// completed during the window, per workflow type; `None` when no
+    /// request of that type completed.
+    pub mean_response_secs: Vec<Option<f64>>,
+}
+
+impl WindowMetrics {
+    /// Total WIP at the end of the window.
+    #[must_use]
+    pub fn total_wip(&self) -> usize {
+        self.wip.iter().sum()
+    }
+
+    /// Mean response time over all workflow types that completed requests in
+    /// this window, weighted by completion counts. `None` if nothing
+    /// completed.
+    #[must_use]
+    pub fn overall_mean_response_secs(&self) -> Option<f64> {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (c, r) in self.completions.iter().zip(&self.mean_response_secs) {
+            if let Some(r) = r {
+                total += r * *c as f64;
+                count += c;
+            }
+        }
+        (count > 0).then(|| total / count as f64)
+    }
+}
+
+/// Response-time distribution summary over a set of completed workflows.
+///
+/// # Examples
+///
+/// ```
+/// use microsim::LatencySummary;
+///
+/// let latencies: Vec<f64> = (1..=100).map(f64::from).collect();
+/// let s = LatencySummary::from_secs(&latencies).unwrap();
+/// assert_eq!(s.count, 100);
+/// assert!((s.p50 - 50.0).abs() <= 1.0);
+/// assert!((s.p99 - 99.0).abs() <= 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (seconds).
+    pub mean: f64,
+    /// Minimum (seconds).
+    pub min: f64,
+    /// Median (seconds).
+    pub p50: f64,
+    /// 95th percentile (seconds).
+    pub p95: f64,
+    /// 99th percentile (seconds).
+    pub p99: f64,
+    /// Maximum (seconds).
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Summarises response times in seconds; `None` for an empty input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any latency is NaN.
+    #[must_use]
+    pub fn from_secs(latencies: &[f64]) -> Option<Self> {
+        if latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies must not be NaN"));
+        let nearest = |p: f64| {
+            let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+            sorted[rank]
+        };
+        Some(LatencySummary {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            min: sorted[0],
+            p50: nearest(50.0),
+            p95: nearest(95.0),
+            p99: nearest(99.0),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+
+    /// Summarises a batch of completion records.
+    #[must_use]
+    pub fn from_completions(records: &[crate::CompletionRecord]) -> Option<Self> {
+        let secs: Vec<f64> = records
+            .iter()
+            .map(crate::CompletionRecord::response_secs)
+            .collect();
+        LatencySummary::from_secs(&secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WindowMetrics {
+        WindowMetrics {
+            window_index: 3,
+            wip: vec![2, 0, 5],
+            reward: 1.0 - 7.0,
+            action_applied: vec![1, 1, 2],
+            constraint_violated: false,
+            arrivals: vec![1, 0],
+            completions: vec![2, 3],
+            mean_response_secs: vec![Some(10.0), Some(20.0)],
+        }
+    }
+
+    #[test]
+    fn total_wip_sums() {
+        assert_eq!(sample().total_wip(), 7);
+    }
+
+    #[test]
+    fn overall_mean_weights_by_completions() {
+        let m = sample();
+        let expected = (10.0 * 2.0 + 20.0 * 3.0) / 5.0;
+        assert!((m.overall_mean_response_secs().unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overall_mean_none_when_no_completions() {
+        let mut m = sample();
+        m.completions = vec![0, 0];
+        m.mean_response_secs = vec![None, None];
+        assert_eq!(m.overall_mean_response_secs(), None);
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let lat: Vec<f64> = (0..1000).map(|i| i as f64 / 10.0).collect();
+        let s = LatencySummary::from_secs(&lat).unwrap();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 0.0);
+        assert!((s.p50 - 50.0).abs() < 0.2);
+        assert!((s.p95 - 94.9).abs() < 0.2);
+        assert!((s.max - 99.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_summary_empty_is_none() {
+        assert!(LatencySummary::from_secs(&[]).is_none());
+    }
+
+    #[test]
+    fn latency_summary_single_sample() {
+        let s = LatencySummary::from_secs(&[7.0]).unwrap();
+        assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p99, 7.0);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = sample();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: WindowMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,378 @@
+//! The iterative model-based training loop (paper §IV-E, Algorithm 2).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rl::{Ddpg, Environment};
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    ClusterEnvAdapter, DynamicsModel, MirasAgent, MirasConfig, RefinedModel, SyntheticEnv,
+    TransitionDataset,
+};
+
+/// What happened during one outer iteration of Algorithm 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationReport {
+    /// Zero-based iteration index.
+    pub iteration: usize,
+    /// Real-environment steps collected this iteration.
+    pub steps_collected: usize,
+    /// Total transitions in the dataset `D` after collection.
+    pub dataset_size: usize,
+    /// Final-epoch model training MSE (standardised space).
+    pub model_loss: f64,
+    /// Mean return per synthetic rollout during the inner policy loop.
+    pub synthetic_return_mean: f64,
+    /// Number of synthetic rollouts actually run (early stop may cut the
+    /// budget short).
+    pub rollouts_run: usize,
+    /// Aggregated reward of the greedy policy evaluated on the *real*
+    /// environment for the configured number of steps (the y-axis of the
+    /// paper's Fig. 6).
+    pub eval_return: f64,
+    /// Current parameter-noise scale, when parameter noise is in use.
+    pub exploration_sigma: Option<f64>,
+}
+
+/// Drives Algorithm 2: collect real interactions with the current policy →
+/// retrain the environment model → train the policy against the refined
+/// model → evaluate — repeated until the policy performs well.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct MirasTrainer {
+    config: MirasConfig,
+    agent: Ddpg,
+    model: DynamicsModel,
+    dataset: TransitionDataset,
+    iteration: usize,
+    consumer_budget: usize,
+    rng: SmallRng,
+}
+
+impl MirasTrainer {
+    /// Creates a trainer sized for the given real environment.
+    #[must_use]
+    pub fn new(env: &ClusterEnvAdapter, config: MirasConfig) -> Self {
+        let j = env.state_dim();
+        let mut ddpg_config = config.ddpg.clone();
+        ddpg_config.seed = config.seed;
+        let agent = Ddpg::new(j, j, ddpg_config);
+        let model = DynamicsModel::new(j, &config);
+        MirasTrainer {
+            agent,
+            model,
+            dataset: TransitionDataset::new(j),
+            iteration: 0,
+            consumer_budget: env.consumer_budget(),
+            rng: SmallRng::seed_from_u64(config.seed.wrapping_add(0xA11CE)),
+            config,
+        }
+    }
+
+    /// The accumulated dataset `D`.
+    #[must_use]
+    pub fn dataset(&self) -> &TransitionDataset {
+        &self.dataset
+    }
+
+    /// The current environment model.
+    #[must_use]
+    pub fn model(&self) -> &DynamicsModel {
+        &self.model
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &MirasConfig {
+        &self.config
+    }
+
+    /// Number of completed outer iterations.
+    #[must_use]
+    pub fn iterations_run(&self) -> usize {
+        self.iteration
+    }
+
+    /// Snapshot of the current greedy policy as a deployable agent,
+    /// including the observation normaliser it was trained with.
+    #[must_use]
+    pub fn agent(&self) -> MirasAgent {
+        MirasAgent::new(self.agent.actor().clone(), self.consumer_budget)
+            .with_normalizer(self.agent.obs_normalizer().clone())
+    }
+
+    /// The refined model built from the current model and dataset (useful
+    /// for model-accuracy evaluations, Fig. 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no data has been collected yet.
+    #[must_use]
+    pub fn refined_model(&self) -> RefinedModel {
+        if self.config.refine_enabled {
+            RefinedModel::fit(
+                self.model.clone(),
+                &self.dataset,
+                self.config.refine_percentile,
+            )
+        } else {
+            RefinedModel::unrefined(self.model.clone())
+        }
+    }
+
+    /// Runs one outer iteration of Algorithm 2 against the real environment.
+    pub fn run_iteration(&mut self, real_env: &mut ClusterEnvAdapter) -> IterationReport {
+        // 1. Collect real interactions, resetting periodically (§VI-A3).
+        //    The first iteration uses random allocations (the untrained
+        //    policy's near-constant actions carry no action-response
+        //    information for the model); later iterations use the current
+        //    exploratory policy with a small random-action fraction mixed in.
+        use rand::Rng;
+        let steps = self.config.real_steps_per_iter;
+        let random_only = self.config.initial_random_collection && self.iteration == 0;
+        let j = real_env.state_dim();
+        let mut random_dist = vec![1.0 / j as f64; j];
+        let mut s = real_env.reset();
+        self.inject_collection_burst(real_env);
+        for step in 0..steps {
+            if step > 0 && step % self.config.reset_every == 0 {
+                s = real_env.reset();
+                self.inject_collection_burst(real_env);
+                self.agent.resample_perturbation();
+            }
+            self.agent.observe_state(&s);
+            if step % 4 == 0 {
+                let raw: Vec<f64> = (0..j).map(|_| self.rng.gen_range(0.0..1.0)).collect();
+                random_dist = rl::policy::project_to_simplex(&raw);
+            }
+            let use_random = random_only
+                || self.rng.gen_bool(self.config.random_action_fraction.clamp(0.0, 1.0));
+            let a = if use_random {
+                random_dist.clone()
+            } else {
+                self.agent.act_exploratory(&s)
+            };
+            let t = real_env.step(&a);
+            s = t.next_state;
+        }
+        real_env.drain_into(&mut self.dataset);
+
+        // 2. Retrain the environment model on the grown dataset.
+        let model_loss = self.model.train(
+            &self.dataset,
+            self.config.model_epochs,
+            self.config.model_batch,
+        );
+
+        // 3. Inner loop: improve the policy against the refined model.
+        let refined = self.refined_model();
+        let synth_seed = self
+            .config
+            .seed
+            .wrapping_add(0xBEEF)
+            .wrapping_add(self.iteration as u64);
+        let mut synth = SyntheticEnv::new(
+            refined,
+            self.dataset.clone(),
+            self.consumer_budget,
+            synth_seed,
+        );
+        let mut returns = Vec::new();
+        let mut best = f64::NEG_INFINITY;
+        let mut stale = 0usize;
+        let mut rollouts_run = 0usize;
+        for _ in 0..self.config.rollouts_per_iter {
+            let mut s = synth.reset();
+            self.agent.resample_perturbation();
+            let mut total = 0.0;
+            for _ in 0..self.config.rollout_len {
+                let a = self.agent.act_exploratory(&s);
+                let t = synth.step(&a);
+                self.agent.observe(&s, &a, t.reward, &t.next_state);
+                let _ = self.agent.train_step();
+                total += t.reward;
+                s = t.next_state;
+            }
+            returns.push(total);
+            rollouts_run += 1;
+            // "until performance of the policy stops improving"
+            if self.config.inner_patience > 0 {
+                if total > best {
+                    best = total;
+                    stale = 0;
+                } else {
+                    stale += 1;
+                    if stale >= self.config.inner_patience {
+                        break;
+                    }
+                }
+            }
+        }
+        let synthetic_return_mean = if returns.is_empty() {
+            0.0
+        } else {
+            returns.iter().sum::<f64>() / returns.len() as f64
+        };
+
+        // 4. Evaluate the greedy policy on the real environment.
+        let eval_return = self.evaluate(real_env, self.config.eval_steps);
+        // Evaluation transitions are real interactions too — keep them.
+        real_env.drain_into(&mut self.dataset);
+
+        let report = IterationReport {
+            iteration: self.iteration,
+            steps_collected: steps,
+            dataset_size: self.dataset.len(),
+            model_loss,
+            synthetic_return_mean,
+            rollouts_run,
+            eval_return,
+            exploration_sigma: self.agent.param_noise_sigma(),
+        };
+        self.iteration += 1;
+        report
+    }
+
+    /// Injects a random episode-opening burst when collection bursts are
+    /// configured.
+    fn inject_collection_burst(&mut self, real_env: &mut ClusterEnvAdapter) {
+        use rand::Rng;
+        if let Some(max) = self.config.collect_burst_max.clone() {
+            // Half of the episodes stay burst-free so the policy keeps
+            // seeing the steady-state regime.
+            if self.rng.gen_bool(0.5) {
+                return;
+            }
+            // Tolerate configs reused across ensembles with a different
+            // number of workflow types: missing entries burst zero requests.
+            let n = real_env.env().num_workflow_types();
+            let sizes: Vec<usize> = (0..n)
+                .map(|i| match max.get(i) {
+                    Some(&m) if m > 0 => self.rng.gen_range(0..=m),
+                    _ => 0,
+                })
+                .collect();
+            real_env
+                .env_mut()
+                .inject_burst(&workflow::BurstSpec::new(sizes));
+        }
+    }
+
+    /// Aggregated reward of the greedy policy over `steps` real-environment
+    /// steps, starting from a reset (the paper's per-iteration evaluation).
+    pub fn evaluate(&mut self, real_env: &mut ClusterEnvAdapter, steps: usize) -> f64 {
+        let mut s = real_env.reset();
+        let mut total = 0.0;
+        for _ in 0..steps {
+            let a = self.agent.act(&s);
+            let t = real_env.step(&a);
+            total += t.reward;
+            s = t.next_state;
+        }
+        total
+    }
+
+    /// Collects `steps` transitions using uniformly random allocations —
+    /// used to bootstrap model-accuracy studies (Fig. 5) where the paper
+    /// selects actions randomly.
+    pub fn collect_random(&mut self, real_env: &mut ClusterEnvAdapter, steps: usize) {
+        use rand::Rng;
+        let j = real_env.state_dim();
+        let _ = real_env.reset();
+        let mut current: Vec<f64> = vec![1.0 / j as f64; j];
+        for step in 0..steps {
+            if step > 0 && step % self.config.reset_every == 0 {
+                let _ = real_env.reset();
+            }
+            // The paper varies random actions every 4 steps.
+            if step % 4 == 0 {
+                let raw: Vec<f64> = (0..j).map(|_| self.rng.gen_range(0.0..1.0)).collect();
+                current = rl::policy::project_to_simplex(&raw);
+            }
+            let _ = real_env.step(&current);
+        }
+        real_env.drain_into(&mut self.dataset);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microsim::{EnvConfig, MicroserviceEnv};
+    use workflow::Ensemble;
+
+    fn real_env(seed: u64) -> ClusterEnvAdapter {
+        let ensemble = Ensemble::msd();
+        let config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
+        ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble, config))
+    }
+
+    #[test]
+    fn one_iteration_produces_sane_report() {
+        let mut env = real_env(0);
+        let mut trainer = MirasTrainer::new(&env, MirasConfig::smoke_test(1));
+        let report = trainer.run_iteration(&mut env);
+        assert_eq!(report.iteration, 0);
+        assert_eq!(report.steps_collected, 30);
+        // Collection steps plus evaluation steps land in the dataset.
+        assert_eq!(report.dataset_size, 35);
+        assert!(report.model_loss.is_finite());
+        assert!(report.eval_return.is_finite());
+        assert!(report.rollouts_run >= 1);
+        assert!(report.exploration_sigma.is_some());
+        assert_eq!(trainer.iterations_run(), 1);
+    }
+
+    #[test]
+    fn dataset_grows_across_iterations() {
+        let mut env = real_env(2);
+        let mut trainer = MirasTrainer::new(&env, MirasConfig::smoke_test(3));
+        let r1 = trainer.run_iteration(&mut env);
+        let r2 = trainer.run_iteration(&mut env);
+        assert!(r2.dataset_size > r1.dataset_size);
+        assert_eq!(r2.iteration, 1);
+    }
+
+    #[test]
+    fn agent_respects_budget_after_training() {
+        let mut env = real_env(4);
+        let mut trainer = MirasTrainer::new(&env, MirasConfig::smoke_test(5));
+        let _ = trainer.run_iteration(&mut env);
+        let agent = trainer.agent();
+        for wip in [[0.0; 4], [50.0; 4], [3.0, 100.0, 0.0, 7.0]] {
+            let m = agent.allocate(&wip);
+            assert!(m.iter().sum::<usize>() <= 14);
+        }
+    }
+
+    #[test]
+    fn collect_random_fills_dataset() {
+        let mut env = real_env(6);
+        let mut trainer = MirasTrainer::new(&env, MirasConfig::smoke_test(7));
+        trainer.collect_random(&mut env, 40);
+        assert_eq!(trainer.dataset().len(), 40);
+    }
+
+    #[test]
+    fn refined_model_reflects_config_flag() {
+        let mut env = real_env(8);
+        let mut trainer =
+            MirasTrainer::new(&env, MirasConfig::smoke_test(9).without_refinement());
+        let _ = trainer.run_iteration(&mut env);
+        assert!(!trainer.refined_model().is_enabled());
+    }
+
+    #[test]
+    fn evaluation_is_reproducible_for_same_seeds() {
+        let run = |seed| {
+            let mut env = real_env(seed);
+            let mut trainer = MirasTrainer::new(&env, MirasConfig::smoke_test(seed));
+            let r = trainer.run_iteration(&mut env);
+            r.eval_return
+        };
+        assert_eq!(run(10), run(10));
+    }
+}

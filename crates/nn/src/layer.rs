@@ -1,0 +1,257 @@
+//! Fully connected layers.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::{Activation, Matrix};
+
+/// A fully connected layer: `y = act(x · Wᵀ + b)`.
+///
+/// `W` has shape `(fan_out, fan_in)`; inputs are row-major batches of shape
+/// `(batch, fan_in)`.
+///
+/// Weights are initialised with He/Xavier-style scaling chosen by the
+/// activation (He for ReLU, Xavier otherwise).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    weights: Matrix,
+    bias: Vec<f64>,
+    activation: Activation,
+}
+
+/// Forward-pass values cached for the backward pass.
+#[derive(Debug, Clone)]
+pub struct DenseCache {
+    input: Matrix,
+    output: Matrix,
+}
+
+/// Gradients of a layer's parameters.
+#[derive(Debug, Clone)]
+pub struct DenseGrads {
+    /// Gradient of the loss with respect to the weight matrix.
+    pub d_weights: Matrix,
+    /// Gradient of the loss with respect to the bias.
+    pub d_bias: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a layer with `fan_in` inputs and `fan_out` outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(
+        fan_in: usize,
+        fan_out: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(fan_in > 0 && fan_out > 0, "layer dimensions must be positive");
+        let std = match activation {
+            // He initialisation suits ReLU; Xavier everything else.
+            Activation::Relu => (2.0 / fan_in as f64).sqrt(),
+            _ => (1.0 / fan_in as f64).sqrt(),
+        };
+        let normal = Normal::new(0.0, std).expect("valid std");
+        let data: Vec<f64> = (0..fan_in * fan_out).map(|_| normal.sample(rng)).collect();
+        Dense {
+            weights: Matrix::from_vec(fan_out, fan_in, data),
+            bias: vec![0.0; fan_out],
+            activation,
+        }
+    }
+
+    /// Input width.
+    #[must_use]
+    pub fn fan_in(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn fan_out(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// The layer's activation.
+    #[must_use]
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Number of trainable parameters.
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.weights.as_slice().len() + self.bias.len()
+    }
+
+    /// Forward pass over a batch, returning the output and the cache needed
+    /// by [`Dense::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.fan_in()`.
+    #[must_use]
+    pub fn forward(&self, x: &Matrix) -> (Matrix, DenseCache) {
+        assert_eq!(x.cols(), self.fan_in(), "input width mismatch");
+        let z = x.matmul_transpose(&self.weights).add_row_broadcast(&self.bias);
+        let y = self.activation.forward(&z);
+        let cache = DenseCache {
+            input: x.clone(),
+            output: y.clone(),
+        };
+        (y, cache)
+    }
+
+    /// Forward pass without caching (inference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.fan_in()`.
+    #[must_use]
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.fan_in(), "input width mismatch");
+        let z = x.matmul_transpose(&self.weights).add_row_broadcast(&self.bias);
+        self.activation.forward(&z)
+    }
+
+    /// Backward pass: given the cache and `d_out = ∂L/∂y`, returns
+    /// `(∂L/∂x, parameter gradients)`.
+    #[must_use]
+    pub fn backward(&self, cache: &DenseCache, d_out: &Matrix) -> (Matrix, DenseGrads) {
+        let d_z = self.activation.backward(&cache.output, d_out);
+        // z = x · Wᵀ + b  ⇒  dW = d_zᵀ · x, db = column sums, dx = d_z · W.
+        let d_weights = d_z.transpose_matmul(&cache.input);
+        let d_bias = d_z.column_sums();
+        let d_input = d_z.matmul(&self.weights);
+        (
+            d_input,
+            DenseGrads { d_weights, d_bias },
+        )
+    }
+
+    /// Immutable views of the parameter buffers: `[weights, bias]`.
+    #[must_use]
+    pub fn params(&self) -> [&[f64]; 2] {
+        [self.weights.as_slice(), &self.bias]
+    }
+
+    /// Mutable views of the parameter buffers: `[weights, bias]`.
+    pub fn params_mut(&mut self) -> [&mut [f64]; 2] {
+        [self.weights.as_mut_slice(), &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let layer = Dense::new(3, 5, Activation::Relu, &mut rng());
+        let x = Matrix::zeros(4, 3);
+        let (y, _) = layer.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (4, 5));
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let layer = Dense::new(3, 2, Activation::Tanh, &mut rng());
+        let x = Matrix::from_rows(&[&[0.1, -0.4, 0.7]]);
+        let (y, _) = layer.forward(&x);
+        assert_eq!(layer.infer(&x), y);
+    }
+
+    /// Finite-difference check of every gradient a Dense layer produces.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut layer = Dense::new(3, 2, Activation::Tanh, &mut rng());
+        let x = Matrix::from_rows(&[&[0.5, -0.3, 0.8], &[-0.1, 0.9, 0.2]]);
+        let d_out = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 0.25]]);
+
+        let (_, cache) = layer.forward(&x);
+        let (d_input, grads) = layer.backward(&cache, &d_out);
+
+        let loss = |l: &Dense, x: &Matrix| -> f64 {
+            let y = l.infer(x);
+            y.as_slice()
+                .iter()
+                .zip(d_out.as_slice())
+                .map(|(&a, &b)| a * b)
+                .sum()
+        };
+        let eps = 1e-6;
+
+        // Weight gradients.
+        for i in 0..layer.weights.as_slice().len() {
+            let orig = layer.weights.as_slice()[i];
+            layer.weights.as_mut_slice()[i] = orig + eps;
+            let lp = loss(&layer, &x);
+            layer.weights.as_mut_slice()[i] = orig - eps;
+            let lm = loss(&layer, &x);
+            layer.weights.as_mut_slice()[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grads.d_weights.as_slice()[i];
+            assert!((numeric - analytic).abs() < 1e-5, "dW[{i}]");
+        }
+
+        // Bias gradients.
+        for i in 0..layer.bias.len() {
+            let orig = layer.bias[i];
+            layer.bias[i] = orig + eps;
+            let lp = loss(&layer, &x);
+            layer.bias[i] = orig - eps;
+            let lm = loss(&layer, &x);
+            layer.bias[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grads.d_bias[i]).abs() < 1e-5, "db[{i}]");
+        }
+
+        // Input gradients.
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut xp = x.clone();
+                let mut xm = x.clone();
+                xp.set(r, c, x.get(r, c) + eps);
+                xm.set(r, c, x.get(r, c) - eps);
+                let numeric = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * eps);
+                assert!((numeric - d_input.get(r, c)).abs() < 1e-5, "dx[{r},{c}]");
+            }
+        }
+    }
+
+    #[test]
+    fn he_init_scales_with_fan_in() {
+        let wide = Dense::new(1000, 10, Activation::Relu, &mut rng());
+        let narrow = Dense::new(10, 10, Activation::Relu, &mut rng());
+        let wide_norm = wide.weights.frobenius_norm() / (wide.weights.as_slice().len() as f64).sqrt();
+        let narrow_norm =
+            narrow.weights.frobenius_norm() / (narrow.weights.as_slice().len() as f64).sqrt();
+        assert!(wide_norm < narrow_norm);
+    }
+
+    #[test]
+    fn params_expose_all_buffers() {
+        let layer = Dense::new(4, 3, Activation::Linear, &mut rng());
+        let [w, b] = layer.params();
+        assert_eq!(w.len(), 12);
+        assert_eq!(b.len(), 3);
+        assert_eq!(layer.num_params(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
+        let layer = Dense::new(3, 2, Activation::Linear, &mut rng());
+        let _ = layer.infer(&Matrix::zeros(1, 4));
+    }
+}

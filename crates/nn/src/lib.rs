@@ -1,0 +1,50 @@
+//! A minimal dense neural-network library.
+//!
+//! This crate replaces TensorFlow in the MIRAS reproduction. It implements
+//! exactly what the paper's models need (§IV-C, §IV-D):
+//!
+//! * row-major [`Matrix`] math over `f64`,
+//! * fully connected [`Dense`] layers with ReLU / tanh / softmax / linear
+//!   activations ([`Activation`]),
+//! * multi-layer perceptrons ([`Mlp`]) with forward, backward, and
+//!   mean-squared-error training,
+//! * [`Adam`] and [`Sgd`] optimizers with gradient clipping,
+//! * parameter-space utilities used by DDPG: Gaussian parameter
+//!   perturbation ([`Mlp::add_parameter_noise`]) and Polyak soft target
+//!   updates ([`Mlp::soft_update_from`]),
+//! * serde serialization of trained models.
+//!
+//! # Examples
+//!
+//! Fit `y = 2x` with a tiny network:
+//!
+//! ```
+//! use nn::{Activation, Adam, Matrix, Mlp};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+//! let mut net = Mlp::new(&[1, 16, 1], Activation::Relu, Activation::Linear, &mut rng);
+//! let mut opt = Adam::new(1e-2);
+//! let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+//! let y = Matrix::from_rows(&[&[0.0], &[2.0], &[4.0], &[6.0]]);
+//! for _ in 0..500 {
+//!     net.train_mse(&x, &y, &mut opt);
+//! }
+//! let pred = net.forward(&Matrix::from_rows(&[&[1.5]]));
+//! assert!((pred.get(0, 0) - 3.0).abs() < 0.3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+mod layer;
+mod matrix;
+mod network;
+mod optimizer;
+
+pub use activation::Activation;
+pub use layer::{Dense, DenseCache, DenseGrads};
+pub use matrix::Matrix;
+pub use network::Mlp;
+pub use optimizer::{Adam, Optimizer, Sgd};

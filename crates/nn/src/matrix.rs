@@ -1,0 +1,534 @@
+//! Row-major dense matrices over `f64`.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major matrix of `f64`.
+///
+/// Rows are samples, columns are features — the layout every layer in this
+/// crate assumes.
+///
+/// # Examples
+///
+/// ```
+/// use nn::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::identity(2);
+/// assert_eq!(a.matmul(&b), a);
+/// assert_eq!(a.transpose().get(0, 1), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match shape");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths or the input is empty.
+    #[must_use]
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// A `1 × n` matrix holding one sample.
+    #[must_use]
+    pub fn row_vector(values: &[f64]) -> Self {
+        Matrix::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, value: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    #[must_use]
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop streaming over contiguous
+        // memory in both `rhs` and `out`.
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · rhs` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    #[must_use]
+    pub fn transpose_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "row counts must agree");
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for r in 0..self.rows {
+            let left = &self.data[r * self.cols..(r + 1) * self.cols];
+            let right = &rhs.data[r * rhs.cols..(r + 1) * rhs.cols];
+            for (i, &a) in left.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(right) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · rhsᵀ` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    #[must_use]
+    pub fn matmul_transpose(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "column counts must agree");
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let left = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..rhs.rows {
+                let right = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                let mut acc = 0.0;
+                for (&a, &b) in left.iter().zip(right) {
+                    acc += a * b;
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// The transposed matrix.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a * b)
+                .collect(),
+        }
+    }
+
+    /// Scales every element by `s`.
+    #[must_use]
+    pub fn scale(&self, s: f64) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// Adds `bias` (length = cols) to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != self.cols()`.
+    #[must_use]
+    pub fn add_row_broadcast(&self, bias: &[f64]) -> Matrix {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (v, &b) in out.row_mut(r).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+        out
+    }
+
+    /// Column sums as a vector of length `cols`.
+    #[must_use]
+    pub fn column_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (s, &v) in sums.iter_mut().zip(self.row(r)) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Mean of all elements; zero for an empty matrix.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f64>() / self.data.len() as f64
+        }
+    }
+
+    /// The Frobenius norm.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Stacks matrices vertically (same column count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or mismatched column counts.
+    #[must_use]
+    pub fn vstack(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "nothing to stack");
+        let cols = parts[0].cols;
+        let mut data = Vec::new();
+        let mut rows = 0;
+        for p in parts {
+            assert_eq!(p.cols, cols, "column mismatch in vstack");
+            data.extend_from_slice(&p.data);
+            rows += p.rows;
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Concatenates matrices horizontally (same row count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or mismatched row counts.
+    #[must_use]
+    pub fn hconcat(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "nothing to concatenate");
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let mut offset = 0;
+            for p in parts {
+                assert_eq!(p.rows, rows, "row mismatch in hconcat");
+                out.data[r * cols + offset..r * cols + offset + p.cols]
+                    .copy_from_slice(p.row(r));
+                offset += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Returns the sub-matrix of columns `[start, start + width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the column count.
+    #[must_use]
+    pub fn columns(&self, start: usize, width: usize) -> Matrix {
+        assert!(start + width <= self.cols, "column range out of bounds");
+        let mut out = Matrix::zeros(self.rows, width);
+        for r in 0..self.rows {
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r)[start..start + width]);
+        }
+        out
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f64) -> Matrix {
+        self.scale(s)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ... ({} more rows)", self.rows - 8)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn transpose_matmul_equals_explicit() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0]]);
+        assert_eq!(a.transpose_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_transpose_equals_explicit() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0]]);
+        assert_eq!(a.matmul_transpose(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_rows(&[&[1.5, -2.0, 0.5]]);
+        assert_eq!(a.matmul(&Matrix::identity(3)), a);
+    }
+
+    #[test]
+    fn hconcat_and_columns_round_trip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0], &[6.0]]);
+        let joined = Matrix::hconcat(&[&a, &b]);
+        assert_eq!(joined.cols(), 3);
+        assert_eq!(joined.columns(0, 2), a);
+        assert_eq!(joined.columns(2, 1), b);
+    }
+
+    #[test]
+    fn vstack_stacks_rows() {
+        let a = Matrix::row_vector(&[1.0, 2.0]);
+        let b = Matrix::row_vector(&[3.0, 4.0]);
+        let s = Matrix::vstack(&[&a, &b]);
+        assert_eq!(s, Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+    }
+
+    #[test]
+    fn broadcast_and_column_sums() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let biased = a.add_row_broadcast(&[10.0, 20.0]);
+        assert_eq!(biased, Matrix::from_rows(&[&[11.0, 22.0], &[13.0, 24.0]]));
+        assert_eq!(a.column_sums(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 5.0]]);
+        assert_eq!(&a + &b, Matrix::from_rows(&[&[4.0, 7.0]]));
+        assert_eq!(&b - &a, Matrix::from_rows(&[&[2.0, 3.0]]));
+        assert_eq!(&a * 2.0, Matrix::from_rows(&[&[2.0, 4.0]]));
+        assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[3.0, 10.0]]));
+    }
+
+    #[test]
+    fn norms_and_means() {
+        let a = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert!((a.mean() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions must agree")]
+    fn mismatched_matmul_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer does not match shape")]
+    fn bad_from_vec_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,475 @@
+//! Multi-layer perceptrons.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::{Activation, Dense, DenseCache, DenseGrads, Matrix, Optimizer};
+
+/// A multi-layer perceptron: a stack of [`Dense`] layers.
+///
+/// All hidden layers share one activation; the output layer has its own
+/// (the paper's models use ReLU hidden layers with linear outputs for the
+/// environment model and critic, and a softmax output for the actor).
+///
+/// # Examples
+///
+/// ```
+/// use nn::{Activation, Matrix, Mlp};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let net = Mlp::new(&[4, 20, 20, 4], Activation::Relu, Activation::Linear, &mut rng);
+/// assert_eq!(net.input_dim(), 4);
+/// assert_eq!(net.output_dim(), 4);
+/// let y = net.forward(&Matrix::zeros(2, 4));
+/// assert_eq!((y.rows(), y.cols()), (2, 4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, e.g. `&[4, 20, 20, 4]` for
+    /// two 20-neuron hidden layers between a 4-dim input and 4-dim output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(
+        sizes: &[usize],
+        hidden: Activation,
+        output: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let last = sizes.len() - 2;
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i == last { output } else { hidden };
+                Dense::new(w[0], w[1], act, rng)
+            })
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Builds an MLP from explicit layers (used by composite architectures
+    /// such as the paper's critic, which injects the action at a middle
+    /// layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive widths do not match.
+    #[must_use]
+    pub fn from_layers(layers: Vec<Dense>) -> Self {
+        assert!(!layers.is_empty(), "need at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].fan_out(),
+                pair[1].fan_in(),
+                "consecutive layer widths must match"
+            );
+        }
+        Mlp { layers }
+    }
+
+    /// Input dimensionality.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].fan_in()
+    }
+
+    /// Output dimensionality.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].fan_out()
+    }
+
+    /// The stacked layers.
+    #[must_use]
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Total number of trainable parameters.
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Dense::num_params).sum()
+    }
+
+    /// Inference forward pass.
+    #[must_use]
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.infer(&h);
+        }
+        h
+    }
+
+    /// Forward pass for a single sample given as a slice.
+    #[must_use]
+    pub fn forward_one(&self, x: &[f64]) -> Vec<f64> {
+        self.forward(&Matrix::row_vector(x)).row(0).to_vec()
+    }
+
+    /// Forward pass that records per-layer caches for [`Mlp::backward`].
+    #[must_use]
+    pub fn forward_cached(&self, x: &Matrix) -> (Matrix, Vec<DenseCache>) {
+        let mut h = x.clone();
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let (out, cache) = layer.forward(&h);
+            caches.push(cache);
+            h = out;
+        }
+        (h, caches)
+    }
+
+    /// Backward pass: given caches from [`Mlp::forward_cached`] and the loss
+    /// gradient at the output, returns the gradient at the input and the
+    /// per-layer parameter gradients (in layer order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caches.len()` differs from the number of layers.
+    #[must_use]
+    pub fn backward(
+        &self,
+        caches: &[DenseCache],
+        d_out: &Matrix,
+    ) -> (Matrix, Vec<DenseGrads>) {
+        assert_eq!(caches.len(), self.layers.len(), "cache count mismatch");
+        let mut grads: Vec<Option<DenseGrads>> = (0..self.layers.len()).map(|_| None).collect();
+        let mut d = d_out.clone();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let (d_in, g) = layer.backward(&caches[i], &d);
+            grads[i] = Some(g);
+            d = d_in;
+        }
+        (d, grads.into_iter().map(|g| g.expect("filled")).collect())
+    }
+
+    /// Gradient of `Σ d_out ⊙ f(x)` with respect to the input `x` —
+    /// used by DDPG to compute `∂Q/∂a` through the critic.
+    #[must_use]
+    pub fn input_gradient(&self, x: &Matrix, d_out: &Matrix) -> Matrix {
+        let (_, caches) = self.forward_cached(x);
+        let (d_in, _) = self.backward(&caches, d_out);
+        d_in
+    }
+
+    /// Applies parameter gradients with the optimizer, honouring its global
+    /// gradient-norm clip if configured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len()` differs from the number of layers.
+    pub fn apply_gradients<O: Optimizer>(&mut self, grads: &[DenseGrads], opt: &mut O) {
+        assert_eq!(grads.len(), self.layers.len(), "gradient count mismatch");
+        let scale = match opt.clip_norm() {
+            Some(clip) => {
+                let norm_sq: f64 = grads
+                    .iter()
+                    .map(|g| {
+                        g.d_weights.as_slice().iter().map(|&v| v * v).sum::<f64>()
+                            + g.d_bias.iter().map(|&v| v * v).sum::<f64>()
+                    })
+                    .sum();
+                let norm = norm_sq.sqrt();
+                if norm > clip {
+                    clip / norm
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
+        for (i, (layer, g)) in self.layers.iter_mut().zip(grads).enumerate() {
+            let [w, b] = layer.params_mut();
+            let dw: Vec<f64> = g.d_weights.as_slice().iter().map(|&v| v * scale).collect();
+            let db: Vec<f64> = g.d_bias.iter().map(|&v| v * scale).collect();
+            opt.update(2 * i, w, &dw);
+            opt.update(2 * i + 1, b, &db);
+        }
+    }
+
+    /// One step of mean-squared-error training on a batch; returns the MSE
+    /// before the update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` row counts differ or `y.cols()` differs from
+    /// the output dimension.
+    pub fn train_mse<O: Optimizer>(&mut self, x: &Matrix, y: &Matrix, opt: &mut O) -> f64 {
+        assert_eq!(x.rows(), y.rows(), "sample count mismatch");
+        assert_eq!(y.cols(), self.output_dim(), "target width mismatch");
+        let (pred, caches) = self.forward_cached(x);
+        let diff = &pred - y;
+        let n = (x.rows() * y.cols()) as f64;
+        let loss = diff.as_slice().iter().map(|&v| v * v).sum::<f64>() / n;
+        // d(MSE)/d(pred) = 2 (pred − y) / n
+        let d_out = diff.scale(2.0 / n);
+        let (_, grads) = self.backward(&caches, &d_out);
+        self.apply_gradients(&grads, opt);
+        loss
+    }
+
+    /// Mean-squared error of predictions on a batch (no update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent (see [`Mlp::train_mse`]).
+    #[must_use]
+    pub fn mse(&self, x: &Matrix, y: &Matrix) -> f64 {
+        assert_eq!(x.rows(), y.rows(), "sample count mismatch");
+        let pred = self.forward(x);
+        let diff = &pred - y;
+        diff.as_slice().iter().map(|&v| v * v).sum::<f64>()
+            / (x.rows() * y.cols()) as f64
+    }
+
+    /// Adds i.i.d. Gaussian noise with standard deviation `sigma` to every
+    /// parameter — the perturbation primitive behind parameter-space
+    /// exploration (Plappert et al., used by the paper in §IV-D).
+    pub fn add_parameter_noise<R: Rng + ?Sized>(&mut self, sigma: f64, rng: &mut R) {
+        if sigma <= 0.0 {
+            return;
+        }
+        let normal = Normal::new(0.0, sigma).expect("valid sigma");
+        for layer in &mut self.layers {
+            for buf in layer.params_mut() {
+                for p in buf.iter_mut() {
+                    *p += normal.sample(rng);
+                }
+            }
+        }
+    }
+
+    /// Polyak soft update: `θ ← τ·θ_src + (1 − τ)·θ` (DDPG target networks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architectures differ.
+    pub fn soft_update_from(&mut self, src: &Mlp, tau: f64) {
+        assert_eq!(
+            self.layers.len(),
+            src.layers.len(),
+            "architecture mismatch"
+        );
+        for (dst, s) in self.layers.iter_mut().zip(&src.layers) {
+            let src_params = s.params();
+            for (dbuf, sbuf) in dst.params_mut().into_iter().zip(src_params) {
+                assert_eq!(dbuf.len(), sbuf.len(), "architecture mismatch");
+                for (d, &v) in dbuf.iter_mut().zip(sbuf) {
+                    *d = tau * v + (1.0 - tau) * *d;
+                }
+            }
+        }
+    }
+
+    /// Copies all parameters from `src` (τ = 1 soft update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architectures differ.
+    pub fn copy_params_from(&mut self, src: &Mlp) {
+        self.soft_update_from(src, 1.0);
+    }
+
+    /// Flattens all parameters into one vector (diagnostics and distance
+    /// computations).
+    #[must_use]
+    pub fn flat_params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for layer in &self.layers {
+            for buf in layer.params() {
+                out.extend_from_slice(buf);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let mut net = Mlp::new(
+            &[2, 16, 1],
+            Activation::Relu,
+            Activation::Linear,
+            &mut rng(0),
+        );
+        let mut opt = crate::Adam::new(5e-3);
+        let mut r = rng(1);
+        for _ in 0..800 {
+            let rows: Vec<Vec<f64>> = (0..16)
+                .map(|_| vec![r.gen_range(-1.0..1.0), r.gen_range(-1.0..1.0)])
+                .collect();
+            let x = Matrix::from_rows(&rows.iter().map(|v| v.as_slice()).collect::<Vec<_>>());
+            let y_rows: Vec<Vec<f64>> =
+                rows.iter().map(|v| vec![3.0 * v[0] - 2.0 * v[1]]).collect();
+            let y = Matrix::from_rows(&y_rows.iter().map(|v| v.as_slice()).collect::<Vec<_>>());
+            net.train_mse(&x, &y, &mut opt);
+        }
+        let test = Matrix::from_rows(&[&[0.5, -0.5]]);
+        let pred = net.forward(&test).get(0, 0);
+        assert!((pred - 2.5).abs() < 0.2, "pred = {pred}");
+    }
+
+    #[test]
+    fn backward_input_gradient_matches_finite_diff() {
+        let net = Mlp::new(
+            &[3, 8, 2],
+            Activation::Tanh,
+            Activation::Linear,
+            &mut rng(2),
+        );
+        let x = Matrix::from_rows(&[&[0.3, -0.7, 0.1]]);
+        let d_out = Matrix::from_rows(&[&[1.0, -0.5]]);
+        let analytic = net.input_gradient(&x, &d_out);
+        let eps = 1e-6;
+        for c in 0..3 {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            xp.set(0, c, x.get(0, c) + eps);
+            xm.set(0, c, x.get(0, c) - eps);
+            let f = |m: &Matrix| -> f64 {
+                net.forward(m)
+                    .row(0)
+                    .iter()
+                    .zip(d_out.row(0))
+                    .map(|(&a, &b)| a * b)
+                    .sum()
+            };
+            let numeric = (f(&xp) - f(&xm)) / (2.0 * eps);
+            assert!((numeric - analytic.get(0, c)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn soft_update_converges_to_source() {
+        let mut a = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Linear, &mut rng(3));
+        let b = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Linear, &mut rng(4));
+        for _ in 0..200 {
+            a.soft_update_from(&b, 0.1);
+        }
+        let diff: f64 = a
+            .flat_params()
+            .iter()
+            .zip(b.flat_params())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max);
+        assert!(diff < 1e-6);
+    }
+
+    #[test]
+    fn copy_params_is_exact() {
+        let mut a = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Linear, &mut rng(5));
+        let b = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Linear, &mut rng(6));
+        a.copy_params_from(&b);
+        assert_eq!(a.flat_params(), b.flat_params());
+    }
+
+    #[test]
+    fn parameter_noise_perturbs_all_layers() {
+        let clean = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Linear, &mut rng(7));
+        let mut noisy = clean.clone();
+        noisy.add_parameter_noise(0.1, &mut rng(8));
+        let changed = clean
+            .flat_params()
+            .iter()
+            .zip(noisy.flat_params())
+            .filter(|(a, b)| (*a - *b).abs() > 1e-12)
+            .count();
+        assert_eq!(changed, clean.num_params());
+    }
+
+    #[test]
+    fn zero_sigma_noise_is_identity() {
+        let clean = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Linear, &mut rng(9));
+        let mut noisy = clean.clone();
+        noisy.add_parameter_noise(0.0, &mut rng(10));
+        assert_eq!(clean.flat_params(), noisy.flat_params());
+    }
+
+    #[test]
+    fn gradient_clipping_bounds_update() {
+        let mut net = Mlp::new(&[1, 1], Activation::Linear, Activation::Linear, &mut rng(11));
+        let before = net.flat_params();
+        let mut opt = crate::Sgd::new(1.0).with_clip_norm(1e-3);
+        // Enormous targets produce enormous gradients; the clip bounds them.
+        let x = Matrix::row_vector(&[1.0]);
+        let y = Matrix::row_vector(&[1e9]);
+        let _ = net.train_mse(&x, &y, &mut opt);
+        let after = net.flat_params();
+        let step: f64 = before
+            .iter()
+            .zip(&after)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(step <= 1.1e-3, "step = {step}");
+    }
+
+    #[test]
+    fn mse_decreases_during_training() {
+        let mut net = Mlp::new(&[1, 8, 1], Activation::Relu, Activation::Linear, &mut rng(12));
+        let x = Matrix::from_rows(&[&[-1.0], &[0.0], &[1.0], &[2.0]]);
+        let y = Matrix::from_rows(&[&[-2.0], &[0.0], &[2.0], &[4.0]]);
+        let mut opt = crate::Adam::new(1e-2);
+        let before = net.mse(&x, &y);
+        for _ in 0..300 {
+            net.train_mse(&x, &y, &mut opt);
+        }
+        let after = net.mse(&x, &y);
+        assert!(after < before * 0.1, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn from_layers_validates_widths() {
+        let l1 = Dense::new(2, 4, Activation::Relu, &mut rng(13));
+        let l2 = Dense::new(4, 1, Activation::Linear, &mut rng(14));
+        let net = Mlp::from_layers(vec![l1, l2]);
+        assert_eq!(net.input_dim(), 2);
+        assert_eq!(net.output_dim(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive layer widths must match")]
+    fn from_layers_rejects_mismatch() {
+        let l1 = Dense::new(2, 4, Activation::Relu, &mut rng(15));
+        let l2 = Dense::new(3, 1, Activation::Linear, &mut rng(16));
+        let _ = Mlp::from_layers(vec![l1, l2]);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let net = Mlp::new(&[3, 10, 2], Activation::Relu, Activation::Linear, &mut rng(17));
+        let json = serde_json::to_string(&net).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        let x = Matrix::from_rows(&[&[0.1, 0.2, 0.3]]);
+        // serde_json float parsing may differ in the last ulp.
+        for (a, b) in net
+            .forward(&x)
+            .as_slice()
+            .iter()
+            .zip(back.forward(&x).as_slice())
+        {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+}

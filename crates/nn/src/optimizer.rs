@@ -1,0 +1,261 @@
+//! Gradient-descent optimizers.
+
+use serde::{Deserialize, Serialize};
+
+/// A first-order optimizer that updates parameter buffers in place.
+///
+/// Buffers are identified by a stable `slot` index assigned by the caller
+/// (e.g. layer 0's weights are slot 0, its bias slot 1, …); stateful
+/// optimizers ([`Adam`]) keep per-slot moment estimates.
+pub trait Optimizer {
+    /// Applies one update step to `params` given `grads`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `params.len() != grads.len()`.
+    fn update(&mut self, slot: usize, params: &mut [f64], grads: &[f64]);
+
+    /// The global norm above which gradients are scaled down, if any.
+    fn clip_norm(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Plain stochastic gradient descent.
+///
+/// # Examples
+///
+/// ```
+/// use nn::{Optimizer, Sgd};
+///
+/// let mut opt = Sgd::new(0.1);
+/// let mut params = [1.0, 2.0];
+/// opt.update(0, &mut params, &[10.0, -10.0]);
+/// assert_eq!(params, [0.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    learning_rate: f64,
+    clip: Option<f64>,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the learning rate is not positive and finite.
+    #[must_use]
+    pub fn new(learning_rate: f64) -> Self {
+        assert!(
+            learning_rate.is_finite() && learning_rate > 0.0,
+            "learning rate must be positive"
+        );
+        Sgd {
+            learning_rate,
+            clip: None,
+        }
+    }
+
+    /// Enables global-norm gradient clipping.
+    #[must_use]
+    pub fn with_clip_norm(mut self, clip: f64) -> Self {
+        self.clip = Some(clip);
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn update(&mut self, _slot: usize, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "parameter/gradient mismatch");
+        for (p, &g) in params.iter_mut().zip(grads) {
+            *p -= self.learning_rate * g;
+        }
+    }
+
+    fn clip_norm(&self) -> Option<f64> {
+        self.clip
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba) with bias-corrected moment estimates.
+///
+/// # Examples
+///
+/// ```
+/// use nn::{Adam, Optimizer};
+///
+/// let mut opt = Adam::new(1e-3);
+/// let mut params = [0.5];
+/// for _ in 0..100 {
+///     // Gradient of (p - 1)^2 is 2(p - 1): Adam walks p toward 1.
+///     let g = 2.0 * (params[0] - 1.0);
+///     opt.update(0, &mut params, &[g]);
+/// }
+/// assert!(params[0] > 0.55);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    learning_rate: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    clip: Option<f64>,
+    /// Per-slot first/second moment buffers and step counters.
+    state: Vec<AdamSlot>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+struct AdamSlot {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and standard defaults
+    /// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the learning rate is not positive and finite.
+    #[must_use]
+    pub fn new(learning_rate: f64) -> Self {
+        assert!(
+            learning_rate.is_finite() && learning_rate > 0.0,
+            "learning rate must be positive"
+        );
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            clip: None,
+            state: Vec::new(),
+        }
+    }
+
+    /// Enables global-norm gradient clipping.
+    #[must_use]
+    pub fn with_clip_norm(mut self, clip: f64) -> Self {
+        self.clip = Some(clip);
+        self
+    }
+
+    /// The configured learning rate.
+    #[must_use]
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// Drops all moment state (e.g. when reusing the optimizer for a new
+    /// network).
+    pub fn reset_state(&mut self) {
+        self.state.clear();
+    }
+}
+
+impl Optimizer for Adam {
+    fn update(&mut self, slot: usize, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "parameter/gradient mismatch");
+        if self.state.len() <= slot {
+            self.state.resize_with(slot + 1, AdamSlot::default);
+        }
+        let s = &mut self.state[slot];
+        if s.m.len() != params.len() {
+            s.m = vec![0.0; params.len()];
+            s.v = vec![0.0; params.len()];
+            s.t = 0;
+        }
+        s.t += 1;
+        let bias1 = 1.0 - self.beta1.powi(s.t as i32);
+        let bias2 = 1.0 - self.beta2.powi(s.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            s.m[i] = self.beta1 * s.m[i] + (1.0 - self.beta1) * g;
+            s.v[i] = self.beta2 * s.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = s.m[i] / bias1;
+            let v_hat = s.v[i] / bias2;
+            params[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+
+    fn clip_norm(&self) -> Option<f64> {
+        self.clip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = [5.0];
+        for _ in 0..200 {
+            let g = 2.0 * p[0];
+            opt.update(0, &mut p, &[g]);
+        }
+        assert!(p[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut opt = Adam::new(0.05);
+        let mut p = [5.0];
+        for _ in 0..2000 {
+            let g = 2.0 * p[0];
+            opt.update(0, &mut p, &[g]);
+        }
+        assert!(p[0].abs() < 1e-3, "p = {}", p[0]);
+    }
+
+    #[test]
+    fn adam_slots_are_independent() {
+        let mut opt = Adam::new(0.1);
+        let mut a = [1.0];
+        let mut b = [1.0];
+        // Slot 0 takes many steps; slot 1 takes one. If their moments were
+        // shared, b's step size would be wrong.
+        for _ in 0..10 {
+            opt.update(0, &mut a, &[1.0]);
+        }
+        opt.update(1, &mut b, &[1.0]);
+        let first_step = 1.0 - b[0];
+        // Adam's first bias-corrected step equals the learning rate.
+        assert!((first_step - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adam_handles_resized_buffers() {
+        let mut opt = Adam::new(0.1);
+        let mut small = [1.0];
+        opt.update(0, &mut small, &[1.0]);
+        let mut large = [1.0, 2.0];
+        // Same slot, new shape: state resets instead of panicking.
+        opt.update(0, &mut large, &[1.0, 1.0]);
+        assert!(large[0] < 1.0 && large[1] < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn zero_learning_rate_panics() {
+        let _ = Adam::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter/gradient mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = [0.0];
+        opt.update(0, &mut p, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn clip_norm_is_exposed() {
+        assert_eq!(Sgd::new(0.1).clip_norm(), None);
+        assert_eq!(Sgd::new(0.1).with_clip_norm(5.0).clip_norm(), Some(5.0));
+        assert_eq!(Adam::new(0.1).with_clip_norm(1.0).clip_norm(), Some(1.0));
+    }
+}

@@ -1,0 +1,872 @@
+//! Deep deterministic policy gradient with parameter-space exploration.
+
+use nn::{Activation, Adam, Matrix, Mlp};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::policy::project_to_simplex;
+use crate::{AdaptiveParamNoise, OrnsteinUhlenbeck, ReplayBuffer, RunningNorm, StoredTransition};
+
+/// The critic `Q(s, a)` with the paper's architecture: the action is
+/// injected at the *second* hidden layer (§VI-A3 — "we insert one of
+/// Critic's inputs — action — to the second layer").
+///
+/// Internally this is a one-layer trunk over the state followed by a head
+/// over `[trunk(s) ‖ a]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Critic {
+    trunk: Mlp,
+    head: Mlp,
+    action_dim: usize,
+}
+
+impl Critic {
+    /// Creates a critic with hidden widths `hidden` (e.g. `[256, 256, 256]`
+    /// for the paper's MSD critic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is empty or any dimension is zero.
+    #[must_use]
+    pub fn new<R: rand::Rng + ?Sized>(
+        state_dim: usize,
+        action_dim: usize,
+        hidden: &[usize],
+        rng: &mut R,
+    ) -> Self {
+        assert!(!hidden.is_empty(), "critic needs at least one hidden layer");
+        // Trunk: state → first hidden layer.
+        let trunk = Mlp::new(
+            &[state_dim, hidden[0]],
+            Activation::Relu,
+            Activation::Relu,
+            rng,
+        );
+        // Head: [h1 ‖ a] → remaining hidden layers → scalar Q.
+        let mut sizes = vec![hidden[0] + action_dim];
+        sizes.extend_from_slice(&hidden[1..]);
+        sizes.push(1);
+        let head = Mlp::new(&sizes, Activation::Relu, Activation::Linear, rng);
+        Critic {
+            trunk,
+            head,
+            action_dim,
+        }
+    }
+
+    /// Q-values for a batch of `(state, action)` pairs, shape `(batch, 1)`.
+    #[must_use]
+    pub fn q(&self, states: &Matrix, actions: &Matrix) -> Matrix {
+        let h = self.trunk.forward(states);
+        let z = Matrix::hconcat(&[&h, actions]);
+        self.head.forward(&z)
+    }
+
+    /// One MSE training step toward `targets`; returns the loss before the
+    /// update.
+    pub fn train(
+        &mut self,
+        states: &Matrix,
+        actions: &Matrix,
+        targets: &Matrix,
+        trunk_opt: &mut Adam,
+        head_opt: &mut Adam,
+    ) -> f64 {
+        let (h, trunk_caches) = self.trunk.forward_cached(states);
+        let z = Matrix::hconcat(&[&h, actions]);
+        let (q, head_caches) = self.head.forward_cached(&z);
+        let diff = &q - targets;
+        let n = q.rows() as f64;
+        let loss = diff.as_slice().iter().map(|&v| v * v).sum::<f64>() / n;
+        let d_q = diff.scale(2.0 / n);
+        let (d_z, head_grads) = self.head.backward(&head_caches, &d_q);
+        let d_h = d_z.columns(0, h.cols());
+        let (_, trunk_grads) = self.trunk.backward(&trunk_caches, &d_h);
+        self.head.apply_gradients(&head_grads, head_opt);
+        self.trunk.apply_gradients(&trunk_grads, trunk_opt);
+        loss
+    }
+
+    /// `∂Q/∂a` for each sample — the deterministic-policy-gradient term.
+    #[must_use]
+    pub fn action_gradient(&self, states: &Matrix, actions: &Matrix) -> Matrix {
+        let h = self.trunk.forward(states);
+        let z = Matrix::hconcat(&[&h, actions]);
+        let ones = Matrix::from_vec(z.rows(), 1, vec![1.0; z.rows()]);
+        let d_z = self.head.input_gradient(&z, &ones);
+        d_z.columns(h.cols(), self.action_dim)
+    }
+
+    /// Polyak update toward `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if architectures differ.
+    pub fn soft_update_from(&mut self, src: &Critic, tau: f64) {
+        self.trunk.soft_update_from(&src.trunk, tau);
+        self.head.soft_update_from(&src.head, tau);
+    }
+}
+
+/// The exploration strategy used while collecting experience.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Exploration {
+    /// Parameter-space noise (the paper's choice, §IV-D): perturb a copy of
+    /// the actor's weights; adapt the scale so the induced action-space
+    /// distance tracks `delta`.
+    ParamNoise {
+        /// Initial perturbation standard deviation.
+        initial_sigma: f64,
+        /// Target action-space distance.
+        delta: f64,
+        /// Multiplicative adaption factor (> 1).
+        alpha: f64,
+        /// Re-perturb (and adapt) every this many exploratory actions.
+        resample_every: usize,
+    },
+    /// Ornstein–Uhlenbeck noise added to the action, then re-projected onto
+    /// the probability simplex — the classical DDPG exploration the paper
+    /// compares against.
+    ActionNoise {
+        /// Mean-reversion rate.
+        theta: f64,
+        /// Volatility.
+        sigma: f64,
+    },
+    /// No exploration: always act greedily.
+    Greedy,
+}
+
+/// DDPG hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DdpgConfig {
+    /// Hidden-layer widths shared by actor and critic (paper: `[256; 3]` for
+    /// MSD, `[512; 3]` for LIGO).
+    pub hidden: Vec<usize>,
+    /// Actor learning rate.
+    pub actor_lr: f64,
+    /// Critic learning rate.
+    pub critic_lr: f64,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Polyak target-update coefficient τ.
+    pub tau: f64,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Replay-buffer capacity.
+    pub buffer_capacity: usize,
+    /// Exploration strategy.
+    pub exploration: Exploration,
+    /// Global gradient-norm clip.
+    pub grad_clip: Option<f64>,
+    /// Rewards are multiplied by this factor before being stored in the
+    /// replay buffer. The paper's reward `1 − Σ w` reaches hundreds in
+    /// magnitude under bursts; scaling keeps critic targets well
+    /// conditioned without changing the optimal policy.
+    pub reward_scale: f64,
+    /// Standardise rewards with running statistics at batch-build time
+    /// (OpenAI Baselines' `normalize_returns` analogue). The WIP reward
+    /// spans two orders of magnitude between steady state and burst
+    /// recovery; a fixed scale cannot condition the critic across both.
+    pub normalize_rewards: bool,
+    /// Train a second, independently initialised critic and use the
+    /// minimum of the two target critics when forming TD targets (the
+    /// clipped double-Q trick of TD3, Fujimoto et al.). Counters the value
+    /// overestimation vanilla DDPG is prone to; off by default to match the
+    /// paper's vanilla actor-critic.
+    pub twin_critic: bool,
+    /// Weight of the entropy bonus added to the actor objective
+    /// (maximise `Q + β·H(π(s))`). A softmax actor that saturates to a
+    /// one-hot vertex has a vanishing Jacobian — exploration noise can no
+    /// longer move it and learning stalls; the entropy term keeps the
+    /// policy off the vertices. Set to 0 to disable.
+    pub entropy_weight: f64,
+    /// RNG seed (weight init, sampling, noise).
+    pub seed: u64,
+}
+
+impl DdpgConfig {
+    /// The paper's configuration scaled to a hidden width (256 for MSD, 512
+    /// for LIGO).
+    #[must_use]
+    pub fn paper(hidden_width: usize, seed: u64) -> Self {
+        DdpgConfig {
+            hidden: vec![hidden_width; 3],
+            actor_lr: 1e-4,
+            critic_lr: 1e-3,
+            gamma: 0.95,
+            tau: 1e-2,
+            batch_size: 64,
+            buffer_capacity: 100_000,
+            exploration: Exploration::ParamNoise {
+                initial_sigma: 0.05,
+                delta: 0.1,
+                alpha: 1.01,
+                resample_every: 25,
+            },
+            grad_clip: Some(10.0),
+            reward_scale: 1.0,
+            normalize_rewards: true,
+            twin_critic: false,
+            entropy_weight: 2.0,
+            seed,
+        }
+    }
+
+    /// A tiny configuration for unit tests and doctests.
+    #[must_use]
+    pub fn small_test(seed: u64) -> Self {
+        DdpgConfig {
+            hidden: vec![16, 16],
+            actor_lr: 1e-3,
+            critic_lr: 1e-2,
+            gamma: 0.9,
+            tau: 0.05,
+            batch_size: 8,
+            buffer_capacity: 1_000,
+            exploration: Exploration::ParamNoise {
+                initial_sigma: 0.05,
+                delta: 0.1,
+                alpha: 1.01,
+                resample_every: 10,
+            },
+            grad_clip: Some(10.0),
+            reward_scale: 1.0,
+            normalize_rewards: false,
+            twin_critic: false,
+            entropy_weight: 0.01,
+            seed,
+        }
+    }
+}
+
+/// Statistics from one training step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainStats {
+    /// Critic MSE before the update.
+    pub critic_loss: f64,
+    /// Mean Q-value of the actor's actions on the minibatch.
+    pub mean_q: f64,
+}
+
+/// A DDPG agent (Lillicrap et al.) with the paper's constraint-aware actor
+/// and parameter-space exploration.
+///
+/// The actor's output layer is a softmax over action dimensions, so actions
+/// are always probability distributions; converting them into consumer
+/// counts (`m_j = ⌊C · a_j⌋`, [`crate::policy::allocation_floor`]) can never
+/// exceed the consumer budget.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct Ddpg {
+    actor: Mlp,
+    actor_target: Mlp,
+    perturbed_actor: Mlp,
+    critic: Critic,
+    critic_target: Critic,
+    critic2: Option<Critic>,
+    critic2_target: Option<Critic>,
+    actor_opt: Adam,
+    critic_trunk_opt: Adam,
+    critic_head_opt: Adam,
+    critic2_trunk_opt: Adam,
+    critic2_head_opt: Adam,
+    replay: ReplayBuffer,
+    config: DdpgConfig,
+    param_noise: Option<AdaptiveParamNoise>,
+    action_noise: Option<OrnsteinUhlenbeck>,
+    obs_norm: RunningNorm,
+    reward_norm: RunningNorm,
+    recent_states: Vec<Vec<f64>>,
+    steps_since_resample: usize,
+    rng: SmallRng,
+}
+
+/// Maximum number of recent states kept for parameter-noise adaption.
+const RECENT_STATES_CAP: usize = 128;
+
+impl Ddpg {
+    /// Creates an agent for `state_dim`-dimensional states and
+    /// `action_dim`-dimensional (simplex) actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the config is degenerate.
+    #[must_use]
+    pub fn new(state_dim: usize, action_dim: usize, config: DdpgConfig) -> Self {
+        assert!(state_dim > 0 && action_dim > 0, "dimensions must be positive");
+        assert!(config.batch_size > 0, "batch size must be positive");
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut actor_sizes = vec![state_dim];
+        actor_sizes.extend_from_slice(&config.hidden);
+        actor_sizes.push(action_dim);
+        let actor = Mlp::new(
+            &actor_sizes,
+            Activation::Relu,
+            Activation::Softmax,
+            &mut rng,
+        );
+        let critic = Critic::new(state_dim, action_dim, &config.hidden, &mut rng);
+        let critic2 = config
+            .twin_critic
+            .then(|| Critic::new(state_dim, action_dim, &config.hidden, &mut rng));
+        let actor_target = actor.clone();
+        let critic_target = critic.clone();
+        let critic2_target = critic2.clone();
+        let perturbed_actor = actor.clone();
+
+        let clip = config.grad_clip;
+        let mk = |lr: f64| match clip {
+            Some(c) => Adam::new(lr).with_clip_norm(c),
+            None => Adam::new(lr),
+        };
+
+        let (param_noise, action_noise) = match config.exploration {
+            Exploration::ParamNoise {
+                initial_sigma,
+                delta,
+                alpha,
+                ..
+            } => (
+                Some(AdaptiveParamNoise::new(initial_sigma, delta, alpha)),
+                None,
+            ),
+            Exploration::ActionNoise { theta, sigma } => {
+                (None, Some(OrnsteinUhlenbeck::new(action_dim, theta, sigma)))
+            }
+            Exploration::Greedy => (None, None),
+        };
+
+        let mut agent = Ddpg {
+            actor_opt: mk(config.actor_lr),
+            critic_trunk_opt: mk(config.critic_lr),
+            critic_head_opt: mk(config.critic_lr),
+            critic2_trunk_opt: mk(config.critic_lr),
+            critic2_head_opt: mk(config.critic_lr),
+            replay: ReplayBuffer::new(config.buffer_capacity),
+            actor,
+            actor_target,
+            perturbed_actor,
+            critic,
+            critic_target,
+            critic2,
+            critic2_target,
+            param_noise,
+            action_noise,
+            obs_norm: RunningNorm::new(state_dim),
+            reward_norm: RunningNorm::new(1),
+            recent_states: Vec::new(),
+            steps_since_resample: 0,
+            config,
+            rng,
+        };
+        agent.resample_perturbation();
+        agent
+    }
+
+    /// The greedy (deterministic) policy: a probability distribution over
+    /// action dimensions. States pass through the running observation
+    /// normaliser (as in OpenAI Baselines' DDPG, which the paper used).
+    #[must_use]
+    pub fn act(&self, state: &[f64]) -> Vec<f64> {
+        self.actor.forward_one(&self.obs_norm.normalize(state))
+    }
+
+    /// An exploratory action according to the configured strategy. The
+    /// result is always a valid distribution (action noise is projected back
+    /// onto the simplex).
+    pub fn act_exploratory(&mut self, state: &[f64]) -> Vec<f64> {
+        self.remember_state(state);
+        let z = self.obs_norm.normalize(state);
+        match &self.config.exploration {
+            Exploration::ParamNoise { resample_every, .. } => {
+                let resample_every = *resample_every;
+                self.steps_since_resample += 1;
+                if self.steps_since_resample >= resample_every {
+                    self.adapt_and_resample();
+                }
+                self.perturbed_actor.forward_one(&z)
+            }
+            Exploration::ActionNoise { .. } => {
+                let mut a = self.actor.forward_one(&z);
+                let noise = self
+                    .action_noise
+                    .as_mut()
+                    .expect("action noise configured")
+                    .sample(&mut self.rng);
+                for (ai, ni) in a.iter_mut().zip(&noise) {
+                    *ai += ni;
+                }
+                project_to_simplex(&a)
+            }
+            Exploration::Greedy => self.actor.forward_one(state),
+        }
+    }
+
+    /// The raw (pre-projection) noisy action for the exploration ablation:
+    /// with action noise this may leave the simplex — i.e. violate the
+    /// consumer budget. Returns the greedy action for other strategies.
+    pub fn act_exploratory_unprojected(&mut self, state: &[f64]) -> Vec<f64> {
+        match &self.config.exploration {
+            Exploration::ActionNoise { .. } => {
+                let mut a = self.actor.forward_one(&self.obs_norm.normalize(state));
+                let noise = self
+                    .action_noise
+                    .as_mut()
+                    .expect("action noise configured")
+                    .sample(&mut self.rng);
+                for (ai, ni) in a.iter_mut().zip(&noise) {
+                    *ai += ni;
+                }
+                a
+            }
+            _ => self.act_exploratory(state),
+        }
+    }
+
+    /// Records a transition in the replay buffer. The reward is scaled by
+    /// the configured `reward_scale` before storage.
+    pub fn observe(&mut self, state: &[f64], action: &[f64], reward: f64, next_state: &[f64]) {
+        self.obs_norm.update(state);
+        let scaled = reward * self.config.reward_scale;
+        self.reward_norm.update(&[scaled]);
+        self.replay.push(StoredTransition {
+            state: state.to_vec(),
+            action: action.to_vec(),
+            reward: scaled,
+            next_state: next_state.to_vec(),
+        });
+    }
+
+    /// Runs one minibatch update (critic, actor, target networks). Returns
+    /// `None` while the replay buffer holds fewer than `batch_size`
+    /// transitions.
+    pub fn train_step(&mut self) -> Option<TrainStats> {
+        let b = self.config.batch_size;
+        if self.replay.len() < b {
+            return None;
+        }
+        let batch = self.replay.sample(b, &mut self.rng);
+        // Replay stores raw states; normalise with the *current* running
+        // statistics at batch-build time.
+        let state_rows: Vec<Vec<f64>> =
+            batch.iter().map(|t| self.obs_norm.normalize(&t.state)).collect();
+        let next_rows: Vec<Vec<f64>> = batch
+            .iter()
+            .map(|t| self.obs_norm.normalize(&t.next_state))
+            .collect();
+        let states =
+            Matrix::from_rows(&state_rows.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        let actions = Matrix::from_rows(
+            &batch.iter().map(|t| t.action.as_slice()).collect::<Vec<_>>(),
+        );
+        let rewards: Vec<f64> = if self.config.normalize_rewards {
+            batch
+                .iter()
+                .map(|t| self.reward_norm.normalize(&[t.reward])[0])
+                .collect()
+        } else {
+            batch.iter().map(|t| t.reward).collect()
+        };
+        let next_states =
+            Matrix::from_rows(&next_rows.iter().map(Vec::as_slice).collect::<Vec<_>>());
+
+        // Critic target: y = r + γ · Q'(s', μ'(s')); with a twin critic the
+        // clipped double-Q minimum of both target critics is used (TD3).
+        let next_actions = self.actor_target.forward(&next_states);
+        let next_q = self.critic_target.q(&next_states, &next_actions);
+        let next_q2 = self
+            .critic2_target
+            .as_ref()
+            .map(|c| c.q(&next_states, &next_actions));
+        let mut targets = Matrix::zeros(b, 1);
+        for i in 0..b {
+            let mut q = next_q.get(i, 0);
+            if let Some(q2) = &next_q2 {
+                q = q.min(q2.get(i, 0));
+            }
+            targets.set(i, 0, rewards[i] + self.config.gamma * q);
+        }
+        let critic_loss = self.critic.train(
+            &states,
+            &actions,
+            &targets,
+            &mut self.critic_trunk_opt,
+            &mut self.critic_head_opt,
+        );
+        if let Some(c2) = &mut self.critic2 {
+            let _ = c2.train(
+                &states,
+                &actions,
+                &targets,
+                &mut self.critic2_trunk_opt,
+                &mut self.critic2_head_opt,
+            );
+        }
+
+        // Actor: ascend ∂Q/∂a through the deterministic policy gradient,
+        // plus an entropy bonus that prevents softmax-vertex collapse.
+        // Loss = −Q − β·H(a); with H = −Σ a ln a the output gradient is
+        // −∂Q/∂a + β (ln a + 1), averaged over the batch.
+        let (policy_actions, caches) = self.actor.forward_cached(&states);
+        let dq_da = self.critic.action_gradient(&states, &policy_actions);
+        let mean_q = self.critic.q(&states, &policy_actions).mean();
+        let beta = self.config.entropy_weight;
+        let mut d_out = dq_da.scale(-1.0 / b as f64);
+        if beta > 0.0 {
+            for r in 0..d_out.rows() {
+                for c in 0..d_out.cols() {
+                    let a = policy_actions.get(r, c).max(1e-8);
+                    let g = d_out.get(r, c) + beta * (a.ln() + 1.0) / b as f64;
+                    d_out.set(r, c, g);
+                }
+            }
+        }
+        let (_, grads) = self.actor.backward(&caches, &d_out);
+        self.actor.apply_gradients(&grads, &mut self.actor_opt);
+
+        // Polyak updates.
+        self.actor_target
+            .soft_update_from(&self.actor, self.config.tau);
+        self.critic_target
+            .soft_update_from(&self.critic, self.config.tau);
+        if let (Some(t), Some(c)) = (&mut self.critic2_target, &self.critic2) {
+            t.soft_update_from(c, self.config.tau);
+        }
+
+        Some(TrainStats {
+            critic_loss,
+            mean_q,
+        })
+    }
+
+    /// Number of transitions currently stored.
+    #[must_use]
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// The current parameter-noise scale, when parameter noise is active.
+    #[must_use]
+    pub fn param_noise_sigma(&self) -> Option<f64> {
+        self.param_noise.as_ref().map(AdaptiveParamNoise::sigma)
+    }
+
+    /// Read access to the greedy actor network.
+    #[must_use]
+    pub fn actor(&self) -> &Mlp {
+        &self.actor
+    }
+
+    /// Read access to the critic.
+    #[must_use]
+    pub fn critic(&self) -> &Critic {
+        &self.critic
+    }
+
+    /// The running observation normaliser (fed by [`Ddpg::observe`]).
+    #[must_use]
+    pub fn obs_normalizer(&self) -> &RunningNorm {
+        &self.obs_norm
+    }
+
+    /// Folds a state into the observation normaliser without storing a
+    /// transition — used when collecting environment-model data that never
+    /// enters the replay buffer (MIRAS's collection phase).
+    pub fn observe_state(&mut self, state: &[f64]) {
+        self.obs_norm.update(state);
+    }
+
+    /// Forces a fresh perturbation of the exploration actor (e.g. at episode
+    /// boundaries).
+    pub fn resample_perturbation(&mut self) {
+        if let Some(noise) = &self.param_noise {
+            let sigma = noise.sigma();
+            self.perturbed_actor.copy_params_from(&self.actor);
+            self.perturbed_actor.add_parameter_noise(sigma, &mut self.rng);
+        }
+        if let Some(ou) = &mut self.action_noise {
+            ou.reset();
+        }
+        self.steps_since_resample = 0;
+    }
+
+    fn remember_state(&mut self, state: &[f64]) {
+        if self.recent_states.len() >= RECENT_STATES_CAP {
+            self.recent_states.remove(0);
+        }
+        self.recent_states.push(state.to_vec());
+    }
+
+    /// Measures the action-space distance the current perturbation induces
+    /// on recent states, adapts sigma, and re-perturbs.
+    fn adapt_and_resample(&mut self) {
+        if let Some(noise) = &mut self.param_noise {
+            if !self.recent_states.is_empty() {
+                let normed: Vec<Vec<f64>> = self
+                    .recent_states
+                    .iter()
+                    .map(|s| self.obs_norm.normalize(s))
+                    .collect();
+                let rows: Vec<&[f64]> = normed.iter().map(Vec::as_slice).collect();
+                let states = Matrix::from_rows(&rows);
+                let clean = self.actor.forward(&states);
+                let noisy = self.perturbed_actor.forward(&states);
+                let diff = &clean - &noisy;
+                let mse = diff.as_slice().iter().map(|&v| v * v).sum::<f64>()
+                    / diff.as_slice().len() as f64;
+                noise.adapt(mse.sqrt());
+            }
+        }
+        self.resample_perturbation();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(seed: u64) -> DdpgConfig {
+        DdpgConfig::small_test(seed)
+    }
+
+    #[test]
+    fn actions_are_distributions() {
+        let agent = Ddpg::new(3, 4, config(0));
+        let a = agent.act(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.len(), 4);
+        assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(a.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn exploratory_actions_stay_on_simplex() {
+        let mut cfg = config(1);
+        cfg.exploration = Exploration::ActionNoise {
+            theta: 0.15,
+            sigma: 0.4,
+        };
+        let mut agent = Ddpg::new(2, 3, cfg);
+        for i in 0..50 {
+            let a = agent.act_exploratory(&[i as f64, 0.0]);
+            assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(a.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn unprojected_action_noise_leaves_simplex() {
+        let mut cfg = config(2);
+        cfg.exploration = Exploration::ActionNoise {
+            theta: 0.15,
+            sigma: 0.5,
+        };
+        let mut agent = Ddpg::new(2, 3, cfg);
+        let mut violated = false;
+        for i in 0..100 {
+            let a = agent.act_exploratory_unprojected(&[i as f64, 1.0]);
+            let sum: f64 = a.iter().sum();
+            if (sum - 1.0).abs() > 1e-6 || a.iter().any(|&p| p < 0.0) {
+                violated = true;
+            }
+        }
+        assert!(violated, "raw action noise should violate the simplex");
+    }
+
+    #[test]
+    fn param_noise_perturbs_policy() {
+        let mut agent = Ddpg::new(2, 3, config(3));
+        let s = [0.5, -0.5];
+        let clean = agent.act(&s);
+        let noisy = agent.act_exploratory(&s);
+        let dist: f64 = clean
+            .iter()
+            .zip(&noisy)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(dist > 0.0, "perturbed actor should differ");
+    }
+
+    #[test]
+    fn train_step_needs_enough_data() {
+        let mut agent = Ddpg::new(2, 2, config(4));
+        assert!(agent.train_step().is_none());
+        for i in 0..8 {
+            agent.observe(&[i as f64, 0.0], &[0.5, 0.5], 0.0, &[i as f64 + 1.0, 0.0]);
+        }
+        assert!(agent.train_step().is_some());
+    }
+
+    #[test]
+    fn learns_reward_maximising_action_on_bandit() {
+        // A stateless bandit: reward = a[0] (first dimension as large as
+        // possible). DDPG should push the policy toward (1, 0).
+        let mut cfg = config(5);
+        cfg.actor_lr = 1e-2;
+        cfg.critic_lr = 1e-2;
+        let mut agent = Ddpg::new(1, 2, cfg);
+        let s = [1.0];
+        for _ in 0..1200 {
+            let a = agent.act_exploratory(&s);
+            let reward = a[0];
+            agent.observe(&s, &a, reward, &s);
+            agent.train_step();
+        }
+        let a = agent.act(&s);
+        assert!(a[0] > 0.7, "policy did not concentrate: {a:?}");
+    }
+
+    #[test]
+    fn critic_converges_on_fixed_targets() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut critic = Critic::new(2, 2, &[16, 16], &mut rng);
+        let mut t_opt = Adam::new(1e-2);
+        let mut h_opt = Adam::new(1e-2);
+        let s = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let a = Matrix::from_rows(&[&[0.3, 0.7], &[0.9, 0.1]]);
+        let y = Matrix::from_rows(&[&[2.0], &[-1.0]]);
+        let mut loss = f64::INFINITY;
+        for _ in 0..500 {
+            loss = critic.train(&s, &a, &y, &mut t_opt, &mut h_opt);
+        }
+        assert!(loss < 1e-2, "loss {loss}");
+    }
+
+    #[test]
+    fn critic_action_gradient_matches_finite_diff() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let critic = Critic::new(2, 3, &[8, 8], &mut rng);
+        let s = Matrix::from_rows(&[&[0.4, -0.2]]);
+        let a = Matrix::from_rows(&[&[0.2, 0.5, 0.3]]);
+        let grad = critic.action_gradient(&s, &a);
+        let eps = 1e-6;
+        for c in 0..3 {
+            let mut ap = a.clone();
+            let mut am = a.clone();
+            ap.set(0, c, a.get(0, c) + eps);
+            am.set(0, c, a.get(0, c) - eps);
+            let numeric =
+                (critic.q(&s, &ap).get(0, 0) - critic.q(&s, &am).get(0, 0)) / (2.0 * eps);
+            assert!((numeric - grad.get(0, c)).abs() < 1e-5, "dim {c}");
+        }
+    }
+
+    #[test]
+    fn target_networks_track_online_networks() {
+        let mut agent = Ddpg::new(2, 2, config(8));
+        for i in 0..16 {
+            agent.observe(&[i as f64, 0.0], &[0.5, 0.5], 1.0, &[i as f64, 1.0]);
+        }
+        let before = agent.actor_target.flat_params();
+        for _ in 0..20 {
+            agent.train_step();
+        }
+        let after = agent.actor_target.flat_params();
+        assert_ne!(before, after, "target should move");
+    }
+
+    #[test]
+    fn sigma_adapts_over_time() {
+        let mut agent = Ddpg::new(2, 2, config(9));
+        let initial = agent.param_noise_sigma().unwrap();
+        for i in 0..100 {
+            let _ = agent.act_exploratory(&[i as f64 * 0.01, 0.0]);
+        }
+        let later = agent.param_noise_sigma().unwrap();
+        assert_ne!(initial, later, "sigma should adapt");
+    }
+
+    #[test]
+    fn entropy_bonus_resists_vertex_collapse() {
+        // An adversarial critic signal that always favours dimension 0 drives
+        // an unregularised softmax actor to the one-hot vertex; with the
+        // entropy bonus it stays strictly inside the simplex.
+        let train = |beta: f64| {
+            let mut cfg = config(11);
+            cfg.entropy_weight = beta;
+            cfg.actor_lr = 1e-2;
+            cfg.critic_lr = 1e-2;
+            let mut agent = Ddpg::new(1, 3, cfg);
+            let s = [1.0];
+            for _ in 0..800 {
+                let a = agent.act_exploratory(&s);
+                // Reward grows with a[0] without bound preference elsewhere.
+                agent.observe(&s, &a, 5.0 * a[0], &s);
+                agent.train_step();
+            }
+            agent.act(&s)
+        };
+        let collapsed = train(0.0);
+        let regularised = train(1.0);
+        let min_collapsed = collapsed.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min_regularised = regularised.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            min_regularised > min_collapsed,
+            "entropy should keep mass on all dimensions: {collapsed:?} vs {regularised:?}"
+        );
+        assert!(min_regularised > 1e-3, "{regularised:?}");
+    }
+
+    #[test]
+    fn observation_normalizer_feeds_from_observe() {
+        let mut agent = Ddpg::new(2, 2, config(12));
+        assert_eq!(agent.obs_normalizer().count(), 0);
+        agent.observe(&[1.0, 2.0], &[0.5, 0.5], 0.0, &[1.0, 2.0]);
+        agent.observe_state(&[3.0, 4.0]);
+        assert_eq!(agent.obs_normalizer().count(), 2);
+    }
+
+    #[test]
+    fn twin_critic_trains_and_converges_toward_true_value() {
+        // Constant reward 1 with γ = 0.9: the true Q is 10 everywhere.
+        // Both variants must converge near it; the twin (clipped double-Q)
+        // estimate must not exceed the single-critic estimate at the same
+        // training step count.
+        let run = |twin: bool| {
+            let mut cfg = config(13);
+            cfg.twin_critic = twin;
+            let mut agent = Ddpg::new(2, 2, cfg);
+            // A 32-state ring with constant reward: every next state is
+            // itself an observed state, so the observation normaliser covers
+            // the whole bootstrap domain.
+            for i in 0..32u32 {
+                let s = [f64::from(i), f64::from(i % 4)];
+                let next = [f64::from((i + 1) % 32), f64::from((i + 1) % 4)];
+                agent.observe(&s, &[0.5, 0.5], 1.0, &next);
+            }
+            let mut last = None;
+            for _ in 0..400 {
+                last = agent.train_step();
+            }
+            last.unwrap().mean_q
+        };
+        let q_single = run(false);
+        let q_twin = run(true);
+        assert!((q_single - 10.0).abs() < 3.0, "single Q {q_single}");
+        assert!((q_twin - 10.0).abs() < 3.0, "twin Q {q_twin}");
+        assert!(
+            q_twin <= q_single + 0.5,
+            "twin Q {q_twin} vs single Q {q_single}"
+        );
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let run = |seed| {
+            let mut agent = Ddpg::new(2, 2, config(seed));
+            let mut outs = Vec::new();
+            for i in 0..30 {
+                let s = [i as f64 * 0.1, 1.0];
+                let a = agent.act_exploratory(&s);
+                agent.observe(&s, &a, a[0], &s);
+                agent.train_step();
+                outs.push(a);
+            }
+            outs
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

@@ -1,0 +1,73 @@
+//! The environment interface.
+
+/// The result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// The state after applying the action.
+    pub next_state: Vec<f64>,
+    /// The scalar reward observed.
+    pub reward: f64,
+}
+
+/// A continuing-task reinforcement-learning environment.
+///
+/// Both the real emulated microservice cluster and MIRAS's learnt synthetic
+/// environment implement this trait, so the same [`Ddpg`](crate::Ddpg)
+/// training loop runs against either — exactly the substitution the paper's
+/// model-based approach performs.
+///
+/// Actions are continuous vectors; for the microservice problem they are
+/// softmax distributions over task types that the adapter converts to
+/// consumer counts (see [`policy`](crate::policy)).
+pub trait Environment {
+    /// Dimensionality of states.
+    fn state_dim(&self) -> usize;
+
+    /// Dimensionality of actions.
+    fn action_dim(&self) -> usize;
+
+    /// Resets the environment and returns the initial state.
+    fn reset(&mut self) -> Vec<f64>;
+
+    /// Applies `action` and returns the next state and reward.
+    fn step(&mut self, action: &[f64]) -> Transition;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic counter environment used to exercise the trait.
+    struct Counter {
+        value: f64,
+    }
+
+    impl Environment for Counter {
+        fn state_dim(&self) -> usize {
+            1
+        }
+        fn action_dim(&self) -> usize {
+            1
+        }
+        fn reset(&mut self) -> Vec<f64> {
+            self.value = 0.0;
+            vec![0.0]
+        }
+        fn step(&mut self, action: &[f64]) -> Transition {
+            self.value += action[0];
+            Transition {
+                next_state: vec![self.value],
+                reward: -self.value.abs(),
+            }
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut env: Box<dyn Environment> = Box::new(Counter { value: 3.0 });
+        assert_eq!(env.reset(), vec![0.0]);
+        let t = env.step(&[2.0]);
+        assert_eq!(t.next_state, vec![2.0]);
+        assert_eq!(t.reward, -2.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Mapping between softmax action distributions and consumer allocations.
+//!
+//! The paper's actor outputs a categorical distribution over the `J` task
+//! types; the allocation is `m_j = ⌊C · a_j⌋` (§IV-D), which satisfies
+//! `Σ_j m_j ≤ C` by construction.
+
+/// Converts a softmax distribution into integer consumer counts using the
+/// paper's floor rule: `m_j = ⌊budget · dist_j⌋`.
+///
+/// The result always satisfies `Σ m_j ≤ budget`. Up to `J − 1` consumers can
+/// be left unassigned by the flooring; see
+/// [`allocation_largest_remainder`] for a variant that assigns them.
+///
+/// # Examples
+///
+/// ```
+/// use rl::policy::allocation_floor;
+///
+/// let m = allocation_floor(&[0.5, 0.3, 0.2], 10);
+/// assert_eq!(m, vec![5, 3, 2]);
+/// let m = allocation_floor(&[0.4, 0.35, 0.25], 14);
+/// assert_eq!(m.iter().sum::<usize>() <= 14, true);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `dist` contains negative or non-finite entries.
+#[must_use]
+pub fn allocation_floor(dist: &[f64], budget: usize) -> Vec<usize> {
+    validate_distribution(dist);
+    dist.iter()
+        .map(|&p| (budget as f64 * p).floor() as usize)
+        .collect()
+}
+
+/// Converts a distribution into consumer counts with the largest-remainder
+/// method: floors first, then hands the consumers lost to flooring to the
+/// dimensions with the largest fractional parts, so `Σ m_j` equals
+/// `⌊budget · Σ dist_j⌋` exactly (the full budget when `dist` sums to 1).
+///
+/// # Examples
+///
+/// ```
+/// use rl::policy::allocation_largest_remainder;
+///
+/// let m = allocation_largest_remainder(&[0.4, 0.35, 0.25], 14);
+/// assert_eq!(m.iter().sum::<usize>(), 14);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `dist` contains negative or non-finite entries.
+#[must_use]
+pub fn allocation_largest_remainder(dist: &[f64], budget: usize) -> Vec<usize> {
+    validate_distribution(dist);
+    let exact: Vec<f64> = dist.iter().map(|&p| budget as f64 * p).collect();
+    let mut alloc: Vec<usize> = exact.iter().map(|&e| e.floor() as usize).collect();
+    let assigned: usize = alloc.iter().sum();
+    let total_exact: f64 = exact.iter().sum();
+    // Tolerate accumulated float error (e.g. thirds summing to 13.999…).
+    let want = (total_exact + 1e-9).floor() as usize;
+    let mut leftover = want.saturating_sub(assigned);
+    // Rank dimensions by fractional part, descending; ties broken by index
+    // for determinism.
+    let mut order: Vec<usize> = (0..dist.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.partial_cmp(&fa).expect("finite").then(a.cmp(&b))
+    });
+    for &i in &order {
+        if leftover == 0 {
+            break;
+        }
+        alloc[i] += 1;
+        leftover -= 1;
+    }
+    alloc
+}
+
+/// Converts integer consumer counts back into a distribution (uniform when
+/// the allocation is all zeros).
+///
+/// # Examples
+///
+/// ```
+/// use rl::policy::distribution_from_allocation;
+///
+/// let d = distribution_from_allocation(&[5, 3, 2]);
+/// assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// assert!((d[0] - 0.5).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn distribution_from_allocation(alloc: &[usize]) -> Vec<f64> {
+    let total: usize = alloc.iter().sum();
+    if total == 0 {
+        return vec![1.0 / alloc.len() as f64; alloc.len()];
+    }
+    alloc.iter().map(|&m| m as f64 / total as f64).collect()
+}
+
+/// Normalises an arbitrary non-negative vector into a distribution,
+/// falling back to uniform for a zero (or degenerate) vector. Used to
+/// re-project noisy actions back onto the simplex.
+///
+/// # Examples
+///
+/// ```
+/// use rl::policy::project_to_simplex;
+///
+/// let d = project_to_simplex(&[0.2, -0.1, 0.3]);
+/// assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// assert!(d.iter().all(|&p| p >= 0.0));
+/// ```
+#[must_use]
+pub fn project_to_simplex(values: &[f64]) -> Vec<f64> {
+    let clipped: Vec<f64> = values
+        .iter()
+        .map(|&v| if v.is_finite() { v.max(0.0) } else { 0.0 })
+        .collect();
+    let total: f64 = clipped.iter().sum();
+    if total <= 0.0 {
+        vec![1.0 / values.len() as f64; values.len()]
+    } else {
+        clipped.into_iter().map(|v| v / total).collect()
+    }
+}
+
+fn validate_distribution(dist: &[f64]) {
+    for &p in dist {
+        assert!(p.is_finite() && p >= 0.0, "invalid probability {p}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_never_exceeds_budget() {
+        for budget in [0usize, 1, 14, 30, 100] {
+            let dist = [0.31, 0.29, 0.25, 0.15];
+            let m = allocation_floor(&dist, budget);
+            assert!(m.iter().sum::<usize>() <= budget);
+        }
+    }
+
+    #[test]
+    fn floor_matches_paper_formula() {
+        let m = allocation_floor(&[0.5, 0.25, 0.25], 14);
+        assert_eq!(m, vec![7, 3, 3]);
+    }
+
+    #[test]
+    fn largest_remainder_uses_full_budget() {
+        let m = allocation_largest_remainder(&[1.0 / 3.0; 3], 14);
+        assert_eq!(m.iter().sum::<usize>(), 14);
+        // 14/3 = 4.67 each → 4,4,4 floor; two extra to earliest indices.
+        assert_eq!(m, vec![5, 5, 4]);
+    }
+
+    #[test]
+    fn largest_remainder_prefers_big_fractions() {
+        let m = allocation_largest_remainder(&[0.48, 0.42, 0.10], 10);
+        // exact: 4.8, 4.2, 1.0 → floors 4, 4, 1 = 9; one extra to index 0.
+        assert_eq!(m, vec![5, 4, 1]);
+    }
+
+    #[test]
+    fn zero_allocation_gives_uniform_distribution() {
+        let d = distribution_from_allocation(&[0, 0, 0, 0]);
+        assert_eq!(d, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn simplex_projection_handles_nan_and_negatives() {
+        let d = project_to_simplex(&[f64::NAN, -1.0, 2.0]);
+        assert_eq!(d, vec![0.0, 0.0, 1.0]);
+        let d = project_to_simplex(&[-1.0, -2.0]);
+        assert_eq!(d, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid probability")]
+    fn negative_probability_panics() {
+        let _ = allocation_floor(&[-0.1, 1.1], 10);
+    }
+
+    #[test]
+    fn round_trip_allocation_distribution() {
+        let alloc = vec![7usize, 4, 2, 1];
+        let dist = distribution_from_allocation(&alloc);
+        let back = allocation_largest_remainder(&dist, 14);
+        assert_eq!(back, alloc);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the RL toolkit's invariants.
+
+use proptest::prelude::*;
+use rl::policy::{
+    allocation_floor, allocation_largest_remainder, distribution_from_allocation,
+    project_to_simplex,
+};
+use rl::{ReplayBuffer, RunningNorm, StoredTransition};
+
+/// A strategy producing valid probability distributions of length 2–9.
+fn distributions() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1.0, 2..10).prop_map(|raw| project_to_simplex(&raw))
+}
+
+proptest! {
+    /// The floor rule never exceeds the budget, for any distribution.
+    #[test]
+    fn floor_allocation_within_budget(dist in distributions(), budget in 0usize..100) {
+        let m = allocation_floor(&dist, budget);
+        prop_assert!(m.iter().sum::<usize>() <= budget);
+        prop_assert_eq!(m.len(), dist.len());
+    }
+
+    /// Largest remainder uses the budget exactly (distributions sum to 1).
+    #[test]
+    fn largest_remainder_exact(dist in distributions(), budget in 0usize..100) {
+        let m = allocation_largest_remainder(&dist, budget);
+        prop_assert_eq!(m.iter().sum::<usize>(), budget);
+    }
+
+    /// Largest remainder dominates the floor rule element-wise.
+    #[test]
+    fn largest_remainder_dominates_floor(dist in distributions(), budget in 0usize..100) {
+        let f = allocation_floor(&dist, budget);
+        let l = allocation_largest_remainder(&dist, budget);
+        for (a, b) in f.iter().zip(&l) {
+            prop_assert!(b >= a);
+            prop_assert!(b - a <= 1, "largest remainder adds at most one");
+        }
+    }
+
+    /// Simplex projection always yields a valid distribution.
+    #[test]
+    fn projection_yields_distribution(
+        raw in proptest::collection::vec(-100.0f64..100.0, 1..10)
+    ) {
+        let d = project_to_simplex(&raw);
+        prop_assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(d.iter().all(|&p| p >= 0.0));
+    }
+
+    /// Allocation → distribution → allocation round-trips under largest
+    /// remainder when the budget matches the original total.
+    #[test]
+    fn allocation_round_trip(alloc in proptest::collection::vec(0usize..20, 2..8)) {
+        let total: usize = alloc.iter().sum();
+        prop_assume!(total > 0);
+        let dist = distribution_from_allocation(&alloc);
+        let back = allocation_largest_remainder(&dist, total);
+        prop_assert_eq!(back, alloc);
+    }
+
+    /// The replay buffer never exceeds capacity and keeps exactly the most
+    /// recent `capacity` items.
+    #[test]
+    fn replay_keeps_most_recent(
+        capacity in 1usize..20,
+        n in 0usize..60,
+    ) {
+        let mut buf = ReplayBuffer::new(capacity);
+        for i in 0..n {
+            buf.push(StoredTransition {
+                state: vec![i as f64],
+                action: vec![],
+                reward: i as f64,
+                next_state: vec![],
+            });
+        }
+        prop_assert_eq!(buf.len(), n.min(capacity));
+        let kept: std::collections::HashSet<u64> =
+            buf.iter().map(|t| t.reward as u64).collect();
+        let expected: std::collections::HashSet<u64> =
+            (n.saturating_sub(capacity)..n).map(|i| i as u64).collect();
+        prop_assert_eq!(kept, expected);
+    }
+
+    /// RunningNorm matches batch statistics for arbitrary data.
+    #[test]
+    fn running_norm_matches_batch(
+        data in proptest::collection::vec(-1e3f64..1e3, 2..200)
+    ) {
+        let mut norm = RunningNorm::new(1);
+        for &v in &data {
+            norm.update(&[v]);
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let std = var.sqrt().max(1e-6);
+        for &probe in data.iter().take(10) {
+            let expected = ((probe - mean) / std).clamp(-5.0, 5.0);
+            let got = norm.normalize(&[probe])[0];
+            prop_assert!((expected - got).abs() < 1e-6,
+                "probe {probe}: {expected} vs {got}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: train a miniature MIRAS agent on the MSD ensemble and use it.
+//!
+//! This walks the full pipeline end to end in under a minute:
+//! build the emulated microservice workflow system → run a few iterations
+//! of the model-based training loop → deploy the learnt allocation policy.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use miras::prelude::*;
+
+fn main() {
+    // 1. The workload: the paper's Material Science Data ensemble —
+    //    3 workflow types over 4 shared task types, consumer budget C = 14.
+    let ensemble = Ensemble::msd();
+    println!(
+        "ensemble {}: {} workflows over {} task types, budget {}",
+        ensemble.name(),
+        ensemble.num_workflow_types(),
+        ensemble.num_task_types(),
+        ensemble.default_consumer_budget()
+    );
+
+    // 2. The "real environment": a discrete-event emulation of the
+    //    microservice cluster (queues, consumers, container start-up
+    //    delays, 30 s decision windows).
+    let env_config = EnvConfig::for_ensemble(&ensemble).with_seed(42);
+    let mut env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble, env_config));
+
+    // 3. MIRAS training (scaled down so this example is quick): each
+    //    iteration collects real transitions, retrains the environment
+    //    model, and improves the DDPG policy against the refined model.
+    let mut config = MirasConfig::msd_fast(42);
+    config.real_steps_per_iter = 100; // keep the example fast
+    config.rollouts_per_iter = 15;
+    let mut trainer = MirasTrainer::new(&env, config);
+    for i in 0..3 {
+        let report = trainer.run_iteration(&mut env);
+        println!(
+            "iteration {i}: model loss {:.4}, eval return {:.1}, dataset {}",
+            report.model_loss, report.eval_return, report.dataset_size
+        );
+    }
+
+    // 4. Deployment: the agent maps observed per-microservice WIP to a
+    //    consumer allocation that always respects the budget.
+    let agent = trainer.agent();
+    for wip in [
+        vec![0.0, 0.0, 0.0, 0.0],
+        vec![40.0, 5.0, 10.0, 2.0],
+        vec![3.0, 80.0, 1.0, 30.0],
+    ] {
+        let allocation = agent.allocate(&wip);
+        println!(
+            "WIP {wip:?} -> consumers {allocation:?} (total {})",
+            allocation.iter().sum::<usize>()
+        );
+        assert!(allocation.iter().sum::<usize>() <= agent.consumer_budget());
+    }
+}

@@ -1,0 +1,127 @@
+//! Integration tests for every allocator against the real emulator, on both
+//! ensembles, under burst and steady-state workloads.
+
+use miras::prelude::*;
+
+/// Runs an allocator for `steps` windows; returns (final WIP, completions).
+fn drive(
+    ensemble: Ensemble,
+    seed: u64,
+    burst: Option<BurstSpec>,
+    steps: usize,
+    allocator: &mut dyn Allocator,
+) -> (usize, usize) {
+    let config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
+    let mut env = MicroserviceEnv::new(ensemble, config);
+    let _ = env.reset();
+    if let Some(b) = burst {
+        env.inject_burst(&b);
+    }
+    let mut prev: Option<WindowMetrics> = None;
+    let mut completions = 0;
+    let mut final_wip = 0;
+    for _ in 0..steps {
+        let wip = env.state();
+        let m = allocator.allocate(&wip, prev.as_ref());
+        let total: usize = m.iter().sum();
+        assert!(
+            total <= allocator.consumer_budget(),
+            "{} exceeded budget: {m:?}",
+            allocator.name()
+        );
+        let out = env.step(&m);
+        assert!(!out.metrics.constraint_violated, "{}", allocator.name());
+        completions += out.metrics.completions.iter().sum::<usize>();
+        final_wip = out.metrics.total_wip();
+        prev = Some(out.metrics);
+    }
+    (final_wip, completions)
+}
+
+fn all_allocators(ensemble: &Ensemble) -> Vec<Box<dyn Allocator>> {
+    let j = ensemble.num_task_types();
+    let budget = ensemble.default_consumer_budget();
+    vec![
+        Box::new(DrsAllocator::new(ensemble, budget, 30.0)),
+        Box::new(HeftAllocator::new(ensemble, budget)),
+        Box::new(MonadAllocator::new(j, budget, 30.0)),
+        Box::new(UniformAllocator::new(j, budget)),
+        Box::new(WipProportionalAllocator::new(j, budget)),
+    ]
+}
+
+#[test]
+fn every_allocator_survives_msd_steady_state() {
+    let ensemble = Ensemble::msd();
+    for mut alloc in all_allocators(&ensemble) {
+        let (wip, done) = drive(ensemble.clone(), 11, None, 20, alloc.as_mut());
+        assert!(done > 0, "{} completed nothing", alloc.name());
+        // Offered load fits in the budget; adaptive allocators must keep the
+        // backlog bounded.
+        assert!(wip < 500, "{} WIP exploded: {wip}", alloc.name());
+    }
+}
+
+#[test]
+fn every_allocator_survives_ligo_burst() {
+    let ensemble = Ensemble::ligo();
+    let burst = BurstSpec::new(vec![50, 50, 25, 15]);
+    for mut alloc in all_allocators(&ensemble) {
+        let (_, done) = drive(ensemble.clone(), 13, Some(burst.clone()), 30, alloc.as_mut());
+        assert!(done > 0, "{} completed nothing under burst", alloc.name());
+    }
+}
+
+#[test]
+fn adaptive_allocators_beat_uniform_on_skewed_bursts() {
+    // A burst hitting only Type1 (A → B → C): WIP-aware policies should
+    // clear more work than the blind uniform split.
+    let ensemble = Ensemble::msd();
+    let burst = BurstSpec::new(vec![200, 0, 0]);
+    let mut uniform = UniformAllocator::new(4, 14);
+    let (u_wip, _) = drive(ensemble.clone(), 17, Some(burst.clone()), 20, &mut uniform);
+    let mut monad = MonadAllocator::new(4, 14, 30.0);
+    let (m_wip, _) = drive(ensemble.clone(), 17, Some(burst.clone()), 20, &mut monad);
+    let mut prop = WipProportionalAllocator::new(4, 14);
+    let (p_wip, _) = drive(ensemble, 17, Some(burst), 20, &mut prop);
+    assert!(
+        m_wip <= u_wip && p_wip <= u_wip,
+        "monad {m_wip}, prop {p_wip}, uniform {u_wip}"
+    );
+}
+
+#[test]
+fn model_free_ddpg_trains_and_allocates() {
+    let ensemble = Ensemble::msd();
+    let config = EnvConfig::for_ensemble(&ensemble).with_seed(19);
+    let mut env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble.clone(), config));
+    let mut policy =
+        baselines::train_model_free(&mut env, 40, 20, DdpgConfig::small_test(19), None);
+    let (_, done) = drive(ensemble, 19, Some(BurstSpec::new(vec![30, 20, 30])), 15, &mut policy);
+    assert!(done > 0);
+}
+
+#[test]
+fn drs_respects_stability_on_both_ensembles() {
+    for ensemble in [Ensemble::msd(), Ensemble::ligo()] {
+        let budget = ensemble.default_consumer_budget();
+        let mut drs = DrsAllocator::new(&ensemble, budget, 30.0);
+        let alloc = drs.allocate(&vec![0.0; ensemble.num_task_types()], None);
+        let lambda = drs.task_arrival_rates();
+        for (j, ((&l, &m), t)) in lambda
+            .iter()
+            .zip(&alloc)
+            .zip(ensemble.task_types())
+            .enumerate()
+        {
+            if l > 0.0 {
+                let mu = 1.0 / t.mean_service_secs;
+                assert!(
+                    m as f64 * mu > l,
+                    "{} queue {j} unstable: m={m}, λ={l:.3}, μ={mu:.3}",
+                    ensemble.name()
+                );
+            }
+        }
+    }
+}
