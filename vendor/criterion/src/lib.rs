@@ -1,0 +1,179 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Keeps the criterion 0.5 API shape this workspace's benches use —
+//! [`Criterion::benchmark_group`], `group.sample_size(..)`,
+//! `group.bench_function(name, |b| b.iter(..))`, [`black_box`],
+//! [`criterion_group!`]/[`criterion_main!`] — over a simple
+//! warmup-then-sample timing loop. Results print per benchmark
+//! (mean/median/min per iteration) and append machine-readable JSON lines
+//! to `target/bench-results.jsonl` for downstream tooling.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            group: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark. The closure receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut bencher = Bencher {
+            warm_up_time: self.criterion.warm_up_time,
+            measurement_time: self.criterion.measurement_time,
+            samples,
+            per_iter_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&self.group, id);
+        self
+    }
+
+    /// Ends the group (printing is already done per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Times a closure under test.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: usize,
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`: warms up, then records `samples` timed batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and calibration of iterations per batch.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Aim for measurement_time split across the samples, ≥1 iter each.
+        let batch = ((self.measurement_time.as_secs_f64() / self.samples as f64) / per_iter)
+            .ceil()
+            .max(1.0) as u64;
+
+        self.per_iter_ns.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.per_iter_ns.push(elapsed / batch as f64);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.per_iter_ns.is_empty() {
+            println!("  {id}: no measurements (Bencher::iter not called)");
+            return;
+        }
+        let mut sorted = self.per_iter_ns.clone();
+        sorted.sort_by(f64::total_cmp);
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "  {id}: median {} | mean {} | min {} ({} samples)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(min),
+            sorted.len()
+        );
+        // Machine-readable record for tooling (BENCH_*.json extraction).
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"group\":\"{group}\",\"bench\":\"{id}\",\"median_ns\":{median:.1},\"mean_ns\":{mean:.1},\"min_ns\":{min:.1}}}"
+        );
+        let _ = std::fs::create_dir_all("target");
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open("target/bench-results.jsonl")
+        {
+            use std::io::Write as _;
+            let _ = writeln!(file, "{line}");
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,556 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, strategies for
+//! numeric ranges and tuples, [`collection::vec`], [`sample::subsequence`],
+//! the [`proptest!`] macro and the `prop_assert*` family. Cases are
+//! generated from a deterministic per-test RNG; there is **no shrinking** —
+//! failures report the exact failing inputs instead.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude::*`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError, TestRunner,
+    };
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The inputs did not satisfy a `prop_assume!` precondition.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure.
+    #[must_use]
+    pub fn fail(msg: impl fmt::Display) -> Self {
+        TestCaseError::Fail(msg.to_string())
+    }
+
+    /// Creates a rejection.
+    #[must_use]
+    pub fn reject(msg: impl fmt::Display) -> Self {
+        TestCaseError::Reject(msg.to_string())
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// Maximum rejected cases before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Generates values for property tests.
+///
+/// Unlike upstream there is no value tree: strategies produce plain values
+/// and failing cases are not shrunk.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, builds a second strategy from it,
+    /// and draws from that.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::boxed`].
+pub struct BoxedStrategy<V> {
+    inner: Box<dyn ErasedStrategy<V>>,
+}
+
+trait ErasedStrategy<V> {
+    fn erased_generate(&self, rng: &mut SmallRng) -> V;
+}
+
+impl<S: Strategy> ErasedStrategy<S::Value> for S {
+    fn erased_generate(&self, rng: &mut SmallRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut SmallRng) -> V {
+        self.inner.erased_generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<V>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+
+    fn generate(&self, _rng: &mut SmallRng) -> V {
+        self.0.clone()
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident . $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+/// A collection-size specification: an exact size or a (half-open or
+/// inclusive) range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(self, rng: &mut SmallRng) -> usize {
+        if self.min >= self.max {
+            self.min
+        } else {
+            rng.gen_range(self.min..=self.max)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SizeRange, SmallRng, Strategy};
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// lies in `size` (`usize` for an exact length, or a range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies.
+
+    use super::{Rng, SizeRange, SmallRng, Strategy};
+
+    /// See [`subsequence`].
+    pub struct Subsequence<T> {
+        items: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Vec<T> {
+            let n = self.items.len();
+            let len = self.size.pick(rng).min(n);
+            // Floyd's algorithm would avoid the scratch vec, but n is tiny
+            // in tests: partial Fisher–Yates then restore index order.
+            let mut indices: Vec<usize> = (0..n).collect();
+            for i in 0..len {
+                let j = rng.gen_range(i..n);
+                indices.swap(i, j);
+            }
+            let mut chosen = indices[..len].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.items[i].clone()).collect()
+        }
+    }
+
+    /// Generates order-preserving subsequences of `items` whose length lies
+    /// in `size`.
+    pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence {
+            items,
+            size: size.into(),
+        }
+    }
+}
+
+/// Drives one property: generates inputs and evaluates the body.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// Creates a runner. The RNG seed is fixed so test runs are
+    /// deterministic.
+    #[must_use]
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            rng: SmallRng::seed_from_u64(0x70726f70_74657374),
+        }
+    }
+
+    /// Runs the property against `config.cases` generated inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure, annotated with the generated input, or an
+    /// error when too many inputs were rejected.
+    pub fn run<S: Strategy, F>(&mut self, strategy: &S, test: F) -> Result<(), String>
+    where
+        S::Value: Clone + fmt::Debug,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            let input = strategy.generate(&mut self.rng);
+            match test(input.clone()) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        return Err(format!(
+                            "too many prop_assume rejections ({rejected}) after {passed} cases"
+                        ));
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    return Err(format!(
+                        "property failed after {passed} passing cases: {msg}\ninput: {input:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Declares property tests. Mirrors upstream's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::TestRunner::new($config);
+                let result = runner.run(&($($strategy,)+), |($($pat,)+)| {
+                    $body
+                    Ok(())
+                });
+                if let Err(message) = result {
+                    panic!("{}", message);
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the case (not panicking)
+/// when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Rejects the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(200));
+        runner
+            .run(&(0u64..10, -2.0f64..2.0), |(n, x)| {
+                if n >= 10 {
+                    return Err(TestCaseError::fail("n out of range"));
+                }
+                if !(-2.0..2.0).contains(&x) {
+                    return Err(TestCaseError::fail("x out of range"));
+                }
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn failing_property_reports_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(50));
+        let err = runner
+            .run(&(0u64..100,), |(n,)| {
+                if n > 90 {
+                    Err(TestCaseError::fail("too big"))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        assert!(err.contains("too big"), "{err}");
+        assert!(err.contains("input:"), "{err}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            v in proptest::collection::vec(0u32..5, 2..7),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 7, "len {}", v.len());
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn subsequence_preserves_order(
+            sub in proptest::sample::subsequence((0..20).collect::<Vec<i32>>(), 0..=20),
+        ) {
+            prop_assert!(sub.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        #[test]
+        fn flat_map_and_assume_work(
+            (n, k) in (1usize..10).prop_flat_map(|n| (Just(n), 0usize..10)),
+        ) {
+            prop_assume!(k < n * 10);
+            prop_assert!(n >= 1 && k < n * 10);
+        }
+    }
+
+    // The macro refers to the crate as `$crate`, but the doctest-style usage
+    // in dependent crates says `proptest::collection::vec`; mimic that here.
+    use crate as proptest;
+    use crate::Just;
+}

@@ -1,0 +1,241 @@
+//! Offline vendored stand-in for the `rand_distr` crate.
+//!
+//! Implements the distributions this workspace samples — [`Normal`],
+//! [`LogNormal`], [`Exp`], [`Poisson`] and [`StandardNormal`] — on top of
+//! the vendored `rand` crate. Algorithms are textbook (Box–Muller,
+//! inversion, exponential inter-arrival counting) and deterministic for a
+//! seeded RNG.
+
+use std::fmt;
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// Uniform draw in [0, 1) usable with unsized `R` (unlike `Rng::gen`).
+fn unit_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Error for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Alias matching `rand_distr::NormalError`.
+pub type NormalError = ParamError;
+/// Alias matching `rand_distr::ExpError`.
+pub type ExpError = ParamError;
+/// Alias matching `rand_distr::PoissonError`.
+pub type PoissonError = ParamError;
+
+/// Draws one standard-normal variate via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by nudging u1 away from zero.
+    let u1: f64 = unit_f64(rng).max(f64::MIN_POSITIVE);
+    let u2: f64 = unit_f64(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        standard_normal(rng)
+    }
+}
+
+/// The normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `std_dev` is negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(ParamError("std_dev must be finite and non-negative"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F = f64> {
+    mu: f64,
+    sigma: f64,
+    _float: PhantomData<F>,
+}
+
+impl LogNormal<f64> {
+    /// Creates a log-normal distribution from the underlying normal's
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `sigma` is negative or not finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, NormalError> {
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(ParamError("sigma must be finite and non-negative"));
+        }
+        Ok(LogNormal { mu, sigma, _float: PhantomData })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// The exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `lambda` is not positive and finite.
+    pub fn new(lambda: f64) -> Result<Self, ExpError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(ParamError("lambda must be positive and finite"));
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inversion: -ln(1 - U) / lambda, with U in [0, 1).
+        -(1.0 - unit_f64(rng)).ln() / self.lambda
+    }
+}
+
+/// The Poisson distribution with mean `lambda`. Samples are returned as
+/// `f64` to match `rand_distr` 0.4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `lambda` is not positive and finite.
+    pub fn new(lambda: f64) -> Result<Self, PoissonError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(ParamError("lambda must be positive and finite"));
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Count unit-rate exponential inter-arrivals in a window of length
+        // lambda. Exact, numerically safe for every lambda, and O(lambda) —
+        // fine for the arrival rates this workspace simulates.
+        let mut t = 0.0;
+        let mut k: u64 = 0;
+        loop {
+            t += -(1.0 - unit_f64(rng)).ln();
+            if t >= self.lambda {
+                return k as f64;
+            }
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let s: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = moments(&s);
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exp_mean_is_inverse_rate() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = Exp::new(4.0).unwrap();
+        let s: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, _) = moments(&s);
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+        assert!(s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn poisson_mean_matches_lambda() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for lambda in [0.5, 3.0, 25.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let s: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+            let (mean, _) = moments(&s);
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda.max(1.0),
+                "lambda {lambda} mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn lognormal_is_exp_of_normal() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        let s: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(s.iter().all(|&x| x > 0.0));
+        let log_mean = s.iter().map(|x| x.ln()).sum::<f64>() / s.len() as f64;
+        assert!(log_mean.abs() < 0.02, "log mean {log_mean}");
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+        assert!(Poisson::new(-2.0).is_err());
+    }
+}

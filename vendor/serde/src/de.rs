@@ -1,0 +1,236 @@
+//! Deserialization traits, shaped after upstream serde, plus the helper
+//! functions derive-generated code calls.
+
+use crate::value::Value;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Errors a deserializer can raise.
+pub trait Error: Sized + fmt::Display {
+    /// Creates an error from an arbitrary message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+
+    /// A required field was absent.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+
+    /// The input had an unexpected shape.
+    fn invalid_type(unexpected: &str, expected: &str) -> Self {
+        Self::custom(format_args!("invalid type: {unexpected}, expected {expected}"))
+    }
+}
+
+/// A data structure that can deserialize itself.
+pub trait Deserialize<'de>: Sized {
+    /// Builds `Self` from the given deserializer.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the input's shape does not match `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The deserializer interface. The vendored stack is value-tree based: a
+/// deserializer surrenders its whole input as a [`Value`], and the
+/// `Deserialize` impls pattern-match on it.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes the deserializer, yielding the full input as a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the input cannot be parsed at all (e.g. malformed JSON).
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Unwraps an object's fields, for derive-generated struct impls.
+///
+/// # Errors
+///
+/// Fails when the value is not an object.
+pub fn expect_object<E: Error>(value: Value, what: &str) -> Result<Vec<(String, Value)>, E> {
+    match value {
+        Value::Object(fields) => Ok(fields),
+        other => Err(E::invalid_type(other.kind(), what)),
+    }
+}
+
+/// Unwraps an array's items, for sequence impls.
+///
+/// # Errors
+///
+/// Fails when the value is not an array.
+pub fn expect_array<E: Error>(value: Value, what: &str) -> Result<Vec<Value>, E> {
+    match value {
+        Value::Array(items) => Ok(items),
+        other => Err(E::invalid_type(other.kind(), what)),
+    }
+}
+
+/// Removes and returns a field by name, if present. Order-insensitive.
+pub fn opt_field(fields: &mut Vec<(String, Value)>, name: &str) -> Option<Value> {
+    let idx = fields.iter().position(|(k, _)| k == name)?;
+    Some(fields.swap_remove(idx).1)
+}
+
+/// Removes and returns a required field by name.
+///
+/// # Errors
+///
+/// Fails when the field is absent.
+pub fn req_field<E: Error>(fields: &mut Vec<(String, Value)>, name: &'static str) -> Result<Value, E> {
+    opt_field(fields, name).ok_or_else(|| E::missing_field(name))
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::invalid_type(other.kind(), "bool")),
+        }
+    }
+}
+
+macro_rules! deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                let wide: i64 = match value {
+                    Value::Int(i) => i,
+                    Value::UInt(u) => i64::try_from(u)
+                        .map_err(|_| D::Error::custom("integer out of range"))?,
+                    other => return Err(D::Error::invalid_type(other.kind(), "integer")),
+                };
+                <$t>::try_from(wide).map_err(|_| D::Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                let wide: u64 = match value {
+                    Value::UInt(u) => u,
+                    Value::Int(i) => u64::try_from(i)
+                        .map_err(|_| D::Error::custom("integer out of range"))?,
+                    other => return Err(D::Error::invalid_type(other.kind(), "integer")),
+                };
+                <$t>::try_from(wide).map_err(|_| D::Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+deserialize_signed!(i8, i16, i32, i64, isize);
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_value()? {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::Int(i) => Ok(i as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    other => Err(D::Error::invalid_type(other.kind(), "number")),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(D::Error::invalid_type(other.kind(), "string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(()),
+            other => Err(D::Error::invalid_type(other.kind(), "null")),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            value => crate::value::from_value::<T, D::Error>(value).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = expect_array::<D::Error>(deserializer.take_value()?, "array")?;
+        items
+            .into_iter()
+            .map(crate::value::from_value::<T, D::Error>)
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(VecDeque::from)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(deserializer)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| D::Error::custom(format_args!("expected array of length {N}, got {got}")))
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($($name:ident),+) with $len:expr;)*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let items = expect_array::<D::Error>(deserializer.take_value()?, "tuple")?;
+                if items.len() != $len {
+                    return Err(D::Error::custom(format_args!(
+                        "expected tuple of length {}, got {}", $len, items.len()
+                    )));
+                }
+                let mut iter = items.into_iter();
+                Ok(($(
+                    crate::value::from_value::<$name, D::Error>(
+                        iter.next().expect("length checked"),
+                    )?,
+                )+))
+            }
+        }
+    )*};
+}
+
+deserialize_tuple! {
+    (T0) with 1;
+    (T0, T1) with 2;
+    (T0, T1, T2) with 3;
+    (T0, T1, T2, T3) with 4;
+}

@@ -1,0 +1,56 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no crates-registry access, so this workspace
+//! vendors a minimal serde look-alike. It keeps the upstream *trait shapes*
+//! — `Serialize`/`Serializer` with `SerializeStruct`, `Deserialize<'de>` /
+//! `Deserializer<'de>`, `ser::Error`/`de::Error` — so the repo's hand-written
+//! impls and `#[derive(Serialize, Deserialize)]` code compile unchanged, but
+//! routes everything through a single JSON-like [`value::Value`] tree
+//! instead of upstream's visitor machinery. `serde_json` (also vendored)
+//! prints and parses that tree using the standard serde JSON conventions
+//! (externally tagged enums, newtype transparency), so artifacts written by
+//! real serde_json load correctly.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The one concrete error type shared by the vendored serde stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub(crate) String);
+
+impl Error {
+    /// Creates an error from a message.
+    #[must_use]
+    pub fn msg(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}

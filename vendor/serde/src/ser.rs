@@ -1,0 +1,351 @@
+//! Serialization traits, shaped after upstream serde.
+
+use crate::value::Value;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Errors a serializer can raise.
+pub trait Error: Sized + fmt::Display {
+    /// Creates an error from an arbitrary message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// A data structure that can serialize itself.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Struct-shaped output under construction.
+pub trait SerializeStruct {
+    /// Final output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Appends one named field.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+
+    /// Finishes the struct.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Struct-variant-shaped output under construction.
+pub trait SerializeStructVariant {
+    /// Final output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Appends one named field.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+
+    /// Finishes the variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sequence-shaped output under construction (also used for tuples).
+pub trait SerializeSeq {
+    /// Final output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Appends one element.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+
+    /// Finishes the sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Tuple-variant-shaped output under construction.
+pub trait SerializeTupleVariant {
+    /// Final output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Appends one field.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+
+    /// Finishes the variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// The serializer interface. Mirrors upstream serde's shape; the vendored
+/// stack has one concrete implementation ([`crate::value::ValueSerializer`]).
+#[allow(missing_docs)]
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: Error;
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeSeq, Self::Error>;
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+
+    /// Emits a fully built object with arbitrary (non-`'static`) keys.
+    /// Only the value serializer supports this; it exists so `Value` can
+    /// implement [`Serialize`] generically.
+    ///
+    /// # Errors
+    ///
+    /// Defaults to an error for serializers without object support.
+    fn collect_object(self, fields: Vec<(String, Value)>) -> Result<Self::Ok, Self::Error> {
+        let _ = fields;
+        Err(Error::custom("serializer cannot emit arbitrary-keyed objects"))
+    }
+
+    // Narrower integer widths funnel into the 64-bit entry points.
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_f64(f64::from(v))
+    }
+}
+
+macro_rules! serialize_int {
+    ($($t:ty => $method:ident),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self as _)
+            }
+        }
+    )*};
+}
+
+serialize_int!(
+    i8 => serialize_i8, i16 => serialize_i16, i32 => serialize_i32, i64 => serialize_i64,
+    u8 => serialize_u8, u16 => serialize_u16, u32 => serialize_u32, u64 => serialize_u64,
+    f32 => serialize_f32, f64 => serialize_f64
+);
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+) with $len:expr;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut seq = serializer.serialize_tuple($len)?;
+                $(seq.serialize_element(&self.$idx)?;)+
+                seq.end()
+            }
+        }
+    )*};
+}
+
+serialize_tuple! {
+    (A.0) with 1;
+    (A.0, B.1) with 2;
+    (A.0, B.1, C.2) with 3;
+    (A.0, B.1, C.2, D.3) with 4;
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Value::Null => serializer.serialize_unit(),
+            Value::Bool(b) => serializer.serialize_bool(*b),
+            Value::Int(i) => serializer.serialize_i64(*i),
+            Value::UInt(u) => serializer.serialize_u64(*u),
+            Value::Float(f) => serializer.serialize_f64(*f),
+            Value::String(s) => serializer.serialize_str(s),
+            Value::Array(items) => {
+                let mut seq = serializer.serialize_seq(Some(items.len()))?;
+                for item in items {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+            Value::Object(fields) => serializer.collect_object(fields.clone()),
+        }
+    }
+}

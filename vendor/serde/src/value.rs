@@ -1,0 +1,311 @@
+//! The JSON-like value tree every serializer and deserializer in the
+//! vendored stack routes through.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use crate::{de, ser, Deserialize, Serialize};
+
+/// A dynamically typed value.
+///
+/// Numbers keep their lexical class (`Int`/`UInt`/`Float`) so integers
+/// round-trip exactly and floats use Rust's shortest round-trip formatting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A negative or signed integer.
+    Int(i64),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short name for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serializes `value` into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Propagates any error the type's `Serialize` impl raises.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, crate::Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserializes a `T` out of a [`Value`] tree, reporting failures through
+/// any [`de::Error`] type (so derive-generated code can surface errors as
+/// `D::Error` for the deserializer `D` it was invoked with).
+///
+/// # Errors
+///
+/// Fails when the value's shape does not match `T`.
+pub fn from_value<'de, T: Deserialize<'de>, E: de::Error>(value: Value) -> Result<T, E> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+/// A [`crate::Deserializer`] over an in-memory [`Value`], generic in its
+/// error type.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    _err: PhantomData<fn() -> E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wraps a value.
+    #[must_use]
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            _err: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> crate::Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+
+    fn take_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+/// The [`crate::Serializer`] that builds a [`Value`] tree — the stack's
+/// single concrete serializer.
+pub struct ValueSerializer;
+
+/// Builder for struct-like shapes (structs, maps, struct variants).
+pub struct ValueStructBuilder {
+    fields: Vec<(String, Value)>,
+    /// For struct variants: wrap the object under this key when done.
+    variant: Option<&'static str>,
+}
+
+/// Builder for sequence-like shapes (seqs, tuples, tuple variants).
+pub struct ValueSeqBuilder {
+    items: Vec<Value>,
+    variant: Option<&'static str>,
+}
+
+impl ser::SerializeStruct for ValueStructBuilder {
+    type Ok = Value;
+    type Error = crate::Error;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), crate::Error> {
+        let v = value.serialize(ValueSerializer)?;
+        self.fields.push((key.to_string(), v));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, crate::Error> {
+        let obj = Value::Object(self.fields);
+        Ok(match self.variant {
+            Some(name) => Value::Object(vec![(name.to_string(), obj)]),
+            None => obj,
+        })
+    }
+}
+
+impl ser::SerializeStructVariant for ValueStructBuilder {
+    type Ok = Value;
+    type Error = crate::Error;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), crate::Error> {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+
+    fn end(self) -> Result<Value, crate::Error> {
+        ser::SerializeStruct::end(self)
+    }
+}
+
+impl ser::SerializeSeq for ValueSeqBuilder {
+    type Ok = Value;
+    type Error = crate::Error;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), crate::Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, crate::Error> {
+        let arr = Value::Array(self.items);
+        Ok(match self.variant {
+            Some(name) => Value::Object(vec![(name.to_string(), arr)]),
+            None => arr,
+        })
+    }
+}
+
+impl ser::SerializeTupleVariant for ValueSeqBuilder {
+    type Ok = Value;
+    type Error = crate::Error;
+
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), crate::Error> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<Value, crate::Error> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl crate::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = crate::Error;
+    type SerializeStruct = ValueStructBuilder;
+    type SerializeStructVariant = ValueStructBuilder;
+    type SerializeSeq = ValueSeqBuilder;
+    type SerializeTupleVariant = ValueSeqBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, crate::Error> {
+        Ok(Value::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Value, crate::Error> {
+        Ok(Value::Int(v))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Value, crate::Error> {
+        Ok(Value::UInt(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Value, crate::Error> {
+        Ok(Value::Float(v))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Value, crate::Error> {
+        Ok(Value::String(v.to_string()))
+    }
+
+    fn serialize_unit(self) -> Result<Value, crate::Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_none(self) -> Result<Value, crate::Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Value, crate::Error> {
+        value.serialize(ValueSerializer)
+    }
+
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Value, crate::Error> {
+        value.serialize(ValueSerializer)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<Value, crate::Error> {
+        Ok(Value::String(variant.to_string()))
+    }
+
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value, crate::Error> {
+        Ok(Value::Object(vec![(
+            variant.to_string(),
+            value.serialize(ValueSerializer)?,
+        )]))
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<ValueStructBuilder, crate::Error> {
+        Ok(ValueStructBuilder {
+            fields: Vec::with_capacity(len),
+            variant: None,
+        })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<ValueStructBuilder, crate::Error> {
+        Ok(ValueStructBuilder {
+            fields: Vec::with_capacity(len),
+            variant: Some(variant),
+        })
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<ValueSeqBuilder, crate::Error> {
+        Ok(ValueSeqBuilder {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+            variant: None,
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<ValueSeqBuilder, crate::Error> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<ValueSeqBuilder, crate::Error> {
+        Ok(ValueSeqBuilder {
+            items: Vec::with_capacity(len),
+            variant: Some(variant),
+        })
+    }
+
+    fn collect_object(self, fields: Vec<(String, Value)>) -> Result<Value, crate::Error> {
+        Ok(Value::Object(fields))
+    }
+}
+
+impl fmt::Display for Value {
+    /// Debug-ish display; `serde_json` owns the canonical JSON rendering.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}

@@ -1,0 +1,608 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! serde crate.
+//!
+//! No `syn`/`quote`: the input item is parsed with a small hand-rolled
+//! walker over [`proc_macro::TokenTree`]s and the impl is generated as a
+//! string. Supports what this workspace derives on:
+//!
+//! * named-field structs, newtype structs, tuple structs, unit structs
+//! * enums with unit, newtype, tuple and struct variants (externally
+//!   tagged, matching real serde_json's JSON conventions)
+//! * field attributes `#[serde(default)]`, `#[serde(default = "path")]`,
+//!   `#[serde(skip)]`, `#[serde(skip, default = "path")]` and
+//!   `#[serde(with = "module")]`
+//!
+//! Generics are intentionally unsupported; the workspace derives only on
+//! concrete types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Per-field serde configuration parsed from `#[serde(...)]`.
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    /// `#[serde(skip)]`: never serialized, rebuilt from a default.
+    skip: bool,
+    /// `#[serde(default)]` (`Some(None)`) or `#[serde(default = "path")]`
+    /// (`Some(Some(path))`).
+    default: Option<Option<String>>,
+    /// `#[serde(with = "module")]`.
+    with: Option<String>,
+}
+
+/// One struct or enum-variant field.
+#[derive(Clone)]
+struct Field {
+    name: String,
+    ty: String,
+    attrs: FieldAttrs,
+}
+
+/// The shape of a struct body or an enum variant's payload.
+#[derive(Clone)]
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, shape } => gen_struct_serialize(name, shape),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, shape } => gen_struct_deserialize(name, shape),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Outer attributes (doc comments, other derives' helpers) are ignored.
+    while is_attr_start(&tokens, i) {
+        i += 2;
+    }
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn is_attr_start(tokens: &[TokenTree], i: usize) -> bool {
+    matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#')
+        && matches!(tokens.get(i + 1), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Collects leading attributes at `i`, folding any `#[serde(...)]` contents
+/// into a [`FieldAttrs`].
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while is_attr_start(tokens, *i) {
+        if let TokenTree::Group(g) = &tokens[*i + 1] {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    parse_serde_args(args.stream(), &mut attrs);
+                }
+            }
+        }
+        *i += 2;
+    }
+    attrs
+}
+
+fn parse_serde_args(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: unexpected token in #[serde(...)]: {other}"),
+        };
+        i += 1;
+        let mut value = None;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            match &tokens[i] {
+                TokenTree::Literal(lit) => {
+                    let s = lit.to_string();
+                    value = Some(s.trim_matches('"').to_string());
+                }
+                other => panic!("serde_derive: expected string after `{key} =`, found {other}"),
+            }
+            i += 1;
+        }
+        match key.as_str() {
+            "skip" => attrs.skip = true,
+            "default" => attrs.default = Some(value),
+            "with" => attrs.with = value,
+            other => panic!("serde_derive (vendored): unsupported serde attribute `{other}`"),
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+}
+
+/// Reads type tokens until a top-level comma, tracking `<`/`>` depth (angle
+/// brackets are plain puncts in a token stream).
+fn take_type(tokens: &[TokenTree], i: &mut usize) -> String {
+    let mut depth = 0i32;
+    let mut parts: Vec<String> = Vec::new();
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                ',' if depth == 0 => break,
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        parts.push(tok.to_string());
+        *i += 1;
+    }
+    parts.join(" ")
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        let ty = take_type(&tokens, &mut i);
+        fields.push(Field { name, ty, attrs });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    let mut index = 0usize;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let ty = take_type(&tokens, &mut i);
+        fields.push(Field {
+            name: index.to_string(),
+            ty,
+            attrs,
+        });
+        index += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _attrs = take_attrs(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip a discriminant (`= expr`) if present.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            loop {
+                match tokens.get(i) {
+                    None => break,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                    _ => i += 1,
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+const ALLOWS: &str = "#[automatically_derived]\n#[allow(clippy::all, clippy::pedantic, clippy::nursery, unused_mut, unused_variables, unused_imports)]\n";
+
+/// A `Serialize` wrapper expression for one field: plain fields serialize by
+/// reference, `with = "m"` fields go through a generated adapter struct.
+///
+/// `expr` must be a `&FieldType` expression; returns (prelude items, expr).
+fn ser_field_expr(field: &Field, expr: &str, idx: usize) -> (String, String) {
+    match &field.attrs.with {
+        Some(module) => {
+            let wrapper = format!("__SerdeWith{idx}");
+            let prelude = format!(
+                "struct {wrapper}<'a>(&'a {ty});\n\
+                 impl<'a> serde::Serialize for {wrapper}<'a> {{\n\
+                     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {{\n\
+                         {module}::serialize(self.0, serializer)\n\
+                     }}\n\
+                 }}\n",
+                ty = field.ty,
+            );
+            (prelude, format!("&{wrapper}({expr})"))
+        }
+        None => (String::new(), expr.to_string()),
+    }
+}
+
+fn gen_struct_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => "serializer.serialize_unit()".to_string(),
+        Shape::Tuple(fields) if fields.len() == 1 => {
+            format!("serializer.serialize_newtype_struct(\"{name}\", &self.0)")
+        }
+        Shape::Tuple(fields) => {
+            let mut out = String::new();
+            out.push_str(&format!(
+                "let mut state = serializer.serialize_tuple({})?;\n",
+                fields.len()
+            ));
+            for f in fields {
+                out.push_str(&format!("serde::ser::SerializeSeq::serialize_element(&mut state, &self.{})?;\n", f.name));
+            }
+            out.push_str("serde::ser::SerializeSeq::end(state)");
+            out
+        }
+        Shape::Named(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.attrs.skip).collect();
+            let mut out = String::new();
+            out.push_str(&format!(
+                "let mut state = serializer.serialize_struct(\"{name}\", {})?;\n",
+                live.len()
+            ));
+            for (idx, f) in live.iter().enumerate() {
+                let (prelude, expr) = ser_field_expr(f, &format!("&self.{}", f.name), idx);
+                out.push_str(&prelude);
+                out.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut state, \"{}\", {expr})?;\n",
+                    f.name
+                ));
+            }
+            out.push_str("serde::ser::SerializeStruct::end(state)");
+            out
+        }
+    };
+    format!(
+        "{ALLOWS}impl serde::Serialize for {name} {{\n\
+             fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (vi, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vname} => serializer.serialize_unit_variant(\"{name}\", {vi}, \"{vname}\"),\n"
+                ));
+            }
+            Shape::Tuple(fields) if fields.len() == 1 => {
+                arms.push_str(&format!(
+                    "{name}::{vname}(inner) => serializer.serialize_newtype_variant(\"{name}\", {vi}, \"{vname}\", inner),\n"
+                ));
+            }
+            Shape::Tuple(fields) => {
+                let binders: Vec<String> =
+                    (0..fields.len()).map(|k| format!("__f{k}")).collect();
+                let mut body = format!(
+                    "let mut state = serializer.serialize_tuple_variant(\"{name}\", {vi}, \"{vname}\", {})?;\n",
+                    fields.len()
+                );
+                for b in &binders {
+                    body.push_str(&format!(
+                        "serde::ser::SerializeTupleVariant::serialize_field(&mut state, {b})?;\n"
+                    ));
+                }
+                body.push_str("serde::ser::SerializeTupleVariant::end(state)");
+                arms.push_str(&format!(
+                    "{name}::{vname}({binders_pat}) => {{ {body} }}\n",
+                    binders_pat = binders.join(", ")
+                ));
+            }
+            Shape::Named(fields) => {
+                let pat: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let mut body = format!(
+                    "let mut state = serializer.serialize_struct_variant(\"{name}\", {vi}, \"{vname}\", {})?;\n",
+                    fields.len()
+                );
+                for (idx, f) in fields.iter().enumerate() {
+                    let (prelude, expr) = ser_field_expr(f, &f.name, idx);
+                    body.push_str(&prelude);
+                    body.push_str(&format!(
+                        "serde::ser::SerializeStructVariant::serialize_field(&mut state, \"{}\", {expr})?;\n",
+                        f.name
+                    ));
+                }
+                body.push_str("serde::ser::SerializeStructVariant::end(state)");
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {} }} => {{ {body} }}\n",
+                    pat.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "{ALLOWS}impl serde::Serialize for {name} {{\n\
+             fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {{\n\
+                 match self {{\n{arms}}}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Emits `let <binder>: <ty> = ...;` pulling one named field out of
+/// `fields`, honouring skip/default/with.
+fn de_named_field(f: &Field, binder: &str) -> String {
+    let name = &f.name;
+    let ty = &f.ty;
+    if f.attrs.skip {
+        let init = match &f.attrs.default {
+            Some(Some(path)) => format!("{path}()"),
+            _ => "Default::default()".to_string(),
+        };
+        return format!("let {binder}: {ty} = {init};\n");
+    }
+    let from_value = match &f.attrs.with {
+        Some(module) => format!(
+            "{module}::deserialize(serde::value::ValueDeserializer::<D::Error>::new(__v))?"
+        ),
+        None => "serde::value::from_value::<_, D::Error>(__v)?".to_string(),
+    };
+    let missing = match &f.attrs.default {
+        Some(Some(path)) => format!("{path}()"),
+        Some(None) => "Default::default()".to_string(),
+        None => format!("return Err(serde::de::Error::missing_field(\"{name}\"))"),
+    };
+    format!(
+        "let {binder}: {ty} = match serde::de::opt_field(&mut fields, \"{name}\") {{\n\
+             Some(__v) => {from_value},\n\
+             None => {missing},\n\
+         }};\n"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!(
+            "let _ = deserializer.take_value()?;\nOk({name})"
+        ),
+        Shape::Tuple(fields) if fields.len() == 1 => format!(
+            "serde::value::from_value::<{ty}, D::Error>(deserializer.take_value()?).map({name})",
+            ty = fields[0].ty
+        ),
+        Shape::Tuple(fields) => {
+            let mut out = format!(
+                "let items = serde::de::expect_array::<D::Error>(deserializer.take_value()?, \"tuple struct {name}\")?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(serde::de::Error::custom(\"wrong tuple struct length\"));\n\
+                 }}\n\
+                 let mut iter = items.into_iter();\n",
+                n = fields.len()
+            );
+            let mut ctor = Vec::new();
+            for (k, f) in fields.iter().enumerate() {
+                out.push_str(&format!(
+                    "let __f{k}: {ty} = serde::value::from_value::<_, D::Error>(iter.next().expect(\"length checked\"))?;\n",
+                    ty = f.ty
+                ));
+                ctor.push(format!("__f{k}"));
+            }
+            out.push_str(&format!("Ok({name}({}))", ctor.join(", ")));
+            out
+        }
+        Shape::Named(fields) => {
+            let mut out = format!(
+                "let mut fields = serde::de::expect_object::<D::Error>(deserializer.take_value()?, \"struct {name}\")?;\n"
+            );
+            let mut ctor = Vec::new();
+            for f in fields {
+                out.push_str(&de_named_field(f, &format!("__v_{}", f.name)));
+                ctor.push(format!("{}: __v_{}", f.name, f.name));
+            }
+            out.push_str(&format!("Ok({name} {{ {} }})", ctor.join(", ")));
+            out
+        }
+    };
+    format!(
+        "{ALLOWS}impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+            }
+            Shape::Tuple(fields) if fields.len() == 1 => {
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => serde::value::from_value::<{ty}, D::Error>(__inner).map({name}::{vname}),\n",
+                    ty = fields[0].ty
+                ));
+            }
+            Shape::Tuple(fields) => {
+                let mut body = format!(
+                    "let items = serde::de::expect_array::<D::Error>(__inner, \"variant {vname}\")?;\n\
+                     if items.len() != {n} {{\n\
+                         return Err(serde::de::Error::custom(\"wrong tuple variant length\"));\n\
+                     }}\n\
+                     let mut iter = items.into_iter();\n",
+                    n = fields.len()
+                );
+                let mut ctor = Vec::new();
+                for (k, f) in fields.iter().enumerate() {
+                    body.push_str(&format!(
+                        "let __f{k}: {ty} = serde::value::from_value::<_, D::Error>(iter.next().expect(\"length checked\"))?;\n",
+                        ty = f.ty
+                    ));
+                    ctor.push(format!("__f{k}"));
+                }
+                body.push_str(&format!("Ok({name}::{vname}({}))", ctor.join(", ")));
+                tagged_arms.push_str(&format!("\"{vname}\" => {{ {body} }}\n"));
+            }
+            Shape::Named(fields) => {
+                let mut body = format!(
+                    "let mut fields = serde::de::expect_object::<D::Error>(__inner, \"variant {vname}\")?;\n"
+                );
+                let mut ctor = Vec::new();
+                for f in fields {
+                    body.push_str(&de_named_field(f, &format!("__v_{}", f.name)));
+                    ctor.push(format!("{}: __v_{}", f.name, f.name));
+                }
+                body.push_str(&format!(
+                    "Ok({name}::{vname} {{ {} }})",
+                    ctor.join(", ")
+                ));
+                tagged_arms.push_str(&format!("\"{vname}\" => {{ {body} }}\n"));
+            }
+        }
+    }
+    format!(
+        "{ALLOWS}impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {{\n\
+                 match deserializer.take_value()? {{\n\
+                     serde::value::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => Err(serde::de::Error::custom(format!(\n\
+                             \"unknown variant `{{__other}}` for enum {name}\"))),\n\
+                     }},\n\
+                     serde::value::Value::Object(mut __fields) if __fields.len() == 1 => {{\n\
+                         let (__tag, __inner) = __fields.remove(0);\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\
+                             __other => Err(serde::de::Error::custom(format!(\n\
+                                 \"unknown variant `{{__other}}` for enum {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     __other => Err(serde::de::Error::custom(format!(\n\
+                         \"invalid value for enum {name}: {{}}\", __other.kind()))),\n\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}
