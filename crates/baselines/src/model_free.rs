@@ -145,7 +145,13 @@ mod tests {
     #[test]
     fn trained_policy_respects_budget() {
         let mut e = env(2);
-        let mut policy = train_model_free(&mut e, 25, 10, DdpgConfig::small_test(3), Some(&[20, 20, 20]));
+        let mut policy = train_model_free(
+            &mut e,
+            25,
+            10,
+            DdpgConfig::small_test(3),
+            Some(&[20, 20, 20]),
+        );
         for wip in [[0.0; 4], [100.0, 3.0, 0.0, 44.0]] {
             let m = policy.allocate(&wip, None);
             assert!(m.iter().sum::<usize>() <= 14);

@@ -84,10 +84,9 @@ impl MonadAllocator {
     /// Updates the linear model from an observed transition
     /// `w(k) → w(k+1)` under the previously applied allocation.
     fn identify(&mut self, previous: &WindowMetrics, wip_now: &[f64]) {
-        for j in 0..wip_now.len() {
+        for (j, &w_after) in wip_now.iter().enumerate() {
             let w_before = previous.wip.get(j).copied().unwrap_or(0) as f64;
             let m = previous.action_applied.get(j).copied().unwrap_or(0) as f64;
-            let w_after = wip_now[j];
             // Observed net change decomposes as inflow − drain·m. With one
             // equation and two unknowns per step, attribute the change to
             // drain when consumers were present and the queue was backlogged,

@@ -1,0 +1,144 @@
+//! Criterion benchmarks for the `nn` compute core and the training paths
+//! that funnel through it: raw matmul kernels across sizes, the fused layer
+//! products, and end-to-end train steps for the dynamics model and DDPG.
+//!
+//! Run: `cargo bench -p miras-bench --bench nn_kernels`
+//!
+//! `BENCH_nn.json` records before/after medians for the perf-optimisation
+//! work; the `*_naive` entries time the reference kernels kept in
+//! `nn::Matrix` for comparison against the tiled implementations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use miras_core::{DynamicsModel, MirasConfig, Transition, TransitionDataset};
+use nn::{Activation, Adam, Matrix, Mlp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rl::{Ddpg, DdpgConfig};
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut SmallRng) -> Matrix {
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn bench_matmul_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = SmallRng::seed_from_u64(11);
+    for n in [32usize, 64, 128, 256, 512] {
+        let a = random_matrix(n, n, &mut rng);
+        let b = random_matrix(n, n, &mut rng);
+        if n >= 256 {
+            group.sample_size(10);
+        }
+        group.bench_function(format!("matmul_{n}"), |bench| {
+            bench.iter(|| black_box(black_box(&a).matmul(black_box(&b))));
+        });
+        if n == 256 {
+            group.bench_function(format!("naive_matmul_{n}"), |bench| {
+                bench.iter(|| black_box(black_box(&a).naive_matmul(black_box(&b))));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fused_products(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_products");
+    group.sample_size(10);
+    let mut rng = SmallRng::seed_from_u64(12);
+    let a = random_matrix(256, 256, &mut rng);
+    let b = random_matrix(256, 256, &mut rng);
+    group.bench_function("transpose_matmul_256", |bench| {
+        bench.iter(|| black_box(black_box(&a).transpose_matmul(black_box(&b))));
+    });
+    group.bench_function("matmul_transpose_256", |bench| {
+        bench.iter(|| black_box(black_box(&a).matmul_transpose(black_box(&b))));
+    });
+    group.bench_function("naive_transpose_matmul_256", |bench| {
+        bench.iter(|| black_box(black_box(&a).naive_transpose_matmul(black_box(&b))));
+    });
+    group.bench_function("naive_matmul_transpose_256", |bench| {
+        bench.iter(|| black_box(black_box(&a).naive_matmul_transpose(black_box(&b))));
+    });
+    group.finish();
+}
+
+/// A LIGO-scale transition dataset (9 task types) with toy linear dynamics.
+fn ligo_scale_dataset(n: usize, seed: u64) -> TransitionDataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut data = TransitionDataset::new(9);
+    for _ in 0..n {
+        let s: Vec<f64> = (0..9).map(|_| rng.gen_range(0.0..40.0)).collect();
+        let a: Vec<f64> = (0..9).map(|_| rng.gen_range(0.0..4.0)).collect();
+        let next: Vec<f64> = s
+            .iter()
+            .zip(&a)
+            .map(|(&si, &ai)| (si - 2.0 * ai).max(0.0) + 1.0)
+            .collect();
+        data.push(Transition {
+            state: s,
+            action: a,
+            next_state: next,
+        });
+    }
+    data
+}
+
+fn bench_dynamics_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamics");
+    group.sample_size(10);
+    // Paper-scale environment model: LIGO state (9 task types), wide hidden
+    // layers, one epoch of minibatch SGD over a 512-transition dataset.
+    let data = ligo_scale_dataset(512, 13);
+    let mut config = MirasConfig::smoke_test(14);
+    config.model_hidden = vec![256, 256];
+    let mut model = DynamicsModel::new(9, &config);
+    group.bench_function("dynamics_train_epoch_h256_n512", |bench| {
+        bench.iter(|| black_box(model.train(black_box(&data), 1, 64)));
+    });
+    group.finish();
+}
+
+fn bench_mlp_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlp");
+    group.sample_size(10);
+    let mut rng = SmallRng::seed_from_u64(15);
+    // The paper's LIGO actor shape trained on one minibatch.
+    let mut net = Mlp::new(
+        &[9, 256, 256, 256, 9],
+        Activation::Relu,
+        Activation::Linear,
+        &mut rng,
+    );
+    let mut opt = Adam::new(1e-3);
+    let x = random_matrix(64, 9, &mut rng);
+    let y = random_matrix(64, 9, &mut rng);
+    group.bench_function("train_mse_h256x3_batch64", |bench| {
+        bench.iter(|| black_box(net.train_mse(black_box(&x), black_box(&y), &mut opt)));
+    });
+    group.finish();
+}
+
+fn bench_ddpg_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ddpg_paper");
+    group.sample_size(10);
+    // Paper MSD configuration: hidden [256; 3], batch 64.
+    let mut agent = Ddpg::new(4, 4, DdpgConfig::paper(256, 16));
+    for i in 0..256 {
+        let s = [i as f64 % 13.0, i as f64 % 7.0, i as f64 % 5.0, 1.0];
+        agent.observe(&s, &[0.25; 4], -(i as f64 % 9.0), &s);
+    }
+    group.bench_function("train_step_hidden256_batch64", |bench| {
+        bench.iter(|| black_box(agent.train_step()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_sizes,
+    bench_fused_products,
+    bench_dynamics_train_step,
+    bench_mlp_train_step,
+    bench_ddpg_train_step,
+);
+criterion_main!(benches);

@@ -97,5 +97,11 @@ fn bench_allocators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_env_step, bench_nn, bench_ddpg, bench_allocators);
+criterion_group!(
+    benches,
+    bench_env_step,
+    bench_nn,
+    bench_ddpg,
+    bench_allocators
+);
 criterion_main!(benches);

@@ -16,12 +16,7 @@ use miras_bench::{train_miras, BenchArgs, EnsembleKind};
 use miras_core::MirasAgent;
 use rl::policy::{allocation_floor, allocation_largest_remainder};
 
-fn replay(
-    kind: EnsembleKind,
-    agent: &MirasAgent,
-    seed: u64,
-    floor: bool,
-) -> (f64, usize, usize) {
+fn replay(kind: EnsembleKind, agent: &MirasAgent, seed: u64, floor: bool) -> (f64, usize, usize) {
     let ensemble = kind.ensemble();
     let config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
     let mut env = MicroserviceEnv::new(ensemble, config);
@@ -55,7 +50,14 @@ fn main() {
         args.seed
     );
     for kind in args.ensembles() {
-        let (_, agent) = train_miras(kind, args.seed, iterations, args.paper, !args.no_cache, true);
+        let (_, agent) = train_miras(
+            kind,
+            args.seed,
+            iterations,
+            args.paper,
+            !args.no_cache,
+            true,
+        );
         println!(
             "##### {} — burst {:?}, same trained policy #####",
             kind.name().to_uppercase(),

@@ -88,7 +88,10 @@ fn main() {
     println!("(paper: action-space noise 'often violates our constraints on total number of consumers')\n");
 
     for kind in args.ensembles() {
-        println!("##### {} — training with each exploration mode #####", kind.name().to_uppercase());
+        println!(
+            "##### {} — training with each exploration mode #####",
+            kind.name().to_uppercase()
+        );
         training_quality(kind, args.seed, iterations);
         println!();
     }

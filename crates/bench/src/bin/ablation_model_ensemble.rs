@@ -12,7 +12,9 @@
 
 use microsim::{EnvConfig, MicroserviceEnv};
 use miras_bench::BenchArgs;
-use miras_core::{ClusterEnvAdapter, DynamicsModel, EnsembleDynamics, Transition, TransitionDataset};
+use miras_core::{
+    ClusterEnvAdapter, DynamicsModel, EnsembleDynamics, Transition, TransitionDataset,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rl::policy::project_to_simplex;
@@ -73,7 +75,10 @@ fn accuracy(
 
 fn main() {
     let args = BenchArgs::parse();
-    println!("Ablation A6 — single model vs deep ensemble (seed {})\n", args.seed);
+    println!(
+        "Ablation A6 — single model vs deep ensemble (seed {})\n",
+        args.seed
+    );
     for kind in args.ensembles() {
         let ensemble = kind.ensemble();
         let j = ensemble.num_task_types();
@@ -98,8 +103,14 @@ fn main() {
         let (s_one, s_open) = accuracy(&test, |s, a| single.predict(s, a));
         let (e_one, e_open) = accuracy(&test, |s, a| ens.predict_mean(s, a));
 
-        println!("##### {} (2000 train transitions, 100-step open-loop test) #####", kind.name().to_uppercase());
-        println!("{:>18} {:>14} {:>14}", "model", "one-step MAE", "open-loop MAE");
+        println!(
+            "##### {} (2000 train transitions, 100-step open-loop test) #####",
+            kind.name().to_uppercase()
+        );
+        println!(
+            "{:>18} {:>14} {:>14}",
+            "model", "one-step MAE", "open-loop MAE"
+        );
         println!("{:>18} {:>14.2} {:>14.2}", "single (paper)", s_one, s_open);
         println!("{:>18} {:>14.2} {:>14.2}", "ensemble of 5", e_one, e_open);
 

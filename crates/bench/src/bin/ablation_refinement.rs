@@ -14,17 +14,18 @@
 
 use microsim::{EnvConfig, MicroserviceEnv};
 use miras_bench::{BenchArgs, EnsembleKind};
-use miras_core::{
-    ClusterEnvAdapter, DynamicsModel, MirasTrainer, RefinedModel, TransitionDataset,
-};
+use miras_core::{ClusterEnvAdapter, DynamicsModel, MirasTrainer, RefinedModel, TransitionDataset};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rl::policy::project_to_simplex;
 use rl::Environment;
 
-fn collect(env: &mut ClusterEnvAdapter, steps: usize, reset_every: usize, rng: &mut SmallRng)
-    -> Vec<miras_core::Transition>
-{
+fn collect(
+    env: &mut ClusterEnvAdapter,
+    steps: usize,
+    reset_every: usize,
+    rng: &mut SmallRng,
+) -> Vec<miras_core::Transition> {
     let j = env.state_dim();
     let _ = env.reset();
     let mut current = vec![1.0 / j as f64; j];
@@ -53,8 +54,7 @@ fn model_level(kind: EnsembleKind, seed: u64) {
     dataset.extend(collect(&mut env, 1500, config.reset_every, &mut rng));
 
     let test_config = EnvConfig::for_ensemble(&ensemble).with_seed(seed + 1);
-    let mut test_env =
-        ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble.clone(), test_config));
+    let mut test_env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble.clone(), test_config));
     let test = collect(&mut test_env, 400, config.reset_every, &mut rng);
 
     let mut model = DynamicsModel::new(j, &config);
@@ -66,11 +66,7 @@ fn model_level(kind: EnsembleKind, seed: u64) {
     let mut raw_interior = (0.0, 0usize);
     let mut ref_interior = (0.0, 0usize);
     for t in &test {
-        let at_boundary = t
-            .state
-            .iter()
-            .zip(refined.tau())
-            .any(|(&s, &tau)| s < tau);
+        let at_boundary = t.state.iter().zip(refined.tau()).any(|(&s, &tau)| s < tau);
         let raw_pred = model.predict(&t.state, &t.action);
         let ref_pred = refined.predict(&t.state, &t.action, &mut rng);
         let mae = |pred: &[f64]| {
@@ -128,7 +124,10 @@ fn policy_level(kind: EnsembleKind, seed: u64, iterations: usize) {
 fn main() {
     let args = BenchArgs::parse();
     let iterations = args.iterations.unwrap_or(6);
-    println!("Ablation A2 — Lend–Giveback refinement (seed {})\n", args.seed);
+    println!(
+        "Ablation A2 — Lend–Giveback refinement (seed {})\n",
+        args.seed
+    );
     for kind in args.ensembles() {
         println!("##### {} #####", kind.name().to_uppercase());
         model_level(kind, args.seed);

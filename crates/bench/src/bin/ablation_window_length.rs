@@ -14,7 +14,6 @@ use desim::SimTime;
 use microsim::{EnvConfig, MicroserviceEnv};
 use miras_bench::BenchArgs;
 
-
 fn main() {
     let args = BenchArgs::parse();
     println!(
@@ -62,7 +61,11 @@ fn main() {
                 final_wip = out.metrics.total_wip();
                 prev = Some(out.metrics);
             }
-            let mean_resp = if resp_n > 0 { resp_sum / resp_n as f64 } else { 0.0 };
+            let mean_resp = if resp_n > 0 {
+                resp_sum / resp_n as f64
+            } else {
+                0.0
+            };
             println!(
                 "{window_secs:>9} {steps:>7} {completions:>13} {mean_resp:>14.1} \
                  {final_wip:>11} {steps:>10}"

@@ -146,7 +146,12 @@ fn run_for(kind: EnsembleKind, seed: u64, paper: bool) {
     for i in 0..test_trace.len() {
         println!(
             "{:>5} {:>13.1} {:>13.1} {:>13.1} {:>10.1} {:>10.1} {:>10.1}",
-            i, truth_reward[i], fixed_reward[i], iter_reward[i], truth_w0[i], fixed_w0[i],
+            i,
+            truth_reward[i],
+            fixed_reward[i],
+            iter_reward[i],
+            truth_w0[i],
+            fixed_w0[i],
             iter_w0[i]
         );
     }
@@ -176,7 +181,10 @@ fn run_for(kind: EnsembleKind, seed: u64, paper: bool) {
 
 fn main() {
     let args = BenchArgs::parse();
-    println!("Fig. 5 reproduction — predictive model accuracy (seed {})", args.seed);
+    println!(
+        "Fig. 5 reproduction — predictive model accuracy (seed {})",
+        args.seed
+    );
     for kind in args.ensembles() {
         run_for(kind, args.seed, args.paper);
     }

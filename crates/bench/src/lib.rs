@@ -481,8 +481,7 @@ pub fn run_comparison(
 
     // Model-free DDPG with the same number of real interactions (§VI-D).
     let miras_cfg = kind.miras_config(seed, paper);
-    let interaction_budget =
-        iterations * (miras_cfg.real_steps_per_iter + miras_cfg.eval_steps);
+    let interaction_budget = iterations * (miras_cfg.real_steps_per_iter + miras_cfg.eval_steps);
     eprintln!(
         "[train {}] model-free DDPG with {} real interactions",
         kind.name(),

@@ -564,8 +564,8 @@ mod tests {
 
     #[test]
     fn startup_delay_defers_processing() {
-        let cfg = SimConfig::new(6)
-            .with_startup_delay(SimTime::from_secs(5), SimTime::from_secs(10));
+        let cfg =
+            SimConfig::new(6).with_startup_delay(SimTime::from_secs(5), SimTime::from_secs(10));
         let mut c = Cluster::new(Ensemble::msd(), cfg);
         c.submit(SimTime::ZERO, WorkflowTypeId::new(0));
         c.set_consumers(&[1, 1, 1, 1]);
@@ -584,7 +584,10 @@ mod tests {
             let mut c = msd_cluster(seed);
             c.set_consumers(&[4, 4, 4, 2]);
             for s in 0..50 {
-                c.submit(SimTime::from_secs(s * 3), WorkflowTypeId::new((s % 3) as usize));
+                c.submit(
+                    SimTime::from_secs(s * 3),
+                    WorkflowTypeId::new((s % 3) as usize),
+                );
             }
             c.run_until(SimTime::from_secs(1000));
             let responses: Vec<u64> = c

@@ -53,7 +53,10 @@ impl SimConfig {
     /// Panics unless `cores` is positive and finite.
     #[must_use]
     pub fn with_total_cores(mut self, cores: f64) -> Self {
-        assert!(cores.is_finite() && cores > 0.0, "core count must be positive");
+        assert!(
+            cores.is_finite() && cores > 0.0,
+            "core count must be positive"
+        );
         self.total_cores = Some(cores);
         self
     }
@@ -214,7 +217,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "startup delay range inverted")]
     fn inverted_startup_range_panics() {
-        let _ = SimConfig::new(0)
-            .with_startup_delay(SimTime::from_secs(10), SimTime::from_secs(5));
+        let _ = SimConfig::new(0).with_startup_delay(SimTime::from_secs(10), SimTime::from_secs(5));
     }
 }

@@ -369,7 +369,10 @@ mod tests {
         let out = env.step(&[0, 0, 0, 0]);
         assert!(out.metrics.total_wip() >= 300);
         let state = env.reset();
-        assert!(state.iter().sum::<f64>() <= 1.0, "reset left WIP: {state:?}");
+        assert!(
+            state.iter().sum::<f64>() <= 1.0,
+            "reset left WIP: {state:?}"
+        );
     }
 
     #[test]

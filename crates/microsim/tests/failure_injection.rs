@@ -32,7 +32,10 @@ fn failures_occur_at_high_rate() {
     let mut c = faulty_cluster(2, 60.0);
     c.set_consumers(&[4, 4, 4, 2]);
     for i in 0..200 {
-        c.submit(SimTime::from_secs(i / 2), WorkflowTypeId::new((i % 3) as usize));
+        c.submit(
+            SimTime::from_secs(i / 2),
+            WorkflowTypeId::new((i % 3) as usize),
+        );
     }
     c.run_until(SimTime::from_secs(4_000));
     assert!(c.consumer_failures() > 0, "expected injected failures");
@@ -50,7 +53,10 @@ fn no_work_is_lost_under_failures() {
     }
     c.run_until(SimTime::from_secs(20_000));
     let done = c.drain_completions().len();
-    assert!(c.consumer_failures() > 0, "test needs failures to be meaningful");
+    assert!(
+        c.consumer_failures() > 0,
+        "test needs failures to be meaningful"
+    );
     assert_eq!(done, total, "lost {} workflows", total - done);
     assert_eq!(c.total_wip(), 0);
     assert_eq!(c.workflows_in_flight(), 0);

@@ -44,7 +44,10 @@ fn short_windows_feel_container_startup() {
     let mut env = env_with_window(30, 2);
     env.inject_burst(&BurstSpec::new(vec![20, 0, 0]));
     let out = env.step(&[14, 0, 0, 0]);
-    assert!(out.metrics.wip[0] < 20, "the A queue should have drained some");
+    assert!(
+        out.metrics.wip[0] < 20,
+        "the A queue should have drained some"
+    );
 }
 
 #[test]
@@ -56,7 +59,12 @@ fn arrivals_scale_with_window_length() {
         let steps = (3_000 / secs) as usize; // same total horizon
         let mut total = 0;
         for _ in 0..steps {
-            total += env.step(&[4, 4, 4, 2]).metrics.arrivals.iter().sum::<usize>();
+            total += env
+                .step(&[4, 4, 4, 2])
+                .metrics
+                .arrivals
+                .iter()
+                .sum::<usize>();
         }
         total
     };

@@ -220,9 +220,7 @@ impl TransitionDataset {
     #[must_use]
     pub fn sample_state<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
         assert!(!self.is_empty(), "cannot sample from empty dataset");
-        self.transitions[rng.gen_range(0..self.len())]
-            .state
-            .clone()
+        self.transitions[rng.gen_range(0..self.len())].state.clone()
     }
 }
 

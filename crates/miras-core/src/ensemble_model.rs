@@ -89,13 +89,37 @@ impl EnsembleDynamics {
     /// final-epoch losses. Members share the data but differ in weight
     /// initialisation and minibatch shuffling, which is the standard
     /// deep-ensemble recipe.
+    ///
+    /// Members are independent, so they train on scoped threads (up to the
+    /// `NN_NUM_THREADS` budget, see [`nn::threads`]), each with nested
+    /// kernel parallelism disabled. Every member's minibatch schedule is
+    /// derived from its own seed and losses are reduced in member order, so
+    /// the result is bit-identical to serial training for any thread count.
     pub fn train(&mut self, data: &TransitionDataset, epochs: usize, batch: usize) -> f64 {
-        let total: f64 = self
-            .members
-            .iter_mut()
-            .map(|m| m.train(data, epochs, batch))
-            .sum();
-        total / self.members.len() as f64
+        let n = self.members.len();
+        let threads = nn::threads::effective_threads().min(n);
+        let mut losses = vec![0.0; n];
+        if threads <= 1 {
+            for (m, loss) in self.members.iter_mut().zip(losses.iter_mut()) {
+                *loss = m.train(data, epochs, batch);
+            }
+        } else {
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (members, chunk_losses) in
+                    self.members.chunks_mut(chunk).zip(losses.chunks_mut(chunk))
+                {
+                    scope.spawn(move || {
+                        nn::threads::with_serial(|| {
+                            for (m, loss) in members.iter_mut().zip(chunk_losses.iter_mut()) {
+                                *loss = m.train(data, epochs, batch);
+                            }
+                        });
+                    });
+                }
+            });
+        }
+        losses.iter().sum::<f64>() / n as f64
     }
 
     /// The ensemble-mean prediction of the next state.
@@ -265,6 +289,24 @@ mod tests {
         let sampled = ens.predict_sampled(&s, &a, &mut rng);
         let members: Vec<Vec<f64>> = (0..3).map(|m| ens.predict_member(m, &s, &a)).collect();
         assert!(members.contains(&sampled));
+    }
+
+    #[test]
+    fn train_is_deterministic_with_threads() {
+        // Two identical seeded runs must produce bitwise-identical losses and
+        // equal trained members, even when member training fans out across
+        // scoped threads. Members derive their minibatch schedule from their
+        // own seed, so the thread schedule cannot perturb results.
+        let run = || {
+            let data = toy_dataset(200, 12);
+            let mut ens = EnsembleDynamics::new(2, &MirasConfig::smoke_test(13), 4);
+            let loss = ens.train(&data, 15, 32);
+            (loss, ens)
+        };
+        let (loss_a, ens_a) = run();
+        let (loss_b, ens_b) = run();
+        assert_eq!(loss_a.to_bits(), loss_b.to_bits());
+        assert_eq!(ens_a, ens_b);
     }
 
     #[test]

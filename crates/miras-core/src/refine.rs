@@ -126,12 +126,7 @@ impl RefinedModel {
     ///
     /// Panics if the wrapped model is untrained or dimensions mismatch.
     #[must_use]
-    pub fn predict<R: Rng + ?Sized>(
-        &self,
-        state: &[f64],
-        action: &[f64],
-        rng: &mut R,
-    ) -> Vec<f64> {
+    pub fn predict<R: Rng + ?Sized>(&self, state: &[f64], action: &[f64], rng: &mut R) -> Vec<f64> {
         let base = self.model.predict(state, action);
         if !self.enabled {
             return base;
@@ -170,7 +165,10 @@ mod tests {
         let mut d = TransitionDataset::new(2);
         for _ in 0..n {
             let s = vec![rng.gen_range(0.0..30.0), rng.gen_range(0.0..30.0)];
-            let a = vec![rng.gen_range(0.0f64..4.0).floor(), rng.gen_range(0.0f64..4.0).floor()];
+            let a = vec![
+                rng.gen_range(0.0f64..4.0).floor(),
+                rng.gen_range(0.0f64..4.0).floor(),
+            ];
             let next = vec![
                 (s[0] - 2.0 * a[0]).max(0.0) + 1.0,
                 (s[1] - 2.0 * a[1]).max(0.0) + 1.0,

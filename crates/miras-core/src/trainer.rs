@@ -149,7 +149,9 @@ impl MirasTrainer {
                 random_dist = rl::policy::project_to_simplex(&raw);
             }
             let use_random = random_only
-                || self.rng.gen_bool(self.config.random_action_fraction.clamp(0.0, 1.0));
+                || self
+                    .rng
+                    .gen_bool(self.config.random_action_fraction.clamp(0.0, 1.0));
             let a = if use_random {
                 random_dist.clone()
             } else {
@@ -359,8 +361,7 @@ mod tests {
     #[test]
     fn refined_model_reflects_config_flag() {
         let mut env = real_env(8);
-        let mut trainer =
-            MirasTrainer::new(&env, MirasConfig::smoke_test(9).without_refinement());
+        let mut trainer = MirasTrainer::new(&env, MirasConfig::smoke_test(9).without_refinement());
         let _ = trainer.run_iteration(&mut env);
         assert!(!trainer.refined_model().is_enabled());
     }

@@ -28,27 +28,52 @@ impl Activation {
     /// Applies the activation to pre-activations `z`.
     #[must_use]
     pub fn forward(self, z: &Matrix) -> Matrix {
+        let mut out = z.clone();
+        self.forward_in_place(&mut out);
+        out
+    }
+
+    /// Applies the activation in place, turning pre-activations into outputs.
+    pub fn forward_in_place(self, z: &mut Matrix) {
+        for r in 0..z.rows() {
+            self.apply_row(z.row_mut(r));
+        }
+    }
+
+    /// Applies the activation to one row of pre-activations in place.
+    ///
+    /// Every activation in this crate is at most row-wise (softmax) — this
+    /// is what lets the layer kernel fuse the activation into the matrix
+    /// product one cache-hot output row at a time.
+    pub(crate) fn apply_row(self, row: &mut [f64]) {
         match self {
-            Activation::Linear => z.clone(),
-            Activation::Relu => z.map(|x| x.max(0.0)),
-            Activation::Tanh => z.map(f64::tanh),
-            Activation::Sigmoid => z.map(|x| 1.0 / (1.0 + (-x).exp())),
-            Activation::Softmax => {
-                let mut out = z.clone();
-                for r in 0..out.rows() {
-                    let row = out.row_mut(r);
-                    // Stabilise against overflow before exponentiating.
-                    let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                    let mut sum = 0.0;
-                    for v in row.iter_mut() {
-                        *v = (*v - max).exp();
-                        sum += *v;
-                    }
-                    for v in row.iter_mut() {
-                        *v /= sum;
-                    }
+            Activation::Linear => {}
+            Activation::Relu => {
+                for v in row.iter_mut() {
+                    *v = v.max(0.0);
                 }
-                out
+            }
+            Activation::Tanh => {
+                for v in row.iter_mut() {
+                    *v = v.tanh();
+                }
+            }
+            Activation::Sigmoid => {
+                for v in row.iter_mut() {
+                    *v = 1.0 / (1.0 + (-*v).exp());
+                }
+            }
+            Activation::Softmax => {
+                // Stabilise against overflow before exponentiating.
+                let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let mut sum = 0.0;
+                for v in row.iter_mut() {
+                    *v = (*v - max).exp();
+                    sum += *v;
+                }
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
             }
         }
     }
@@ -62,39 +87,55 @@ impl Activation {
     /// Panics if `y` and `d_out` shapes differ.
     #[must_use]
     pub fn backward(self, y: &Matrix, d_out: &Matrix) -> Matrix {
+        let mut d = d_out.clone();
+        self.backward_in_place(y, &mut d);
+        d
+    }
+
+    /// In-place backward pass: `d` holds the gradient with respect to the
+    /// output `y` on entry and the gradient with respect to the
+    /// pre-activations on exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` and `d` shapes differ.
+    pub fn backward_in_place(self, y: &Matrix, d: &mut Matrix) {
         assert_eq!(
             (y.rows(), y.cols()),
-            (d_out.rows(), d_out.cols()),
+            (d.rows(), d.cols()),
             "activation backward shape mismatch"
         );
         match self {
-            Activation::Linear => d_out.clone(),
+            Activation::Linear => {}
             Activation::Relu => {
                 // d/dz relu = 1 where the output is positive.
-                let mask = y.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-                d_out.hadamard(&mask)
+                for (g, &v) in d.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    if v <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
             }
             Activation::Tanh => {
-                let deriv = y.map(|v| 1.0 - v * v);
-                d_out.hadamard(&deriv)
+                for (g, &v) in d.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    *g *= 1.0 - v * v;
+                }
             }
             Activation::Sigmoid => {
-                let deriv = y.map(|v| v * (1.0 - v));
-                d_out.hadamard(&deriv)
+                for (g, &v) in d.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    *g *= v * (1.0 - v);
+                }
             }
             Activation::Softmax => {
                 // Jacobian-vector product per row:
                 // dz_i = y_i * (dy_i − Σ_j dy_j · y_j)
-                let mut out = Matrix::zeros(y.rows(), y.cols());
                 for r in 0..y.rows() {
                     let yr = y.row(r);
-                    let dr = d_out.row(r);
-                    let dot: f64 = yr.iter().zip(dr).map(|(&a, &b)| a * b).sum();
-                    for c in 0..y.cols() {
-                        out.set(r, c, yr[c] * (dr[c] - dot));
+                    let dr = d.row_mut(r);
+                    let dot: f64 = yr.iter().zip(dr.iter()).map(|(&a, &b)| a * b).sum();
+                    for (g, &v) in dr.iter_mut().zip(yr) {
+                        *g = v * (*g - dot);
                     }
                 }
-                out
             }
         }
     }
@@ -129,10 +170,7 @@ mod tests {
         let analytic = act.backward(&y, &Matrix::row_vector(&d_out));
         let numeric = finite_diff(act, &z, &d_out);
         for (a, n) in analytic.row(0).iter().zip(&numeric) {
-            assert!(
-                (a - n).abs() < 1e-5,
-                "{act:?}: analytic {a} vs numeric {n}"
-            );
+            assert!((a - n).abs() < 1e-5, "{act:?}: analytic {a} vs numeric {n}");
         }
     }
 
@@ -159,6 +197,29 @@ mod tests {
     #[test]
     fn softmax_gradient_matches() {
         check_gradient(Activation::Softmax);
+    }
+
+    #[test]
+    fn in_place_matches_allocating_paths() {
+        let z = Matrix::from_rows(&[&[0.3, -0.7, 1.9], &[-0.2, 0.0, 4.0]]);
+        let d_out = Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[0.1, 0.2, -0.3]]);
+        for act in [
+            Activation::Linear,
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Softmax,
+        ] {
+            let y = act.forward(&z);
+            let mut y2 = z.clone();
+            act.forward_in_place(&mut y2);
+            assert_eq!(y, y2, "{act:?} forward");
+
+            let d = act.backward(&y, &d_out);
+            let mut d2 = d_out.clone();
+            act.backward_in_place(&y, &mut d2);
+            assert_eq!(d, d2, "{act:?} backward");
+        }
     }
 
     #[test]

@@ -13,18 +13,16 @@ use crate::{Activation, Matrix};
 ///
 /// Weights are initialised with He/Xavier-style scaling chosen by the
 /// activation (He for ReLU, Xavier otherwise).
+///
+/// The forward pass runs as a single fused kernel: the tiled `x · Wᵀ`
+/// product applies the bias broadcast and the activation to each output row
+/// while it is still cache-hot, and [`Dense::infer_into`] reuses the
+/// caller's output buffer, so a steady-state forward pass does not allocate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dense {
     weights: Matrix,
     bias: Vec<f64>,
     activation: Activation,
-}
-
-/// Forward-pass values cached for the backward pass.
-#[derive(Debug, Clone)]
-pub struct DenseCache {
-    input: Matrix,
-    output: Matrix,
 }
 
 /// Gradients of a layer's parameters.
@@ -34,6 +32,36 @@ pub struct DenseGrads {
     pub d_weights: Matrix,
     /// Gradient of the loss with respect to the bias.
     pub d_bias: Vec<f64>,
+}
+
+impl DenseGrads {
+    /// Accumulates another shard's gradients: `self += other`.
+    ///
+    /// Used to reduce per-shard minibatch gradients in a fixed order so
+    /// threaded training stays deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn accumulate(&mut self, other: &DenseGrads) {
+        self.d_weights.add_in_place(&other.d_weights);
+        assert_eq!(
+            self.d_bias.len(),
+            other.d_bias.len(),
+            "bias length mismatch"
+        );
+        for (a, &b) in self.d_bias.iter_mut().zip(&other.d_bias) {
+            *a += b;
+        }
+    }
+
+    /// Scales all gradients in place.
+    pub fn scale_in_place(&mut self, s: f64) {
+        self.d_weights.scale_in_place(s);
+        for b in &mut self.d_bias {
+            *b *= s;
+        }
+    }
 }
 
 impl Dense {
@@ -49,7 +77,10 @@ impl Dense {
         activation: Activation,
         rng: &mut R,
     ) -> Self {
-        assert!(fan_in > 0 && fan_out > 0, "layer dimensions must be positive");
+        assert!(
+            fan_in > 0 && fan_out > 0,
+            "layer dimensions must be positive"
+        );
         let std = match activation {
             // He initialisation suits ReLU; Xavier everything else.
             Activation::Relu => (2.0 / fan_in as f64).sqrt(),
@@ -82,55 +113,78 @@ impl Dense {
         self.activation
     }
 
+    /// The weight matrix, one row per output unit (`fan_out × fan_in`).
+    #[must_use]
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The bias vector, one entry per output unit.
+    #[must_use]
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
     /// Number of trainable parameters.
     #[must_use]
     pub fn num_params(&self) -> usize {
         self.weights.as_slice().len() + self.bias.len()
     }
 
-    /// Forward pass over a batch, returning the output and the cache needed
-    /// by [`Dense::backward`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `x.cols() != self.fan_in()`.
-    #[must_use]
-    pub fn forward(&self, x: &Matrix) -> (Matrix, DenseCache) {
-        assert_eq!(x.cols(), self.fan_in(), "input width mismatch");
-        let z = x.matmul_transpose(&self.weights).add_row_broadcast(&self.bias);
-        let y = self.activation.forward(&z);
-        let cache = DenseCache {
-            input: x.clone(),
-            output: y.clone(),
-        };
-        (y, cache)
-    }
-
-    /// Forward pass without caching (inference).
+    /// Forward pass over a batch (fused product + bias + activation).
     ///
     /// # Panics
     ///
     /// Panics if `x.cols() != self.fan_in()`.
     #[must_use]
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        assert_eq!(x.cols(), self.fan_in(), "input width mismatch");
-        let z = x.matmul_transpose(&self.weights).add_row_broadcast(&self.bias);
-        self.activation.forward(&z)
+        let mut out = Matrix::zeros(0, 0);
+        self.infer_into(x, &mut out);
+        out
     }
 
-    /// Backward pass: given the cache and `d_out = ∂L/∂y`, returns
-    /// `(∂L/∂x, parameter gradients)`.
+    /// Forward pass into `out`, reusing its buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.fan_in()`.
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(x.cols(), self.fan_in(), "input width mismatch");
+        let bias = &self.bias;
+        let activation = self.activation;
+        x.matmul_transpose_fused_into(&self.weights, out, &|row: &mut [f64]| {
+            for (v, &b) in row.iter_mut().zip(bias) {
+                *v += b;
+            }
+            activation.apply_row(row);
+        });
+    }
+
+    /// Backward pass: given the layer's forward `input` and `output` and
+    /// `d_out = ∂L/∂y`, returns `(∂L/∂x, parameter gradients)`.
+    ///
+    /// The caller keeps the forward values (see `Mlp::forward_cached`'s
+    /// trace) instead of this layer cloning them into a cache; the output
+    /// alone is enough to invert every activation's derivative, and the
+    /// pre-activations are never needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent.
     #[must_use]
-    pub fn backward(&self, cache: &DenseCache, d_out: &Matrix) -> (Matrix, DenseGrads) {
-        let d_z = self.activation.backward(&cache.output, d_out);
+    pub fn backward(
+        &self,
+        input: &Matrix,
+        output: &Matrix,
+        d_out: &Matrix,
+    ) -> (Matrix, DenseGrads) {
+        let mut d_z = d_out.clone();
+        self.activation.backward_in_place(output, &mut d_z);
         // z = x · Wᵀ + b  ⇒  dW = d_zᵀ · x, db = column sums, dx = d_z · W.
-        let d_weights = d_z.transpose_matmul(&cache.input);
+        let d_weights = d_z.transpose_matmul(input);
         let d_bias = d_z.column_sums();
         let d_input = d_z.matmul(&self.weights);
-        (
-            d_input,
-            DenseGrads { d_weights, d_bias },
-        )
+        (d_input, DenseGrads { d_weights, d_bias })
     }
 
     /// Immutable views of the parameter buffers: `[weights, bias]`.
@@ -159,16 +213,38 @@ mod tests {
     fn forward_shapes() {
         let layer = Dense::new(3, 5, Activation::Relu, &mut rng());
         let x = Matrix::zeros(4, 3);
-        let (y, _) = layer.forward(&x);
+        let y = layer.infer(&x);
         assert_eq!((y.rows(), y.cols()), (4, 5));
     }
 
     #[test]
-    fn infer_matches_forward() {
+    fn fused_forward_matches_unfused_reference() {
+        let layer = Dense::new(5, 4, Activation::Tanh, &mut rng());
+        // Batch sizes on both sides of the small-matrix threshold.
+        for batch in [1usize, 2, 4, 9, 33] {
+            let mut x = Matrix::zeros(batch, 5);
+            for r in 0..batch {
+                for c in 0..5 {
+                    x.set(r, c, ((r * 5 + c) as f64).sin());
+                }
+            }
+            let fused = layer.infer(&x);
+            let w = Matrix::from_vec(4, 5, layer.params()[0].to_vec());
+            let unfused = layer.activation().forward(
+                &x.naive_matmul_transpose(&w)
+                    .add_row_broadcast(layer.params()[1]),
+            );
+            assert_eq!(fused, unfused, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn infer_into_reuses_buffer() {
         let layer = Dense::new(3, 2, Activation::Tanh, &mut rng());
         let x = Matrix::from_rows(&[&[0.1, -0.4, 0.7]]);
-        let (y, _) = layer.forward(&x);
-        assert_eq!(layer.infer(&x), y);
+        let mut out = Matrix::zeros(7, 7);
+        layer.infer_into(&x, &mut out);
+        assert_eq!(out, layer.infer(&x));
     }
 
     /// Finite-difference check of every gradient a Dense layer produces.
@@ -178,8 +254,8 @@ mod tests {
         let x = Matrix::from_rows(&[&[0.5, -0.3, 0.8], &[-0.1, 0.9, 0.2]]);
         let d_out = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 0.25]]);
 
-        let (_, cache) = layer.forward(&x);
-        let (d_input, grads) = layer.backward(&cache, &d_out);
+        let y = layer.infer(&x);
+        let (d_input, grads) = layer.backward(&x, &y, &d_out);
 
         let loss = |l: &Dense, x: &Matrix| -> f64 {
             let y = l.infer(x);
@@ -230,10 +306,26 @@ mod tests {
     }
 
     #[test]
+    fn grads_accumulate_and_scale() {
+        let layer = Dense::new(2, 2, Activation::Linear, &mut rng());
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let y = layer.infer(&x);
+        let d_out = Matrix::from_rows(&[&[1.0, -1.0]]);
+        let (_, mut g1) = layer.backward(&x, &y, &d_out);
+        let (_, g2) = layer.backward(&x, &y, &d_out);
+        g1.accumulate(&g2);
+        g1.scale_in_place(0.5);
+        let (_, g_ref) = layer.backward(&x, &y, &d_out);
+        assert_eq!(g1.d_weights, g_ref.d_weights);
+        assert_eq!(g1.d_bias, g_ref.d_bias);
+    }
+
+    #[test]
     fn he_init_scales_with_fan_in() {
         let wide = Dense::new(1000, 10, Activation::Relu, &mut rng());
         let narrow = Dense::new(10, 10, Activation::Relu, &mut rng());
-        let wide_norm = wide.weights.frobenius_norm() / (wide.weights.as_slice().len() as f64).sqrt();
+        let wide_norm =
+            wide.weights.frobenius_norm() / (wide.weights.as_slice().len() as f64).sqrt();
         let narrow_norm =
             narrow.weights.frobenius_norm() / (narrow.weights.as_slice().len() as f64).sqrt();
         assert!(wide_norm < narrow_norm);

@@ -14,6 +14,20 @@
 //!   updates ([`Mlp::soft_update_from`]),
 //! * serde serialization of trained models.
 //!
+//! # Performance
+//!
+//! The compute core is built for throughput on CPU:
+//!
+//! * all three matrix products run through one cache-blocked,
+//!   register-tiled GEMM with a packed right-hand side (`kernels`); the
+//!   layer forward pass fuses bias and activation into the product,
+//! * matrix buffers are recycled through a thread-local scratch pool, so
+//!   steady-state training does not allocate,
+//! * large products and coarse-grained training loops parallelise with
+//!   `std::thread::scope`, governed by the `NN_NUM_THREADS` environment
+//!   variable (see [`threads`]); results are bit-identical for any thread
+//!   count.
+//!
 //! # Examples
 //!
 //! Fit `y = 2x` with a tiny network:
@@ -38,13 +52,16 @@
 #![warn(missing_docs)]
 
 mod activation;
+mod kernels;
 mod layer;
 mod matrix;
 mod network;
 mod optimizer;
+mod scratch;
+pub mod threads;
 
 pub use activation::Activation;
-pub use layer::{Dense, DenseCache, DenseGrads};
+pub use layer::{Dense, DenseGrads};
 pub use matrix::Matrix;
-pub use network::Mlp;
+pub use network::{ForwardTrace, Mlp};
 pub use optimizer::{Adam, Optimizer, Sgd};

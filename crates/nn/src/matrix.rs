@@ -1,9 +1,25 @@
 //! Row-major dense matrices over `f64`.
+//!
+//! The three matrix products (`matmul`, `transpose_matmul`,
+//! `matmul_transpose`) share one cache-blocked, register-tiled GEMM driver
+//! (see [`crate::kernels`]) with a packed right-hand side, an unpacked
+//! small-matrix path and an optional row-parallel split. The straightforward
+//! triple-loop implementations are kept as `naive_*` references; the tiled
+//! kernels reproduce them bit-for-bit for finite inputs because every output
+//! element accumulates its products in the same ascending-`k` order.
+//!
+//! Matrix buffers are recycled through a thread-local scratch pool
+//! ([`crate::scratch`]): `Drop` returns the buffer, `zeros`/`resize` and the
+//! arithmetic helpers take from it, so steady-state training iterations do
+//! not allocate.
 
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
 use serde::{Deserialize, Serialize};
+
+use crate::kernels::{self, RhsLayout};
+use crate::scratch;
 
 /// A dense, row-major matrix of `f64`.
 ///
@@ -20,21 +36,44 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a.matmul(&b), a);
 /// assert_eq!(a.transpose().get(0, 1), 3.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
 }
 
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        let mut data = scratch::take_buffer(self.data.len());
+        data.copy_from_slice(&self.data);
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.resize(source.rows, source.cols);
+        self.data.copy_from_slice(&source.data);
+    }
+}
+
+impl Drop for Matrix {
+    fn drop(&mut self) {
+        scratch::recycle(std::mem::take(&mut self.data));
+    }
+}
+
 impl Matrix {
-    /// A `rows × cols` matrix of zeros.
+    /// A `rows × cols` matrix of zeros (buffer drawn from the scratch pool).
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: scratch::take_buffer(rows * cols),
         }
     }
 
@@ -68,22 +107,20 @@ impl Matrix {
     pub fn from_rows(rows: &[&[f64]]) -> Self {
         assert!(!rows.is_empty(), "matrix needs at least one row");
         let cols = rows[0].len();
-        let mut data = Vec::with_capacity(rows.len() * cols);
-        for row in rows {
+        let mut out = Matrix::zeros(rows.len(), cols);
+        for (r, row) in rows.iter().enumerate() {
             assert_eq!(row.len(), cols, "ragged rows");
-            data.extend_from_slice(row);
+            out.row_mut(r).copy_from_slice(row);
         }
-        Matrix {
-            rows: rows.len(),
-            cols,
-            data,
-        }
+        out
     }
 
     /// A `1 × n` matrix holding one sample.
     #[must_use]
     pub fn row_vector(values: &[f64]) -> Self {
-        Matrix::from_vec(1, values.len(), values.to_vec())
+        let mut out = Matrix::zeros(1, values.len());
+        out.data.copy_from_slice(values);
+        out
     }
 
     /// Number of rows.
@@ -96,6 +133,23 @@ impl Matrix {
     #[must_use]
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// Reshapes to `rows × cols`, zero-filling the contents. Reuses the
+    /// existing buffer (or the scratch pool) instead of reallocating.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        let len = rows * cols;
+        self.rows = rows;
+        self.cols = cols;
+        if self.data.len() == len {
+            self.data.fill(0.0);
+        } else if self.data.capacity() >= len {
+            self.data.clear();
+            self.data.resize(len, 0.0);
+        } else {
+            scratch::recycle(std::mem::take(&mut self.data));
+            self.data = scratch::take_buffer(len);
+        }
     }
 
     /// Element at `(r, c)`.
@@ -151,13 +205,131 @@ impl Matrix {
         &mut self.data
     }
 
-    /// Matrix product `self · rhs`.
+    /// Matrix product `self · rhs` (tiled kernel).
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     #[must_use]
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `self · rhs` into `out`, reusing its buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        out.resize(self.rows, rhs.cols);
+        kernels::gemm_plain(
+            &self.data,
+            self.rows,
+            self.cols,
+            RhsLayout::Normal(&rhs.data),
+            rhs.cols,
+            &mut out.data,
+        );
+    }
+
+    /// `selfᵀ · rhs` without materialising the transpose of `rhs`
+    /// (tiled kernel; the left operand is packed once into scratch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    #[must_use]
+    pub fn transpose_matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.transpose_matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `selfᵀ · rhs` into `out`, reusing its buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn transpose_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, rhs.rows, "row counts must agree");
+        out.resize(self.cols, rhs.cols);
+        // Pack selfᵀ once so the driver sees a plain row-major LHS; the
+        // shared dimension keeps its ascending accumulation order, so the
+        // result matches `naive_transpose_matmul` bit-for-bit.
+        let mut lhs_t = scratch::take_buffer(self.data.len());
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                lhs_t[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        kernels::gemm_plain(
+            &lhs_t,
+            self.cols,
+            self.rows,
+            RhsLayout::Normal(&rhs.data),
+            rhs.cols,
+            &mut out.data,
+        );
+        scratch::recycle(lhs_t);
+    }
+
+    /// `self · rhsᵀ` without materialising the transpose (tiled kernel;
+    /// panels are packed directly from the transposed layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    #[must_use]
+    pub fn matmul_transpose(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_transpose_into(rhs, &mut out);
+        out
+    }
+
+    /// `self · rhsᵀ` into `out`, reusing its buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_transpose_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_transpose_fused_into(rhs, out, &|_: &mut [f64]| {});
+    }
+
+    /// `self · rhsᵀ` with a fused per-row epilogue: `post` runs once on each
+    /// finished output row while it is cache-hot. The layer forward pass
+    /// uses this to fold the bias broadcast and activation into the product.
+    pub(crate) fn matmul_transpose_fused_into<P: Fn(&mut [f64]) + Sync>(
+        &self,
+        rhs: &Matrix,
+        out: &mut Matrix,
+        post: &P,
+    ) {
+        assert_eq!(self.cols, rhs.cols, "column counts must agree");
+        out.resize(self.rows, rhs.rows);
+        kernels::gemm(
+            &self.data,
+            self.rows,
+            self.cols,
+            RhsLayout::Transposed(&rhs.data),
+            rhs.rows,
+            &mut out.data,
+            post,
+        );
+    }
+
+    /// Reference `self · rhs`: the pre-optimisation triple loop. Kept
+    /// (hidden) so property tests and benches can compare the tiled kernel
+    /// against it in-process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn naive_matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         // i-k-j loop order keeps the inner loop streaming over contiguous
@@ -166,9 +338,6 @@ impl Matrix {
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
                 let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(rhs_row) {
                     *o += a * b;
@@ -178,22 +347,20 @@ impl Matrix {
         out
     }
 
-    /// `selfᵀ · rhs` without materialising the transpose.
+    /// Reference `selfᵀ · rhs` (see [`Matrix::naive_matmul`]).
     ///
     /// # Panics
     ///
     /// Panics if `self.rows() != rhs.rows()`.
+    #[doc(hidden)]
     #[must_use]
-    pub fn transpose_matmul(&self, rhs: &Matrix) -> Matrix {
+    pub fn naive_transpose_matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.rows, rhs.rows, "row counts must agree");
         let mut out = Matrix::zeros(self.cols, rhs.cols);
         for r in 0..self.rows {
             let left = &self.data[r * self.cols..(r + 1) * self.cols];
             let right = &rhs.data[r * rhs.cols..(r + 1) * rhs.cols];
             for (i, &a) in left.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(right) {
                     *o += a * b;
@@ -203,13 +370,14 @@ impl Matrix {
         out
     }
 
-    /// `self · rhsᵀ` without materialising the transpose.
+    /// Reference `self · rhsᵀ` (see [`Matrix::naive_matmul`]).
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.cols()`.
+    #[doc(hidden)]
     #[must_use]
-    pub fn matmul_transpose(&self, rhs: &Matrix) -> Matrix {
+    pub fn naive_matmul_transpose(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.cols, "column counts must agree");
         let mut out = Matrix::zeros(self.rows, rhs.rows);
         for i in 0..self.rows {
@@ -241,11 +409,11 @@ impl Matrix {
     /// Applies `f` to every element, returning a new matrix.
     #[must_use]
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (o, &x) in out.data.iter_mut().zip(&self.data) {
+            *o = f(x);
         }
+        out
     }
 
     /// Element-wise (Hadamard) product.
@@ -255,23 +423,45 @@ impl Matrix {
     /// Panics on shape mismatch.
     #[must_use]
     pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&rhs.data)
-                .map(|(&a, &b)| a * b)
-                .collect(),
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&rhs.data) {
+            *o = a * b;
         }
+        out
     }
 
     /// Scales every element by `s`.
     #[must_use]
     pub fn scale(&self, s: f64) -> Matrix {
         self.map(|x| x * s)
+    }
+
+    /// Scales every element by `s` in place.
+    pub fn scale_in_place(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Adds `rhs` element-wise in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_in_place(&mut self, rhs: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
+        for (v, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *v += b;
+        }
     }
 
     /// Adds `bias` (length = cols) to every row.
@@ -295,12 +485,19 @@ impl Matrix {
     #[must_use]
     pub fn column_sums(&self) -> Vec<f64> {
         let mut sums = vec![0.0; self.cols];
+        self.column_sums_into(&mut sums);
+        sums
+    }
+
+    /// Column sums into `out` (resized to `cols`).
+    pub fn column_sums_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
         for r in 0..self.rows {
-            for (s, &v) in sums.iter_mut().zip(self.row(r)) {
+            for (s, &v) in out.iter_mut().zip(self.row(r)) {
                 *s += v;
             }
         }
-        sums
     }
 
     /// Mean of all elements; zero for an empty matrix.
@@ -328,14 +525,15 @@ impl Matrix {
     pub fn vstack(parts: &[&Matrix]) -> Matrix {
         assert!(!parts.is_empty(), "nothing to stack");
         let cols = parts[0].cols;
-        let mut data = Vec::new();
-        let mut rows = 0;
+        let rows = parts.iter().map(|p| p.rows).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut at = 0;
         for p in parts {
             assert_eq!(p.cols, cols, "column mismatch in vstack");
-            data.extend_from_slice(&p.data);
-            rows += p.rows;
+            out.data[at..at + p.data.len()].copy_from_slice(&p.data);
+            at += p.data.len();
         }
-        Matrix { rows, cols, data }
+        out
     }
 
     /// Concatenates matrices horizontally (same row count).
@@ -353,8 +551,7 @@ impl Matrix {
             let mut offset = 0;
             for p in parts {
                 assert_eq!(p.rows, rows, "row mismatch in hconcat");
-                out.data[r * cols + offset..r * cols + offset + p.cols]
-                    .copy_from_slice(p.row(r));
+                out.data[r * cols + offset..r * cols + offset + p.cols].copy_from_slice(p.row(r));
                 offset += p.cols;
             }
         }
@@ -376,23 +573,36 @@ impl Matrix {
         }
         out
     }
+
+    /// Returns a copy of rows `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.rows()`.
+    #[must_use]
+    pub fn rows_range(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "row range out of bounds");
+        let mut out = Matrix::zeros(end - start, self.cols);
+        out.data
+            .copy_from_slice(&self.data[start * self.cols..end * self.cols]);
+        out
+    }
 }
 
 impl Add for &Matrix {
     type Output = Matrix;
 
     fn add(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&rhs.data)
-                .map(|(&a, &b)| a + b)
-                .collect(),
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&rhs.data) {
+            *o = a + b;
         }
+        out
     }
 }
 
@@ -400,17 +610,16 @@ impl Sub for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&rhs.data)
-                .map(|(&a, &b)| a - b)
-                .collect(),
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&rhs.data) {
+            *o = a - b;
         }
+        out
     }
 }
 
@@ -439,6 +648,18 @@ impl fmt::Display for Matrix {
 mod tests {
     use super::*;
 
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        let mut out = Matrix::zeros(rows, cols);
+        for v in &mut out.data {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = (state as f64 / u64::MAX as f64) * 2.0 - 1.0;
+        }
+        out
+    }
+
     #[test]
     fn matmul_small_known() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
@@ -465,6 +686,91 @@ mod tests {
     fn identity_is_neutral() {
         let a = Matrix::from_rows(&[&[1.5, -2.0, 0.5]]);
         assert_eq!(a.matmul(&Matrix::identity(3)), a);
+    }
+
+    #[test]
+    fn tiled_products_match_naive_bitwise() {
+        // Sizes straddling the tile (4×16) and stream/pack thresholds.
+        for &(m, k, n) in &[
+            (1usize, 7usize, 9usize),
+            (3, 17, 5),
+            (4, 16, 16),
+            (5, 33, 18),
+            (23, 40, 31),
+            (64, 64, 64),
+        ] {
+            let a = pseudo_random(m, k, 3 * m as u64 + 1);
+            let b = pseudo_random(k, n, 5 * n as u64 + 7);
+            assert_eq!(a.matmul(&b), a.naive_matmul(&b), "matmul {m}x{k}x{n}");
+
+            let at = pseudo_random(k, m, 11 * m as u64 + 3);
+            assert_eq!(
+                at.transpose_matmul(&b),
+                at.naive_transpose_matmul(&b),
+                "transpose_matmul {m}x{k}x{n}"
+            );
+
+            let bt = pseudo_random(n, k, 13 * n as u64 + 5);
+            assert_eq!(
+                a.matmul_transpose(&bt),
+                a.naive_matmul_transpose(&bt),
+                "matmul_transpose {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_shapes_are_handled() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 3);
+        assert_eq!(a.matmul(&b).rows(), 0);
+        let c = Matrix::zeros(4, 0);
+        let d = Matrix::zeros(0, 6);
+        let prod = c.matmul(&d);
+        assert_eq!((prod.rows(), prod.cols()), (4, 6));
+        assert!(prod.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn matmul_into_reuses_out() {
+        let a = pseudo_random(6, 8, 21);
+        let b = pseudo_random(8, 10, 22);
+        let mut out = Matrix::zeros(1, 1);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.naive_matmul(&b));
+        // Second call with different shapes reuses the same Matrix.
+        let c = pseudo_random(8, 4, 23);
+        a.matmul_into(&c, &mut out);
+        assert_eq!(out, a.naive_matmul(&c));
+    }
+
+    #[test]
+    fn resize_zeroes_and_reshapes() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.resize(3, 1);
+        assert_eq!((m.rows(), m.cols()), (3, 1));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        m.resize(2, 2);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn rows_range_copies_rows() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(
+            a.rows_range(1, 3),
+            Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]])
+        );
+        assert_eq!(a.rows_range(1, 1).rows(), 0);
+    }
+
+    #[test]
+    fn in_place_ops() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        a.scale_in_place(3.0);
+        assert_eq!(a, Matrix::from_rows(&[&[3.0, 6.0]]));
+        a.add_in_place(&Matrix::from_rows(&[&[1.0, -1.0]]));
+        assert_eq!(a, Matrix::from_rows(&[&[4.0, 5.0]]));
     }
 
     #[test]
@@ -530,5 +836,14 @@ mod tests {
         let json = serde_json::to_string(&a).unwrap();
         let back: Matrix = serde_json::from_str(&json).unwrap();
         assert_eq!(a, back);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let mut b = a.clone();
+        b.set(0, 0, 9.0);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(b.get(0, 0), 9.0);
     }
 }

@@ -4,7 +4,7 @@ use rand::Rng;
 use rand_distr::{Distribution, Normal};
 use serde::{Deserialize, Serialize};
 
-use crate::{Activation, Dense, DenseCache, DenseGrads, Matrix, Optimizer};
+use crate::{Activation, Dense, DenseGrads, Matrix, Optimizer};
 
 /// A multi-layer perceptron: a stack of [`Dense`] layers.
 ///
@@ -28,6 +28,48 @@ use crate::{Activation, Dense, DenseCache, DenseGrads, Matrix, Optimizer};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Mlp {
     layers: Vec<Dense>,
+}
+
+/// Per-layer values recorded by [`Mlp::forward_cached`] for the backward
+/// pass: `values[0]` is the input batch and `values[i + 1]` is layer `i`'s
+/// output.
+///
+/// Each layer's input/output pair is stored exactly once (a layer's output
+/// *is* the next layer's input), replacing the per-layer cache that used to
+/// clone both sides of every boundary.
+#[derive(Debug, Clone)]
+pub struct ForwardTrace {
+    values: Vec<Matrix>,
+}
+
+impl ForwardTrace {
+    /// The network output (last recorded value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty (never produced by `forward_cached`).
+    #[must_use]
+    pub fn output(&self) -> &Matrix {
+        self.values.last().expect("non-empty trace")
+    }
+
+    /// Layer `i`'s forward input.
+    #[must_use]
+    pub fn layer_input(&self, i: usize) -> &Matrix {
+        &self.values[i]
+    }
+
+    /// Layer `i`'s forward output.
+    #[must_use]
+    pub fn layer_output(&self, i: usize) -> &Matrix {
+        &self.values[i + 1]
+    }
+
+    /// Number of layers traced.
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.values.len() - 1
+    }
 }
 
 impl Mlp {
@@ -101,14 +143,18 @@ impl Mlp {
         self.layers.iter().map(Dense::num_params).sum()
     }
 
-    /// Inference forward pass.
+    /// Inference forward pass. Ping-pongs between two pooled buffers, so it
+    /// performs no steady-state allocation beyond the returned matrix.
     #[must_use]
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
-        for layer in &self.layers {
-            h = layer.infer(&h);
+        let (first, rest) = self.layers.split_first().expect("at least one layer");
+        let mut cur = first.infer(x);
+        let mut next = Matrix::zeros(0, 0);
+        for layer in rest {
+            layer.infer_into(&cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
         }
-        h
+        cur
     }
 
     /// Forward pass for a single sample given as a slice.
@@ -117,37 +163,37 @@ impl Mlp {
         self.forward(&Matrix::row_vector(x)).row(0).to_vec()
     }
 
-    /// Forward pass that records per-layer caches for [`Mlp::backward`].
+    /// Forward pass that records the per-layer value chain for
+    /// [`Mlp::backward`].
     #[must_use]
-    pub fn forward_cached(&self, x: &Matrix) -> (Matrix, Vec<DenseCache>) {
-        let mut h = x.clone();
-        let mut caches = Vec::with_capacity(self.layers.len());
+    pub fn forward_cached(&self, x: &Matrix) -> ForwardTrace {
+        let mut values = Vec::with_capacity(self.layers.len() + 1);
+        values.push(x.clone());
         for layer in &self.layers {
-            let (out, cache) = layer.forward(&h);
-            caches.push(cache);
-            h = out;
+            let out = layer.infer(values.last().expect("non-empty"));
+            values.push(out);
         }
-        (h, caches)
+        ForwardTrace { values }
     }
 
-    /// Backward pass: given caches from [`Mlp::forward_cached`] and the loss
-    /// gradient at the output, returns the gradient at the input and the
-    /// per-layer parameter gradients (in layer order).
+    /// Backward pass: given the trace from [`Mlp::forward_cached`] and the
+    /// loss gradient at the output, returns the gradient at the input and
+    /// the per-layer parameter gradients (in layer order).
     ///
     /// # Panics
     ///
-    /// Panics if `caches.len()` differs from the number of layers.
+    /// Panics if the trace does not match the number of layers.
     #[must_use]
-    pub fn backward(
-        &self,
-        caches: &[DenseCache],
-        d_out: &Matrix,
-    ) -> (Matrix, Vec<DenseGrads>) {
-        assert_eq!(caches.len(), self.layers.len(), "cache count mismatch");
+    pub fn backward(&self, trace: &ForwardTrace, d_out: &Matrix) -> (Matrix, Vec<DenseGrads>) {
+        assert_eq!(
+            trace.num_layers(),
+            self.layers.len(),
+            "trace length mismatch"
+        );
         let mut grads: Vec<Option<DenseGrads>> = (0..self.layers.len()).map(|_| None).collect();
         let mut d = d_out.clone();
         for (i, layer) in self.layers.iter().enumerate().rev() {
-            let (d_in, g) = layer.backward(&caches[i], &d);
+            let (d_in, g) = layer.backward(trace.layer_input(i), trace.layer_output(i), &d);
             grads[i] = Some(g);
             d = d_in;
         }
@@ -158,43 +204,40 @@ impl Mlp {
     /// used by DDPG to compute `∂Q/∂a` through the critic.
     #[must_use]
     pub fn input_gradient(&self, x: &Matrix, d_out: &Matrix) -> Matrix {
-        let (_, caches) = self.forward_cached(x);
-        let (d_in, _) = self.backward(&caches, d_out);
+        let trace = self.forward_cached(x);
+        let (d_in, _) = self.backward(&trace, d_out);
         d_in
     }
 
     /// Applies parameter gradients with the optimizer, honouring its global
-    /// gradient-norm clip if configured.
+    /// gradient-norm clip if configured. The gradients are scaled in place
+    /// when clipping engages (they are consumed by this call).
     ///
     /// # Panics
     ///
     /// Panics if `grads.len()` differs from the number of layers.
-    pub fn apply_gradients<O: Optimizer>(&mut self, grads: &[DenseGrads], opt: &mut O) {
+    pub fn apply_gradients<O: Optimizer>(&mut self, grads: &mut [DenseGrads], opt: &mut O) {
         assert_eq!(grads.len(), self.layers.len(), "gradient count mismatch");
-        let scale = match opt.clip_norm() {
-            Some(clip) => {
-                let norm_sq: f64 = grads
-                    .iter()
-                    .map(|g| {
-                        g.d_weights.as_slice().iter().map(|&v| v * v).sum::<f64>()
-                            + g.d_bias.iter().map(|&v| v * v).sum::<f64>()
-                    })
-                    .sum();
-                let norm = norm_sq.sqrt();
-                if norm > clip {
-                    clip / norm
-                } else {
-                    1.0
+        if let Some(clip) = opt.clip_norm() {
+            let norm_sq: f64 = grads
+                .iter()
+                .map(|g| {
+                    g.d_weights.as_slice().iter().map(|&v| v * v).sum::<f64>()
+                        + g.d_bias.iter().map(|&v| v * v).sum::<f64>()
+                })
+                .sum();
+            let norm = norm_sq.sqrt();
+            if norm > clip {
+                let scale = clip / norm;
+                for g in grads.iter_mut() {
+                    g.scale_in_place(scale);
                 }
             }
-            None => 1.0,
-        };
-        for (i, (layer, g)) in self.layers.iter_mut().zip(grads).enumerate() {
+        }
+        for (i, (layer, g)) in self.layers.iter_mut().zip(grads.iter()).enumerate() {
             let [w, b] = layer.params_mut();
-            let dw: Vec<f64> = g.d_weights.as_slice().iter().map(|&v| v * scale).collect();
-            let db: Vec<f64> = g.d_bias.iter().map(|&v| v * scale).collect();
-            opt.update(2 * i, w, &dw);
-            opt.update(2 * i + 1, b, &db);
+            opt.update(2 * i, w, g.d_weights.as_slice());
+            opt.update(2 * i + 1, b, &g.d_bias);
         }
     }
 
@@ -208,14 +251,14 @@ impl Mlp {
     pub fn train_mse<O: Optimizer>(&mut self, x: &Matrix, y: &Matrix, opt: &mut O) -> f64 {
         assert_eq!(x.rows(), y.rows(), "sample count mismatch");
         assert_eq!(y.cols(), self.output_dim(), "target width mismatch");
-        let (pred, caches) = self.forward_cached(x);
-        let diff = &pred - y;
+        let trace = self.forward_cached(x);
+        let mut d_out = trace.output() - y;
         let n = (x.rows() * y.cols()) as f64;
-        let loss = diff.as_slice().iter().map(|&v| v * v).sum::<f64>() / n;
+        let loss = d_out.as_slice().iter().map(|&v| v * v).sum::<f64>() / n;
         // d(MSE)/d(pred) = 2 (pred − y) / n
-        let d_out = diff.scale(2.0 / n);
-        let (_, grads) = self.backward(&caches, &d_out);
-        self.apply_gradients(&grads, opt);
+        d_out.scale_in_place(2.0 / n);
+        let (_, mut grads) = self.backward(&trace, &d_out);
+        self.apply_gradients(&mut grads, opt);
         loss
     }
 
@@ -229,8 +272,7 @@ impl Mlp {
         assert_eq!(x.rows(), y.rows(), "sample count mismatch");
         let pred = self.forward(x);
         let diff = &pred - y;
-        diff.as_slice().iter().map(|&v| v * v).sum::<f64>()
-            / (x.rows() * y.cols()) as f64
+        diff.as_slice().iter().map(|&v| v * v).sum::<f64>() / (x.rows() * y.cols()) as f64
     }
 
     /// Adds i.i.d. Gaussian noise with standard deviation `sigma` to every
@@ -256,11 +298,7 @@ impl Mlp {
     ///
     /// Panics if the architectures differ.
     pub fn soft_update_from(&mut self, src: &Mlp, tau: f64) {
-        assert_eq!(
-            self.layers.len(),
-            src.layers.len(),
-            "architecture mismatch"
-        );
+        assert_eq!(self.layers.len(), src.layers.len(), "architecture mismatch");
         for (dst, s) in self.layers.iter_mut().zip(&src.layers) {
             let src_params = s.params();
             for (dbuf, sbuf) in dst.params_mut().into_iter().zip(src_params) {
@@ -331,6 +369,26 @@ mod tests {
     }
 
     #[test]
+    fn forward_cached_matches_forward() {
+        let net = Mlp::new(
+            &[3, 8, 8, 2],
+            Activation::Relu,
+            Activation::Linear,
+            &mut rng(20),
+        );
+        let x = Matrix::from_rows(&[&[0.3, -0.7, 0.1], &[1.0, 2.0, -0.5]]);
+        let trace = net.forward_cached(&x);
+        assert_eq!(trace.num_layers(), 3);
+        assert_eq!(trace.layer_input(0), &x);
+        assert_eq!(trace.output(), &net.forward(&x));
+        // Consecutive trace entries share storage of the chain:
+        // layer i's output is layer i+1's input.
+        for i in 0..trace.num_layers() - 1 {
+            assert_eq!(trace.layer_output(i), trace.layer_input(i + 1));
+        }
+    }
+
+    #[test]
     fn backward_input_gradient_matches_finite_diff() {
         let net = Mlp::new(
             &[3, 8, 2],
@@ -362,8 +420,18 @@ mod tests {
 
     #[test]
     fn soft_update_converges_to_source() {
-        let mut a = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Linear, &mut rng(3));
-        let b = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Linear, &mut rng(4));
+        let mut a = Mlp::new(
+            &[2, 4, 1],
+            Activation::Relu,
+            Activation::Linear,
+            &mut rng(3),
+        );
+        let b = Mlp::new(
+            &[2, 4, 1],
+            Activation::Relu,
+            Activation::Linear,
+            &mut rng(4),
+        );
         for _ in 0..200 {
             a.soft_update_from(&b, 0.1);
         }
@@ -378,15 +446,30 @@ mod tests {
 
     #[test]
     fn copy_params_is_exact() {
-        let mut a = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Linear, &mut rng(5));
-        let b = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Linear, &mut rng(6));
+        let mut a = Mlp::new(
+            &[2, 4, 1],
+            Activation::Relu,
+            Activation::Linear,
+            &mut rng(5),
+        );
+        let b = Mlp::new(
+            &[2, 4, 1],
+            Activation::Relu,
+            Activation::Linear,
+            &mut rng(6),
+        );
         a.copy_params_from(&b);
         assert_eq!(a.flat_params(), b.flat_params());
     }
 
     #[test]
     fn parameter_noise_perturbs_all_layers() {
-        let clean = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Linear, &mut rng(7));
+        let clean = Mlp::new(
+            &[2, 4, 1],
+            Activation::Relu,
+            Activation::Linear,
+            &mut rng(7),
+        );
         let mut noisy = clean.clone();
         noisy.add_parameter_noise(0.1, &mut rng(8));
         let changed = clean
@@ -400,7 +483,12 @@ mod tests {
 
     #[test]
     fn zero_sigma_noise_is_identity() {
-        let clean = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Linear, &mut rng(9));
+        let clean = Mlp::new(
+            &[2, 4, 1],
+            Activation::Relu,
+            Activation::Linear,
+            &mut rng(9),
+        );
         let mut noisy = clean.clone();
         noisy.add_parameter_noise(0.0, &mut rng(10));
         assert_eq!(clean.flat_params(), noisy.flat_params());
@@ -408,7 +496,12 @@ mod tests {
 
     #[test]
     fn gradient_clipping_bounds_update() {
-        let mut net = Mlp::new(&[1, 1], Activation::Linear, Activation::Linear, &mut rng(11));
+        let mut net = Mlp::new(
+            &[1, 1],
+            Activation::Linear,
+            Activation::Linear,
+            &mut rng(11),
+        );
         let before = net.flat_params();
         let mut opt = crate::Sgd::new(1.0).with_clip_norm(1e-3);
         // Enormous targets produce enormous gradients; the clip bounds them.
@@ -427,7 +520,12 @@ mod tests {
 
     #[test]
     fn mse_decreases_during_training() {
-        let mut net = Mlp::new(&[1, 8, 1], Activation::Relu, Activation::Linear, &mut rng(12));
+        let mut net = Mlp::new(
+            &[1, 8, 1],
+            Activation::Relu,
+            Activation::Linear,
+            &mut rng(12),
+        );
         let x = Matrix::from_rows(&[&[-1.0], &[0.0], &[1.0], &[2.0]]);
         let y = Matrix::from_rows(&[&[-2.0], &[0.0], &[2.0], &[4.0]]);
         let mut opt = crate::Adam::new(1e-2);
@@ -458,7 +556,12 @@ mod tests {
 
     #[test]
     fn serde_round_trip_preserves_predictions() {
-        let net = Mlp::new(&[3, 10, 2], Activation::Relu, Activation::Linear, &mut rng(17));
+        let net = Mlp::new(
+            &[3, 10, 2],
+            Activation::Relu,
+            Activation::Linear,
+            &mut rng(17),
+        );
         let json = serde_json::to_string(&net).unwrap();
         let back: Mlp = serde_json::from_str(&json).unwrap();
         let x = Matrix::from_rows(&[&[0.1, 0.2, 0.3]]);

@@ -1,0 +1,159 @@
+//! Property-based tests for the tiled GEMM kernels: the optimised products
+//! must agree with the retained naive reference implementations on every
+//! shape — including degenerate 1×N, N×1, and empty-batch inputs — and must
+//! be invariant to the thread count.
+//!
+//! The tiled kernels accumulate each output element in the same ascending-k
+//! order as the naive loops, so the comparisons here are *bitwise*, which is
+//! stronger than the ≤1e-9 elementwise bound the design requires.
+
+use nn::{Activation, Dense, Matrix};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Fills a matrix with uniform values from the given rng.
+fn random_matrix(rng: &mut SmallRng, rows: usize, cols: usize) -> Matrix {
+    use rand::Rng;
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// A strategy for a random matrix of the given shape.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// A strategy for a conformable (A: m×k, B: k×n) pair over shapes that cover
+/// the stream fallback, the packed fast path, and ragged tile remainders.
+fn product_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..40, 1usize..40, 1usize..40).prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(k, n)))
+}
+
+fn assert_bitwise_eq(actual: &Matrix, expected: &Matrix) {
+    assert_eq!(actual.rows(), expected.rows());
+    assert_eq!(actual.cols(), expected.cols());
+    for (i, (a, b)) in actual
+        .as_slice()
+        .iter()
+        .zip(expected.as_slice())
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "element {i} differs: tiled {a} vs naive {b}"
+        );
+    }
+}
+
+proptest! {
+    /// Tiled A·B matches the naive triple loop bit-for-bit.
+    #[test]
+    fn tiled_matmul_matches_naive((a, b) in product_pair()) {
+        assert_bitwise_eq(&a.matmul(&b), &a.naive_matmul(&b));
+    }
+
+    /// Tiled Aᵀ·B matches the naive reference bit-for-bit.
+    #[test]
+    fn tiled_transpose_matmul_matches_naive(
+        (m, k, n) in (1usize..40, 1usize..40, 1usize..40),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, k, m);
+        let b = random_matrix(&mut rng, k, n);
+        assert_bitwise_eq(&a.transpose_matmul(&b), &a.naive_transpose_matmul(&b));
+    }
+
+    /// Tiled A·Bᵀ (the packed-RHS fast path) matches the naive reference
+    /// bit-for-bit.
+    #[test]
+    fn tiled_matmul_transpose_matches_naive(
+        (m, k, n) in (1usize..40, 1usize..40, 1usize..40),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, n, k);
+        assert_bitwise_eq(&a.matmul_transpose(&b), &a.naive_matmul_transpose(&b));
+    }
+
+    /// Single-row (1×N) and single-column (N×1) products agree with naive.
+    #[test]
+    fn degenerate_row_and_column_shapes_match_naive(
+        n in 1usize..64,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let row = random_matrix(&mut rng, 1, n);
+        let square = random_matrix(&mut rng, n, n);
+        let col = random_matrix(&mut rng, n, 1);
+        assert_bitwise_eq(&row.matmul(&square), &row.naive_matmul(&square));
+        assert_bitwise_eq(&square.matmul(&col), &square.naive_matmul(&col));
+        assert_bitwise_eq(&col.matmul(&row), &col.naive_matmul(&row));
+    }
+
+    /// The fused layer forward (product + bias + activation in one kernel)
+    /// matches the unfused naive pipeline to within 1e-9.
+    #[test]
+    fn fused_dense_forward_matches_unfused(
+        batch in 1usize..24,
+        fan_in in 1usize..24,
+        fan_out in 1usize..24,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for activation in [
+            Activation::Linear,
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Softmax,
+        ] {
+            let layer = Dense::new(fan_in, fan_out, activation, &mut rng);
+            let x = random_matrix(&mut rng, batch, fan_in);
+            let fused = layer.infer(&x);
+            let unfused = activation.forward(
+                &x.naive_matmul_transpose(layer.weights())
+                    .add_row_broadcast(layer.bias()),
+            );
+            for (a, b) in fused.as_slice().iter().zip(unfused.as_slice()) {
+                prop_assert!((a - b).abs() <= 1e-9, "fused {a} vs unfused {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_batch_shapes_match_naive() {
+    let empty = Matrix::zeros(0, 7);
+    let b = Matrix::zeros(7, 5);
+    assert_bitwise_eq(&empty.matmul(&b), &empty.naive_matmul(&b));
+    // Zero-width inner dimension: the product is a well-defined zero matrix.
+    let a = Matrix::zeros(4, 0);
+    let wide = Matrix::zeros(0, 6);
+    assert_bitwise_eq(&a.matmul(&wide), &a.naive_matmul(&wide));
+    assert_bitwise_eq(
+        &a.matmul_transpose(&Matrix::zeros(6, 0)),
+        &Matrix::zeros(4, 6),
+    );
+}
+
+/// Products big enough to cross the parallel-split threshold are bitwise
+/// identical whether they run on one thread or many: the row-partitioned
+/// reduction never splits an accumulation.
+#[test]
+fn threaded_products_are_bitwise_identical_to_serial() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    // 160×160×160 ≈ 4.1M multiply-adds, above the 1M parallel threshold.
+    let a = random_matrix(&mut rng, 160, 160);
+    let b = random_matrix(&mut rng, 160, 160);
+    let (serial_ab, serial_atb, serial_abt) =
+        nn::threads::with_serial(|| (a.matmul(&b), a.transpose_matmul(&b), a.matmul_transpose(&b)));
+    assert_bitwise_eq(&a.matmul(&b), &serial_ab);
+    assert_bitwise_eq(&a.transpose_matmul(&b), &serial_atb);
+    assert_bitwise_eq(&a.matmul_transpose(&b), &serial_abt);
+    assert_bitwise_eq(&serial_ab, &a.naive_matmul(&b));
+}

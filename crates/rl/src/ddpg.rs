@@ -1,11 +1,69 @@
 //! Deep deterministic policy gradient with parameter-space exploration.
 
-use nn::{Activation, Adam, Matrix, Mlp};
+use nn::{Activation, Adam, DenseGrads, Matrix, Mlp};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::policy::project_to_simplex;
 use crate::{AdaptiveParamNoise, OrnsteinUhlenbeck, ReplayBuffer, RunningNorm, StoredTransition};
+
+/// Minimum minibatch rows per gradient shard; below this, thread overhead
+/// dominates the matrix work.
+const MIN_SHARD_ROWS: usize = 16;
+
+/// Splits `rows` minibatch rows into contiguous shards, at most one per
+/// configured thread (`NN_NUM_THREADS`). The shard count is a pure function
+/// of `rows` and the thread knob, and shards are always reduced in index
+/// order, so threaded training is bit-reproducible for a fixed knob; with
+/// one shard the computation is identical to the serial path.
+fn shard_ranges(rows: usize) -> Vec<(usize, usize)> {
+    let shards = nn::threads::effective_threads()
+        .min(rows / MIN_SHARD_ROWS)
+        .max(1);
+    let base = rows / shards;
+    let extra = rows % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+/// Runs `work` over each shard range — on this thread if there is only one
+/// shard, otherwise one scoped thread per shard (each with nested kernel
+/// parallelism disabled) — and returns the results in shard order.
+fn run_sharded<T, F>(ranges: &[(usize, usize)], work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn((usize, usize)) -> T + Sync,
+{
+    if ranges.len() == 1 {
+        return vec![work(ranges[0])];
+    }
+    let mut out: Vec<Option<T>> = ranges.iter().map(|_| None).collect();
+    let work_ref = &work;
+    std::thread::scope(|scope| {
+        for (slot, &range) in out.iter_mut().zip(ranges) {
+            scope.spawn(move || {
+                *slot = Some(nn::threads::with_serial(|| work_ref(range)));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("shard completed"))
+        .collect()
+}
+
+/// One shard's contribution to a critic update.
+struct CriticShard {
+    /// Unnormalised sum of squared TD errors over the shard's rows.
+    loss_sum: f64,
+    trunk_grads: Vec<DenseGrads>,
+    head_grads: Vec<DenseGrads>,
+}
 
 /// The critic `Q(s, a)` with the paper's architecture: the action is
 /// injected at the *second* hidden layer (§VI-A3 — "we insert one of
@@ -64,6 +122,10 @@ impl Critic {
 
     /// One MSE training step toward `targets`; returns the loss before the
     /// update.
+    ///
+    /// The minibatch is split into row shards (see [`shard_ranges`]) whose
+    /// gradients are computed on scoped threads and reduced in shard order,
+    /// then applied once — equivalent to the full-batch update.
     pub fn train(
         &mut self,
         states: &Matrix,
@@ -72,19 +134,57 @@ impl Critic {
         trunk_opt: &mut Adam,
         head_opt: &mut Adam,
     ) -> f64 {
-        let (h, trunk_caches) = self.trunk.forward_cached(states);
-        let z = Matrix::hconcat(&[&h, actions]);
-        let (q, head_caches) = self.head.forward_cached(&z);
-        let diff = &q - targets;
-        let n = q.rows() as f64;
-        let loss = diff.as_slice().iter().map(|&v| v * v).sum::<f64>() / n;
-        let d_q = diff.scale(2.0 / n);
-        let (d_z, head_grads) = self.head.backward(&head_caches, &d_q);
-        let d_h = d_z.columns(0, h.cols());
-        let (_, trunk_grads) = self.trunk.backward(&trunk_caches, &d_h);
-        self.head.apply_gradients(&head_grads, head_opt);
-        self.trunk.apply_gradients(&trunk_grads, trunk_opt);
-        loss
+        let n = states.rows() as f64;
+        let ranges = shard_ranges(states.rows());
+        let this: &Critic = self;
+        let shards = run_sharded(&ranges, |range| {
+            this.grad_shard(states, actions, targets, range, n)
+        });
+
+        let mut iter = shards.into_iter();
+        let mut acc = iter.next().expect("at least one shard");
+        for s in iter {
+            acc.loss_sum += s.loss_sum;
+            for (a, b) in acc.trunk_grads.iter_mut().zip(&s.trunk_grads) {
+                a.accumulate(b);
+            }
+            for (a, b) in acc.head_grads.iter_mut().zip(&s.head_grads) {
+                a.accumulate(b);
+            }
+        }
+        self.head.apply_gradients(&mut acc.head_grads, head_opt);
+        self.trunk.apply_gradients(&mut acc.trunk_grads, trunk_opt);
+        acc.loss_sum / n
+    }
+
+    /// Forward/backward over rows `[r0, r1)` of the minibatch. The TD-error
+    /// gradient is scaled by the *full* batch size `n`, so summing shard
+    /// gradients reproduces the full-batch gradient exactly.
+    fn grad_shard(
+        &self,
+        states: &Matrix,
+        actions: &Matrix,
+        targets: &Matrix,
+        (r0, r1): (usize, usize),
+        n: f64,
+    ) -> CriticShard {
+        let s = states.rows_range(r0, r1);
+        let a = actions.rows_range(r0, r1);
+        let t = targets.rows_range(r0, r1);
+        let trunk_trace = self.trunk.forward_cached(&s);
+        let z = Matrix::hconcat(&[trunk_trace.output(), &a]);
+        let head_trace = self.head.forward_cached(&z);
+        let mut d_q = head_trace.output() - &t;
+        let loss_sum = d_q.as_slice().iter().map(|&v| v * v).sum::<f64>();
+        d_q.scale_in_place(2.0 / n);
+        let (d_z, head_grads) = self.head.backward(&head_trace, &d_q);
+        let d_h = d_z.columns(0, trunk_trace.output().cols());
+        let (_, trunk_grads) = self.trunk.backward(&trunk_trace, &d_h);
+        CriticShard {
+            loss_sum,
+            trunk_grads,
+            head_grads,
+        }
     }
 
     /// `∂Q/∂a` for each sample — the deterministic-policy-gradient term.
@@ -297,7 +397,10 @@ impl Ddpg {
     /// Panics if any dimension is zero or the config is degenerate.
     #[must_use]
     pub fn new(state_dim: usize, action_dim: usize, config: DdpgConfig) -> Self {
-        assert!(state_dim > 0 && action_dim > 0, "dimensions must be positive");
+        assert!(
+            state_dim > 0 && action_dim > 0,
+            "dimensions must be positive"
+        );
         assert!(config.batch_size > 0, "batch size must be positive");
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let mut actor_sizes = vec![state_dim];
@@ -452,16 +555,20 @@ impl Ddpg {
         let batch = self.replay.sample(b, &mut self.rng);
         // Replay stores raw states; normalise with the *current* running
         // statistics at batch-build time.
-        let state_rows: Vec<Vec<f64>> =
-            batch.iter().map(|t| self.obs_norm.normalize(&t.state)).collect();
+        let state_rows: Vec<Vec<f64>> = batch
+            .iter()
+            .map(|t| self.obs_norm.normalize(&t.state))
+            .collect();
         let next_rows: Vec<Vec<f64>> = batch
             .iter()
             .map(|t| self.obs_norm.normalize(&t.next_state))
             .collect();
-        let states =
-            Matrix::from_rows(&state_rows.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        let states = Matrix::from_rows(&state_rows.iter().map(Vec::as_slice).collect::<Vec<_>>());
         let actions = Matrix::from_rows(
-            &batch.iter().map(|t| t.action.as_slice()).collect::<Vec<_>>(),
+            &batch
+                .iter()
+                .map(|t| t.action.as_slice())
+                .collect::<Vec<_>>(),
         );
         let rewards: Vec<f64> = if self.config.normalize_rewards {
             batch
@@ -483,12 +590,12 @@ impl Ddpg {
             .as_ref()
             .map(|c| c.q(&next_states, &next_actions));
         let mut targets = Matrix::zeros(b, 1);
-        for i in 0..b {
+        for (i, &r) in rewards.iter().enumerate() {
             let mut q = next_q.get(i, 0);
             if let Some(q2) = &next_q2 {
                 q = q.min(q2.get(i, 0));
             }
-            targets.set(i, 0, rewards[i] + self.config.gamma * q);
+            targets.set(i, 0, r + self.config.gamma * q);
         }
         let critic_loss = self.critic.train(
             &states,
@@ -510,23 +617,42 @@ impl Ddpg {
         // Actor: ascend ∂Q/∂a through the deterministic policy gradient,
         // plus an entropy bonus that prevents softmax-vertex collapse.
         // Loss = −Q − β·H(a); with H = −Σ a ln a the output gradient is
-        // −∂Q/∂a + β (ln a + 1), averaged over the batch.
-        let (policy_actions, caches) = self.actor.forward_cached(&states);
-        let dq_da = self.critic.action_gradient(&states, &policy_actions);
-        let mean_q = self.critic.q(&states, &policy_actions).mean();
+        // −∂Q/∂a + β (ln a + 1), averaged over the batch. Sharded like the
+        // critic update: per-shard gradients scale by the full batch size,
+        // so their ordered sum is the full-batch gradient.
         let beta = self.config.entropy_weight;
-        let mut d_out = dq_da.scale(-1.0 / b as f64);
-        if beta > 0.0 {
-            for r in 0..d_out.rows() {
-                for c in 0..d_out.cols() {
-                    let a = policy_actions.get(r, c).max(1e-8);
-                    let g = d_out.get(r, c) + beta * (a.ln() + 1.0) / b as f64;
-                    d_out.set(r, c, g);
+        let inv_b = 1.0 / b as f64;
+        let ranges = shard_ranges(b);
+        let (actor, critic) = (&self.actor, &self.critic);
+        let shards = run_sharded(&ranges, |(r0, r1)| {
+            let s = states.rows_range(r0, r1);
+            let trace = actor.forward_cached(&s);
+            let policy_actions = trace.output();
+            let q_sum: f64 = critic.q(&s, policy_actions).as_slice().iter().sum();
+            let mut d_out = critic.action_gradient(&s, policy_actions);
+            d_out.scale_in_place(-inv_b);
+            if beta > 0.0 {
+                for r in 0..d_out.rows() {
+                    for c in 0..d_out.cols() {
+                        let a = policy_actions.get(r, c).max(1e-8);
+                        let g = d_out.get(r, c) + beta * (a.ln() + 1.0) * inv_b;
+                        d_out.set(r, c, g);
+                    }
                 }
             }
+            let (_, grads) = actor.backward(&trace, &d_out);
+            (q_sum, grads)
+        });
+        let mut iter = shards.into_iter();
+        let (mut q_sum, mut grads) = iter.next().expect("at least one shard");
+        for (q_part, g_part) in iter {
+            q_sum += q_part;
+            for (a, g) in grads.iter_mut().zip(&g_part) {
+                a.accumulate(g);
+            }
         }
-        let (_, grads) = self.actor.backward(&caches, &d_out);
-        self.actor.apply_gradients(&grads, &mut self.actor_opt);
+        let mean_q = q_sum * inv_b;
+        self.actor.apply_gradients(&mut grads, &mut self.actor_opt);
 
         // Polyak updates.
         self.actor_target
@@ -586,7 +712,8 @@ impl Ddpg {
         if let Some(noise) = &self.param_noise {
             let sigma = noise.sigma();
             self.perturbed_actor.copy_params_from(&self.actor);
-            self.perturbed_actor.add_parameter_noise(sigma, &mut self.rng);
+            self.perturbed_actor
+                .add_parameter_noise(sigma, &mut self.rng);
         }
         if let Some(ou) = &mut self.action_noise {
             ou.reset();
@@ -682,11 +809,7 @@ mod tests {
         let s = [0.5, -0.5];
         let clean = agent.act(&s);
         let noisy = agent.act_exploratory(&s);
-        let dist: f64 = clean
-            .iter()
-            .zip(&noisy)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let dist: f64 = clean.iter().zip(&noisy).map(|(a, b)| (a - b).abs()).sum();
         assert!(dist > 0.0, "perturbed actor should differ");
     }
 
@@ -748,8 +871,7 @@ mod tests {
             let mut am = a.clone();
             ap.set(0, c, a.get(0, c) + eps);
             am.set(0, c, a.get(0, c) - eps);
-            let numeric =
-                (critic.q(&s, &ap).get(0, 0) - critic.q(&s, &am).get(0, 0)) / (2.0 * eps);
+            let numeric = (critic.q(&s, &ap).get(0, 0) - critic.q(&s, &am).get(0, 0)) / (2.0 * eps);
             assert!((numeric - grad.get(0, c)).abs() < 1e-5, "dim {c}");
         }
     }

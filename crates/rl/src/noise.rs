@@ -40,7 +40,11 @@ impl AdaptiveParamNoise {
         assert!(sigma > 0.0, "sigma must be positive");
         assert!(delta > 0.0, "delta must be positive");
         assert!(alpha > 1.0, "alpha must exceed 1");
-        AdaptiveParamNoise { sigma, delta, alpha }
+        AdaptiveParamNoise {
+            sigma,
+            delta,
+            alpha,
+        }
     }
 
     /// The current perturbation scale.
@@ -99,7 +103,10 @@ impl OrnsteinUhlenbeck {
     #[must_use]
     pub fn new(dim: usize, theta: f64, sigma: f64) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        assert!(theta >= 0.0 && sigma >= 0.0, "parameters must be non-negative");
+        assert!(
+            theta >= 0.0 && sigma >= 0.0,
+            "parameters must be non-negative"
+        );
         OrnsteinUhlenbeck {
             theta,
             sigma,

@@ -69,10 +69,10 @@ impl RunningNorm {
         assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
         self.count += 1;
         let n = self.count as f64;
-        for i in 0..x.len() {
-            let delta = x[i] - self.mean[i];
+        for (i, &xi) in x.iter().enumerate() {
+            let delta = xi - self.mean[i];
             self.mean[i] += delta / n;
-            self.m2[i] += delta * (x[i] - self.mean[i]);
+            self.m2[i] += delta * (xi - self.mean[i]);
         }
     }
 

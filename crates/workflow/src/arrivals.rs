@@ -93,9 +93,7 @@ impl ArrivalTrace {
 
     /// Adds an arrival, keeping the trace time-sorted (stable for ties).
     pub fn push(&mut self, arrival: Arrival) {
-        let idx = self
-            .arrivals
-            .partition_point(|a| a.time <= arrival.time);
+        let idx = self.arrivals.partition_point(|a| a.time <= arrival.time);
         self.arrivals.insert(idx, arrival);
     }
 

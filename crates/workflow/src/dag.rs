@@ -87,10 +87,7 @@ impl Dag {
     /// Returns a [`DagError`] when the node set is empty, an edge references
     /// a missing node, an edge is a self-loop or duplicated, or the edges
     /// form a cycle.
-    pub fn new(
-        task_types: Vec<TaskTypeId>,
-        edges: Vec<(usize, usize)>,
-    ) -> Result<Self, DagError> {
+    pub fn new(task_types: Vec<TaskTypeId>, edges: Vec<(usize, usize)>) -> Result<Self, DagError> {
         let n = task_types.len();
         if n == 0 {
             return Err(DagError::Empty);
@@ -353,22 +350,14 @@ mod tests {
     #[test]
     fn multiple_entries_and_exits() {
         // 0 → 2, 1 → 2, 2 → {3, 4}
-        let d = Dag::new(
-            vec![t(0); 5],
-            vec![(0, 2), (1, 2), (2, 3), (2, 4)],
-        )
-        .unwrap();
+        let d = Dag::new(vec![t(0); 5], vec![(0, 2), (1, 2), (2, 3), (2, 4)]).unwrap();
         assert_eq!(d.entry_nodes(), &[0, 1]);
         assert_eq!(d.exit_nodes(), &[3, 4]);
     }
 
     #[test]
     fn topo_order_respects_edges() {
-        let d = Dag::new(
-            vec![t(0); 6],
-            vec![(5, 4), (4, 3), (3, 2), (2, 1), (1, 0)],
-        )
-        .unwrap();
+        let d = Dag::new(vec![t(0); 6], vec![(5, 4), (4, 3), (3, 2), (2, 1), (1, 0)]).unwrap();
         let pos: Vec<usize> = {
             let mut p = vec![0; 6];
             for (i, &n) in d.topo_order().iter().enumerate() {

@@ -322,7 +322,10 @@ impl Ensemble {
         let names: Vec<String> = self.task_types.iter().map(|t| t.name.clone()).collect();
         let mut out = String::new();
         for wf in &self.workflows {
-            out.push_str(&wf.dag.to_dot(&wf.name.replace([' ', '-'], "_"), Some(&names)));
+            out.push_str(
+                &wf.dag
+                    .to_dot(&wf.name.replace([' ', '-'], "_"), Some(&names)),
+            );
         }
         out
     }

@@ -40,7 +40,7 @@ mod ids;
 mod modulation;
 
 pub use arrivals::{Arrival, ArrivalTrace, BurstSpec, PoissonProcess};
-pub use modulation::{ModulatedPoisson, RatePattern};
 pub use dag::{Dag, DagError};
 pub use ensemble::{Ensemble, TaskTypeDef, WorkflowDef};
 pub use ids::{TaskTypeId, WorkflowTypeId};
+pub use modulation::{ModulatedPoisson, RatePattern};

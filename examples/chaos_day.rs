@@ -41,8 +41,10 @@ fn main() {
     }
 
     // Re-plan every 30 s with the WIP-proportional heuristic.
-    let mut allocator =
-        WipProportionalAllocator::new(ensemble.num_task_types(), ensemble.default_consumer_budget());
+    let mut allocator = WipProportionalAllocator::new(
+        ensemble.num_task_types(),
+        ensemble.default_consumer_budget(),
+    );
     let window = SimTime::from_secs(30);
     let mut t = SimTime::ZERO;
     let mut peak_wip = 0usize;

@@ -42,8 +42,8 @@ fn genomics_ensemble() -> Ensemble {
         "Genomics",
         task_types,
         workflows,
-        12,                      // consumer budget
-        vec![0.25, 0.20, 0.30],  // background arrival rates (req/s)
+        12,                     // consumer budget
+        vec![0.25, 0.20, 0.30], // background arrival rates (req/s)
     )
 }
 

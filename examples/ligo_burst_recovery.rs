@@ -23,8 +23,7 @@ fn main() {
 
     println!("training MIRAS on LIGO (fast scale, 8 iterations)...");
     let env_config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
-    let mut train_env =
-        ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble.clone(), env_config));
+    let mut train_env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble.clone(), env_config));
     let mut trainer = MirasTrainer::new(&train_env, MirasConfig::ligo_fast(seed));
     for _ in 0..8 {
         let r = trainer.run_iteration(&mut train_env);

@@ -11,11 +11,7 @@ use miras::prelude::*;
 
 /// Runs one allocator against a fresh burst scenario; returns
 /// (per-window total WIP, total completions).
-fn run(
-    allocator: &mut dyn Allocator,
-    seed: u64,
-    steps: usize,
-) -> (Vec<usize>, usize) {
+fn run(allocator: &mut dyn Allocator, seed: u64, steps: usize) -> (Vec<usize>, usize) {
     let ensemble = Ensemble::msd();
     let config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
     let mut env = MicroserviceEnv::new(ensemble, config);
@@ -58,7 +54,10 @@ fn main() {
     let mut uniform = UniformAllocator::new(ensemble.num_task_types(), budget);
 
     println!("\nburst 300/200/300 on top of Poisson background, {steps} windows of 30 s:");
-    println!("{:>6} {:>8} {:>8} {:>8} {:>8}", "step", "miras", "stream", "heft", "uniform");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>8}",
+        "step", "miras", "stream", "heft", "uniform"
+    );
     let (m_wip, m_done) = run(&mut miras, seed, steps);
     let (d_wip, d_done) = run(&mut drs, seed, steps);
     let (h_wip, h_done) = run(&mut heft, seed, steps);

@@ -80,9 +80,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{name} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         flags.insert(name.to_string(), value.clone());
     }
     Ok(flags)
@@ -158,8 +156,7 @@ fn run_policy(
         env.inject_burst(&BurstSpec::new(counts));
     }
     if let Some(path) = trace_path {
-        let trace =
-            ArrivalTrace::load_json(path).map_err(|e| format!("loading {path}: {e}"))?;
+        let trace = ArrivalTrace::load_json(path).map_err(|e| format!("loading {path}: {e}"))?;
         println!("replaying {} arrivals from {path}", trace.len());
         env.inject_trace(&trace);
     }
@@ -262,9 +259,7 @@ fn train(flags: &Flags) -> Result<(), String> {
 }
 
 fn load_agent(flags: &Flags) -> Result<MirasAgent, String> {
-    let path = flags
-        .get("agent")
-        .ok_or("--agent FILE is required")?;
+    let path = flags.get("agent").ok_or("--agent FILE is required")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
 }

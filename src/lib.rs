@@ -51,14 +51,14 @@ pub use workflow;
 /// Commonly used types, importable in one line.
 pub mod prelude {
     pub use baselines::{
-        Allocator, DrsAllocator, HeftAllocator, ModelFreeDdpg, MonadAllocator,
-        UniformAllocator, WipProportionalAllocator,
+        Allocator, DrsAllocator, HeftAllocator, ModelFreeDdpg, MonadAllocator, UniformAllocator,
+        WipProportionalAllocator,
     };
     pub use desim::SimTime;
     pub use microsim::{Cluster, EnvConfig, MicroserviceEnv, SimConfig, WindowMetrics};
     pub use miras_core::{
-        ClusterEnvAdapter, DynamicsModel, EnsembleDynamics, MirasAgent, MirasConfig,
-        MirasTrainer, RefinedModel, SyntheticEnv, TransitionDataset,
+        ClusterEnvAdapter, DynamicsModel, EnsembleDynamics, MirasAgent, MirasConfig, MirasTrainer,
+        RefinedModel, SyntheticEnv, TransitionDataset,
     };
     pub use rl::{Ddpg, DdpgConfig, Environment, Exploration};
     pub use workflow::{

@@ -67,7 +67,13 @@ fn every_allocator_survives_ligo_burst() {
     let ensemble = Ensemble::ligo();
     let burst = BurstSpec::new(vec![50, 50, 25, 15]);
     for mut alloc in all_allocators(&ensemble) {
-        let (_, done) = drive(ensemble.clone(), 13, Some(burst.clone()), 30, alloc.as_mut());
+        let (_, done) = drive(
+            ensemble.clone(),
+            13,
+            Some(burst.clone()),
+            30,
+            alloc.as_mut(),
+        );
         assert!(done > 0, "{} completed nothing under burst", alloc.name());
     }
 }
@@ -97,7 +103,13 @@ fn model_free_ddpg_trains_and_allocates() {
     let mut env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble.clone(), config));
     let mut policy =
         baselines::train_model_free(&mut env, 40, 20, DdpgConfig::small_test(19), None);
-    let (_, done) = drive(ensemble, 19, Some(BurstSpec::new(vec![30, 20, 30])), 15, &mut policy);
+    let (_, done) = drive(
+        ensemble,
+        19,
+        Some(BurstSpec::new(vec![30, 20, 30])),
+        15,
+        &mut policy,
+    );
     assert!(done > 0);
 }
 

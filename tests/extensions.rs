@@ -90,7 +90,8 @@ fn ensemble_model_learns_the_real_emulator() {
     }
     let test = env2.take_transitions();
 
-    let mae = |f: &dyn Fn(&[f64], &[f64]) -> Vec<f64>| -> f64 {
+    type Predictor<'a> = &'a dyn Fn(&[f64], &[f64]) -> Vec<f64>;
+    let mae = |f: Predictor| -> f64 {
         test.iter()
             .map(|t| {
                 f(&t.state, &t.action)
@@ -135,7 +136,10 @@ fn latency_summary_from_live_completions() {
     );
     cluster.set_consumers(&[4, 4, 4, 2]);
     for i in 0..100 {
-        cluster.submit(SimTime::from_secs(i / 3), WorkflowTypeId::new((i % 3) as usize));
+        cluster.submit(
+            SimTime::from_secs(i / 3),
+            WorkflowTypeId::new((i % 3) as usize),
+        );
     }
     cluster.run_until(SimTime::from_secs(2_000));
     let completions = cluster.drain_completions();

@@ -11,7 +11,7 @@ fn ligo_cluster_processes_all_four_workflow_types() {
     let _ = env.reset();
     env.inject_burst(&BurstSpec::new(vec![5, 5, 5, 5]));
     // A generous static allocation processes everything.
-    let mut per_type = vec![0usize; 4];
+    let mut per_type = [0usize; 4];
     for _ in 0..40 {
         let out = env.step(&[4, 4, 6, 3, 3, 3, 3, 3, 1]);
         for (acc, c) in per_type.iter_mut().zip(&out.metrics.completions) {
@@ -102,5 +102,8 @@ fn ligo_coire_deferral_is_possible() {
         let out = env.step(&alloc);
         cat_done += out.metrics.completions[1];
     }
-    assert_eq!(cat_done, 10, "deferred CAT workflows complete after the turn");
+    assert_eq!(
+        cat_done, 10,
+        "deferred CAT workflows complete after the turn"
+    );
 }

@@ -58,7 +58,12 @@ impl BenchmarkGroup<'_> {
 
     /// Runs one benchmark. The closure receives a [`Bencher`] and must call
     /// [`Bencher::iter`].
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.as_ref();
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
         let mut bencher = Bencher {
             warm_up_time: self.criterion.warm_up_time,

@@ -100,7 +100,11 @@ impl LogNormal<f64> {
         if !sigma.is_finite() || sigma < 0.0 {
             return Err(ParamError("sigma must be finite and non-negative"));
         }
-        Ok(LogNormal { mu, sigma, _float: PhantomData })
+        Ok(LogNormal {
+            mu,
+            sigma,
+            _float: PhantomData,
+        })
     }
 }
 

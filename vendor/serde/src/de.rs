@@ -17,7 +17,9 @@ pub trait Error: Sized + fmt::Display {
 
     /// The input had an unexpected shape.
     fn invalid_type(unexpected: &str, expected: &str) -> Self {
-        Self::custom(format_args!("invalid type: {unexpected}, expected {expected}"))
+        Self::custom(format_args!(
+            "invalid type: {unexpected}, expected {expected}"
+        ))
     }
 }
 
@@ -81,7 +83,10 @@ pub fn opt_field(fields: &mut Vec<(String, Value)>, name: &str) -> Option<Value>
 /// # Errors
 ///
 /// Fails when the field is absent.
-pub fn req_field<E: Error>(fields: &mut Vec<(String, Value)>, name: &'static str) -> Result<Value, E> {
+pub fn req_field<E: Error>(
+    fields: &mut Vec<(String, Value)>,
+    name: &'static str,
+) -> Result<Value, E> {
     opt_field(fields, name).ok_or_else(|| E::missing_field(name))
 }
 

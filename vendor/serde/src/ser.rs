@@ -184,7 +184,9 @@ pub trait Serializer: Sized {
     /// Defaults to an error for serializers without object support.
     fn collect_object(self, fields: Vec<(String, Value)>) -> Result<Self::Ok, Self::Error> {
         let _ = fields;
-        Err(Error::custom("serializer cannot emit arbitrary-keyed objects"))
+        Err(Error::custom(
+            "serializer cannot emit arbitrary-keyed objects",
+        ))
     }
 
     // Narrower integer widths funnel into the 64-bit entry points.

@@ -51,8 +51,14 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, shape: Shape },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 #[proc_macro_derive(Serialize, attributes(serde))]
@@ -62,7 +68,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Item::Struct { name, shape } => gen_struct_serialize(name, shape),
         Item::Enum { name, variants } => gen_enum_serialize(name, variants),
     };
-    code.parse().expect("serde_derive generated invalid Serialize impl")
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
@@ -72,7 +79,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Item::Struct { name, shape } => gen_struct_deserialize(name, shape),
         Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
     };
-    code.parse().expect("serde_derive generated invalid Deserialize impl")
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
 }
 
 // ---------------------------------------------------------------------------
@@ -347,7 +355,10 @@ fn gen_struct_serialize(name: &str, shape: &Shape) -> String {
                 fields.len()
             ));
             for f in fields {
-                out.push_str(&format!("serde::ser::SerializeSeq::serialize_element(&mut state, &self.{})?;\n", f.name));
+                out.push_str(&format!(
+                    "serde::ser::SerializeSeq::serialize_element(&mut state, &self.{})?;\n",
+                    f.name
+                ));
             }
             out.push_str("serde::ser::SerializeSeq::end(state)");
             out
@@ -396,8 +407,7 @@ fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
                 ));
             }
             Shape::Tuple(fields) => {
-                let binders: Vec<String> =
-                    (0..fields.len()).map(|k| format!("__f{k}")).collect();
+                let binders: Vec<String> = (0..fields.len()).map(|k| format!("__f{k}")).collect();
                 let mut body = format!(
                     "let mut state = serializer.serialize_tuple_variant(\"{name}\", {vi}, \"{vname}\", {})?;\n",
                     fields.len()
@@ -461,9 +471,9 @@ fn de_named_field(f: &Field, binder: &str) -> String {
         return format!("let {binder}: {ty} = {init};\n");
     }
     let from_value = match &f.attrs.with {
-        Some(module) => format!(
-            "{module}::deserialize(serde::value::ValueDeserializer::<D::Error>::new(__v))?"
-        ),
+        Some(module) => {
+            format!("{module}::deserialize(serde::value::ValueDeserializer::<D::Error>::new(__v))?")
+        }
         None => "serde::value::from_value::<_, D::Error>(__v)?".to_string(),
     };
     let missing = match &f.attrs.default {
@@ -481,9 +491,7 @@ fn de_named_field(f: &Field, binder: &str) -> String {
 
 fn gen_struct_deserialize(name: &str, shape: &Shape) -> String {
     let body = match shape {
-        Shape::Unit => format!(
-            "let _ = deserializer.take_value()?;\nOk({name})"
-        ),
+        Shape::Unit => format!("let _ = deserializer.take_value()?;\nOk({name})"),
         Shape::Tuple(fields) if fields.len() == 1 => format!(
             "serde::value::from_value::<{ty}, D::Error>(deserializer.take_value()?).map({name})",
             ty = fields[0].ty
@@ -574,10 +582,7 @@ fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
                     body.push_str(&de_named_field(f, &format!("__v_{}", f.name)));
                     ctor.push(format!("{}: __v_{}", f.name, f.name));
                 }
-                body.push_str(&format!(
-                    "Ok({name}::{vname} {{ {} }})",
-                    ctor.join(", ")
-                ));
+                body.push_str(&format!("Ok({name}::{vname} {{ {} }})", ctor.join(", ")));
                 tagged_arms.push_str(&format!("\"{vname}\" => {{ {body} }}\n"));
             }
         }

@@ -61,10 +61,7 @@ pub fn from_str<'de, T: Deserialize<'de>>(text: &str) -> Result<T, Error> {
     let value = parser.parse_value()?;
     parser.skip_ws();
     if parser.pos != parser.bytes.len() {
-        return Err(Error(format!(
-            "trailing characters at byte {}",
-            parser.pos
-        )));
+        return Err(Error(format!("trailing characters at byte {}", parser.pos)));
     }
     from_value::<T, Error>(value)
 }
@@ -283,9 +280,8 @@ impl<'a> Parser<'a> {
                                     return Err(self.error("expected low surrogate"));
                                 }
                                 let low = self.parse_hex4()?;
-                                let combined = 0x10000
-                                    + ((code - 0xD800) << 10)
-                                    + (low.wrapping_sub(0xDC00));
+                                let combined =
+                                    0x10000 + ((code - 0xD800) << 10) + (low.wrapping_sub(0xDC00));
                                 char::from_u32(combined)
                                     .ok_or_else(|| self.error("invalid surrogate pair"))?
                             } else {
@@ -377,7 +373,10 @@ mod tests {
         assert_eq!(to_string(&-7i32).unwrap(), "-7");
         assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
         assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
-        assert_eq!(to_string("hi\n\"there\"").unwrap(), "\"hi\\n\\\"there\\\"\"");
+        assert_eq!(
+            to_string("hi\n\"there\"").unwrap(),
+            "\"hi\\n\\\"there\\\"\""
+        );
         assert_eq!(from_str::<bool>("true").unwrap(), true);
         assert_eq!(from_str::<f64>("1e-8").unwrap(), 1e-8);
         assert_eq!(from_str::<u64>(" 42 ").unwrap(), 42);
