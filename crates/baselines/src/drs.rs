@@ -1,10 +1,9 @@
 //! DRS: Jackson open-queueing-network resource scheduling (Fu et al.,
 //! ICDCS 2015) — `stream` in the paper's comparison figures.
 
-use microsim::WindowMetrics;
 use workflow::Ensemble;
 
-use crate::Allocator;
+use crate::{Allocator, Observation};
 
 /// The DRS allocator.
 ///
@@ -25,11 +24,11 @@ use crate::Allocator;
 /// # Examples
 ///
 /// ```
-/// use baselines::{Allocator, DrsAllocator};
+/// use baselines::{Allocator, DrsAllocator, Observation};
 /// use workflow::Ensemble;
 ///
 /// let mut drs = DrsAllocator::new(&Ensemble::msd(), 14, 30.0);
-/// let m = drs.allocate(&[5.0, 5.0, 5.0, 5.0], None);
+/// let m = drs.allocate(&Observation::first(&[5.0, 5.0, 5.0, 5.0]));
 /// assert!(m.iter().sum::<usize>() <= 14);
 /// ```
 #[derive(Debug, Clone)]
@@ -141,12 +140,12 @@ impl Allocator for DrsAllocator {
         "stream"
     }
 
-    fn allocate(&mut self, wip: &[f64], previous: Option<&WindowMetrics>) -> Vec<usize> {
+    fn allocate(&mut self, obs: &Observation) -> Vec<usize> {
         let j = self.mu.len();
-        assert_eq!(wip.len(), j, "WIP dimension mismatch");
+        assert_eq!(obs.wip.len(), j, "WIP dimension mismatch");
 
         // Update workflow arrival estimates from the last window.
-        if let Some(metrics) = previous {
+        if let Some(metrics) = obs.previous {
             for (est, &count) in self.lambda_wf.iter_mut().zip(&metrics.arrivals) {
                 let observed = count as f64 / self.window_secs;
                 *est = (1.0 - self.smoothing) * *est + self.smoothing * observed;
@@ -190,6 +189,7 @@ impl Allocator for DrsAllocator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use microsim::WindowMetrics;
 
     #[test]
     fn erlang_c_reduces_to_mm1() {
@@ -219,7 +219,7 @@ mod tests {
     fn allocation_uses_full_budget_and_stabilises_queues() {
         let ensemble = Ensemble::msd();
         let mut drs = DrsAllocator::new(&ensemble, 14, 30.0);
-        let alloc = drs.allocate(&[0.0; 4], None);
+        let alloc = drs.allocate(&Observation::first(&[0.0; 4]));
         assert_eq!(alloc.iter().sum::<usize>(), 14);
         // Every queue with demand must be stable under the default rates.
         let lambda = drs.task_arrival_rates();
@@ -237,7 +237,7 @@ mod tests {
     fn heavier_queues_get_more_consumers() {
         let ensemble = Ensemble::msd();
         let mut drs = DrsAllocator::new(&ensemble, 14, 30.0);
-        let alloc = drs.allocate(&[0.0; 4], None);
+        let alloc = drs.allocate(&Observation::first(&[0.0; 4]));
         // Task C (index 2) is visited by all three workflows with the
         // largest mean service time, so it should receive the most.
         let max = alloc.iter().copied().max().unwrap();
@@ -259,7 +259,7 @@ mod tests {
             completions: vec![0; 3],
             mean_response_secs: vec![None; 3],
         };
-        let _ = drs.allocate(&[0.0; 4], Some(&metrics));
+        let _ = drs.allocate(&Observation::new(&[0.0; 4], Some(&metrics), 1));
         let after = drs.task_arrival_rates();
         // Type1 = A → B → C: those queues' estimates grow.
         assert!(after[0] > before[0]);
@@ -271,7 +271,7 @@ mod tests {
     fn ligo_allocation_within_budget() {
         let ensemble = Ensemble::ligo();
         let mut drs = DrsAllocator::new(&ensemble, 30, 30.0);
-        let alloc = drs.allocate(&[1.0; 9], None);
+        let alloc = drs.allocate(&Observation::first(&[1.0; 9]));
         assert_eq!(alloc.iter().sum::<usize>(), 30);
         // Inspiral (index 2) is the heavy stage shared by all workflows.
         let max = alloc.iter().copied().max().unwrap();

@@ -1,10 +1,9 @@
 //! HEFT-style priority allocation — `heft` in the paper's figures.
 
-use microsim::WindowMetrics;
 use rl::policy::allocation_largest_remainder;
 use workflow::Ensemble;
 
-use crate::Allocator;
+use crate::{Allocator, Observation};
 
 /// The HEFT adaptation described in §VI-D of the paper.
 ///
@@ -20,11 +19,11 @@ use crate::Allocator;
 /// # Examples
 ///
 /// ```
-/// use baselines::{Allocator, HeftAllocator};
+/// use baselines::{Allocator, HeftAllocator, Observation};
 /// use workflow::Ensemble;
 ///
 /// let mut heft = HeftAllocator::new(&Ensemble::msd(), 14);
-/// let m = heft.allocate(&[10.0, 0.0, 0.0, 0.0], None);
+/// let m = heft.allocate(&Observation::first(&[10.0, 0.0, 0.0, 0.0]));
 /// assert!(m.iter().sum::<usize>() <= 14);
 /// // The backlogged queue receives the most consumers.
 /// assert_eq!(m.iter().max(), Some(&m[0]));
@@ -76,7 +75,8 @@ impl Allocator for HeftAllocator {
         "heft"
     }
 
-    fn allocate(&mut self, wip: &[f64], _previous: Option<&WindowMetrics>) -> Vec<usize> {
+    fn allocate(&mut self, obs: &Observation) -> Vec<usize> {
+        let wip = obs.wip;
         assert_eq!(wip.len(), self.ranks.len(), "WIP dimension mismatch");
         // Weight = priority × (backlog + 1): queues with no work still keep
         // a small claim so the first tasks of high-rank workflows are not
@@ -125,22 +125,22 @@ mod tests {
     #[test]
     fn allocation_tracks_backlog_and_priority() {
         let mut heft = HeftAllocator::new(&Ensemble::msd(), 14);
-        let balanced = heft.allocate(&[5.0, 5.0, 5.0, 5.0], None);
-        let skewed = heft.allocate(&[50.0, 5.0, 5.0, 5.0], None);
+        let balanced = heft.allocate(&Observation::first(&[5.0, 5.0, 5.0, 5.0]));
+        let skewed = heft.allocate(&Observation::first(&[50.0, 5.0, 5.0, 5.0]));
         assert!(skewed[0] > balanced[0], "{balanced:?} vs {skewed:?}");
     }
 
     #[test]
     fn budget_respected_and_fully_used() {
         let mut heft = HeftAllocator::new(&Ensemble::ligo(), 30);
-        let m = heft.allocate(&[1.0; 9], None);
+        let m = heft.allocate(&Observation::first(&[1.0; 9]));
         assert_eq!(m.iter().sum::<usize>(), 30);
     }
 
     #[test]
     fn zero_wip_still_allocates_by_priority() {
         let mut heft = HeftAllocator::new(&Ensemble::msd(), 14);
-        let m = heft.allocate(&[0.0; 4], None);
+        let m = heft.allocate(&Observation::first(&[0.0; 4]));
         assert_eq!(m.iter().sum::<usize>(), 14);
         assert!(m[0] >= m[3], "{m:?}");
     }

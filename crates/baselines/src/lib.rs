@@ -1,8 +1,9 @@
 //! Baseline resource-allocation algorithms the MIRAS paper compares against
 //! (§VI-D).
 //!
-//! All baselines implement the common [`Allocator`] trait — WIP observation
-//! in, consumer allocation out — so the evaluation harness can run them
+//! All baselines implement the common [`Allocator`] trait — an
+//! [`Observation`] (WIP vector, previous window's metrics, window index) in,
+//! consumer allocation out — so the evaluation harness can run them
 //! interchangeably with MIRAS:
 //!
 //! * [`DrsAllocator`] — *stream* in the paper's figures: DRS (Fu et al.,
@@ -23,10 +24,10 @@
 //! # Examples
 //!
 //! ```
-//! use baselines::{Allocator, UniformAllocator};
+//! use baselines::{Allocator, Observation, UniformAllocator};
 //!
 //! let mut alloc = UniformAllocator::new(4, 14);
-//! let m = alloc.allocate(&[10.0, 0.0, 5.0, 2.0], None);
+//! let m = alloc.allocate(&Observation::first(&[10.0, 0.0, 5.0, 2.0]));
 //! assert_eq!(m.iter().sum::<usize>(), 14);
 //! ```
 
@@ -45,4 +46,4 @@ pub use heft::HeftAllocator;
 pub use model_free::{train_model_free, ModelFreeDdpg};
 pub use monad::MonadAllocator;
 pub use statics::{UniformAllocator, WipProportionalAllocator};
-pub use traits::Allocator;
+pub use traits::{Allocator, Observation};

@@ -6,12 +6,11 @@
 //! multiply experience, the budget is far too small and the policy fails to
 //! converge — which is exactly the phenomenon the benchmark reproduces.
 
-use microsim::WindowMetrics;
 use miras_core::ClusterEnvAdapter;
 use rl::policy::allocation_largest_remainder;
 use rl::{Ddpg, DdpgConfig, Environment};
 
-use crate::Allocator;
+use crate::{Allocator, Observation};
 
 /// A policy produced by model-free DDPG training, usable as an
 /// [`Allocator`].
@@ -40,8 +39,8 @@ impl Allocator for ModelFreeDdpg {
         "rl"
     }
 
-    fn allocate(&mut self, wip: &[f64], _previous: Option<&WindowMetrics>) -> Vec<usize> {
-        allocation_largest_remainder(&self.agent.act(wip), self.budget)
+    fn allocate(&mut self, obs: &Observation) -> Vec<usize> {
+        allocation_largest_remainder(&self.agent.act(obs.wip), self.budget)
     }
 
     fn consumer_budget(&self) -> usize {
@@ -63,7 +62,7 @@ impl Allocator for ModelFreeDdpg {
 /// # Examples
 ///
 /// ```
-/// use baselines::{train_model_free, Allocator};
+/// use baselines::{train_model_free, Allocator, Observation};
 /// use microsim::{EnvConfig, MicroserviceEnv};
 /// use miras_core::ClusterEnvAdapter;
 /// use rl::DdpgConfig;
@@ -73,7 +72,7 @@ impl Allocator for ModelFreeDdpg {
 /// let config = EnvConfig::for_ensemble(&ensemble).with_seed(0);
 /// let mut env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble, config));
 /// let mut policy = train_model_free(&mut env, 40, 20, DdpgConfig::small_test(1), None);
-/// let m = policy.allocate(&[5.0; 4], None);
+/// let m = policy.allocate(&Observation::first(&[5.0; 4]));
 /// assert!(m.iter().sum::<usize>() <= 14);
 /// ```
 pub fn train_model_free(
@@ -153,7 +152,7 @@ mod tests {
             Some(&[20, 20, 20]),
         );
         for wip in [[0.0; 4], [100.0, 3.0, 0.0, 44.0]] {
-            let m = policy.allocate(&wip, None);
+            let m = policy.allocate(&Observation::first(&wip));
             assert!(m.iter().sum::<usize>() <= 14);
         }
         assert_eq!(policy.name(), "rl");

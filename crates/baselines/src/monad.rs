@@ -3,7 +3,7 @@
 
 use microsim::WindowMetrics;
 
-use crate::Allocator;
+use crate::{Allocator, Observation};
 
 /// The MONAD allocator: one-step model-predictive control over an
 /// online-identified linear performance model.
@@ -24,10 +24,10 @@ use crate::Allocator;
 /// # Examples
 ///
 /// ```
-/// use baselines::{Allocator, MonadAllocator};
+/// use baselines::{Allocator, MonadAllocator, Observation};
 ///
 /// let mut monad = MonadAllocator::new(4, 14, 30.0);
-/// let m = monad.allocate(&[40.0, 5.0, 5.0, 0.0], None);
+/// let m = monad.allocate(&Observation::first(&[40.0, 5.0, 5.0, 0.0]));
 /// assert!(m.iter().sum::<usize>() <= 14);
 /// // The big queue dominates the one-step objective.
 /// assert!(m[0] >= m[3]);
@@ -110,10 +110,11 @@ impl Allocator for MonadAllocator {
         "monad"
     }
 
-    fn allocate(&mut self, wip: &[f64], previous: Option<&WindowMetrics>) -> Vec<usize> {
+    fn allocate(&mut self, obs: &Observation) -> Vec<usize> {
+        let wip = obs.wip;
         let j = self.inflow.len();
         assert_eq!(wip.len(), j, "WIP dimension mismatch");
-        if let Some(prev) = previous {
+        if let Some(prev) = obs.previous {
             self.identify(prev, wip);
         }
         // Greedy marginal assignment on the separable convex cost.
@@ -165,7 +166,7 @@ mod tests {
     #[test]
     fn biggest_queue_gets_priority() {
         let mut monad = MonadAllocator::new(3, 9, 30.0);
-        let m = monad.allocate(&[100.0, 10.0, 0.0], None);
+        let m = monad.allocate(&Observation::first(&[100.0, 10.0, 0.0]));
         assert!(m[0] > m[1], "{m:?}");
         assert!(m[1] >= m[2], "{m:?}");
     }
@@ -173,7 +174,7 @@ mod tests {
     #[test]
     fn stops_allocating_when_queues_are_empty() {
         let mut monad = MonadAllocator::new(3, 9, 30.0);
-        let m = monad.allocate(&[0.0, 0.0, 0.0], None);
+        let m = monad.allocate(&Observation::first(&[0.0, 0.0, 0.0]));
         // Zero predicted cost everywhere: no consumers needed.
         assert_eq!(m.iter().sum::<usize>(), 0);
     }
@@ -185,7 +186,7 @@ mod tests {
         // Previous window: WIP 20 with 2 consumers; now WIP 16 → the pair
         // drained ~4, i.e. 2 per consumer — slower than the prior of 7.5.
         let prev = metrics(vec![20], vec![2]);
-        let _ = monad.allocate(&[16.0], Some(&prev));
+        let _ = monad.allocate(&Observation::new(&[16.0], Some(&prev), 1));
         assert!(monad.drain_estimates()[0] < initial_drain);
     }
 
@@ -194,21 +195,21 @@ mod tests {
         let mut monad = MonadAllocator::new(1, 4, 30.0);
         // No consumers, queue grew from 0 to 12: inflow must rise.
         let prev = metrics(vec![0], vec![0]);
-        let _ = monad.allocate(&[12.0], Some(&prev));
+        let _ = monad.allocate(&Observation::new(&[12.0], Some(&prev), 1));
         assert!(monad.inflow_estimates()[0] > 0.0);
     }
 
     #[test]
     fn budget_never_exceeded() {
         let mut monad = MonadAllocator::new(4, 14, 30.0);
-        let m = monad.allocate(&[1000.0, 1000.0, 1000.0, 1000.0], None);
+        let m = monad.allocate(&Observation::first(&[1000.0, 1000.0, 1000.0, 1000.0]));
         assert!(m.iter().sum::<usize>() <= 14);
     }
 
     #[test]
     fn marginal_assignment_equalises_large_queues() {
         let mut monad = MonadAllocator::new(2, 10, 30.0);
-        let m = monad.allocate(&[500.0, 500.0], None);
+        let m = monad.allocate(&Observation::first(&[500.0, 500.0]));
         // Symmetric queues: split within one consumer of even.
         assert!((m[0] as i64 - m[1] as i64).abs() <= 1, "{m:?}");
     }

@@ -1,19 +1,19 @@
 //! Static reference allocators.
 
-use microsim::WindowMetrics;
 use rl::policy::{allocation_largest_remainder, distribution_from_allocation};
 
-use crate::Allocator;
+use crate::{Allocator, Observation};
 
 /// Splits the budget evenly across task types, ignoring the observed state.
 ///
 /// # Examples
 ///
 /// ```
-/// use baselines::{Allocator, UniformAllocator};
+/// use baselines::{Allocator, Observation, UniformAllocator};
 ///
 /// let mut u = UniformAllocator::new(4, 14);
-/// assert_eq!(u.allocate(&[0.0; 4], None).iter().sum::<usize>(), 14);
+/// let m = u.allocate(&Observation::first(&[0.0; 4]));
+/// assert_eq!(m.iter().sum::<usize>(), 14);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UniformAllocator {
@@ -42,7 +42,7 @@ impl Allocator for UniformAllocator {
         "uniform"
     }
 
-    fn allocate(&mut self, _wip: &[f64], _previous: Option<&WindowMetrics>) -> Vec<usize> {
+    fn allocate(&mut self, _obs: &Observation) -> Vec<usize> {
         let even = vec![1.0 / self.num_task_types as f64; self.num_task_types];
         allocation_largest_remainder(&even, self.budget)
     }
@@ -59,10 +59,10 @@ impl Allocator for UniformAllocator {
 /// # Examples
 ///
 /// ```
-/// use baselines::{Allocator, WipProportionalAllocator};
+/// use baselines::{Allocator, Observation, WipProportionalAllocator};
 ///
 /// let mut p = WipProportionalAllocator::new(2, 10);
-/// let m = p.allocate(&[30.0, 10.0], None);
+/// let m = p.allocate(&Observation::first(&[30.0, 10.0]));
 /// assert_eq!(m, vec![8, 2]);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,7 +92,8 @@ impl Allocator for WipProportionalAllocator {
         "wip-proportional"
     }
 
-    fn allocate(&mut self, wip: &[f64], _previous: Option<&WindowMetrics>) -> Vec<usize> {
+    fn allocate(&mut self, obs: &Observation) -> Vec<usize> {
+        let wip = obs.wip;
         assert_eq!(wip.len(), self.num_task_types, "WIP dimension mismatch");
         let counts: Vec<usize> = wip.iter().map(|&w| w.max(0.0).round() as usize).collect();
         let dist = distribution_from_allocation(&counts);
@@ -111,7 +112,7 @@ mod tests {
     #[test]
     fn uniform_splits_evenly_with_remainder() {
         let mut u = UniformAllocator::new(3, 14);
-        let m = u.allocate(&[1.0, 2.0, 3.0], None);
+        let m = u.allocate(&Observation::first(&[1.0, 2.0, 3.0]));
         assert_eq!(m.iter().sum::<usize>(), 14);
         assert!(m.iter().all(|&x| x == 4 || x == 5));
     }
@@ -119,14 +120,14 @@ mod tests {
     #[test]
     fn proportional_follows_backlog() {
         let mut p = WipProportionalAllocator::new(3, 12);
-        let m = p.allocate(&[60.0, 30.0, 30.0], None);
+        let m = p.allocate(&Observation::first(&[60.0, 30.0, 30.0]));
         assert_eq!(m, vec![6, 3, 3]);
     }
 
     #[test]
     fn proportional_handles_all_zero_wip() {
         let mut p = WipProportionalAllocator::new(4, 14);
-        let m = p.allocate(&[0.0; 4], None);
+        let m = p.allocate(&Observation::first(&[0.0; 4]));
         assert_eq!(m.iter().sum::<usize>(), 14);
     }
 
@@ -135,8 +136,8 @@ mod tests {
         let mut u = UniformAllocator::new(5, 7);
         let mut p = WipProportionalAllocator::new(5, 7);
         for wip in [[0.0; 5], [100.0, 0.0, 0.0, 0.0, 0.0]] {
-            assert!(u.allocate(&wip, None).iter().sum::<usize>() <= 7);
-            assert!(p.allocate(&wip, None).iter().sum::<usize>() <= 7);
+            assert!(u.allocate(&Observation::first(&wip)).iter().sum::<usize>() <= 7);
+            assert!(p.allocate(&Observation::first(&wip)).iter().sum::<usize>() <= 7);
         }
     }
 }

@@ -2,35 +2,83 @@
 
 use microsim::WindowMetrics;
 
-/// A resource-allocation policy: WIP observation in, consumer counts out.
+/// Everything an allocator may observe when making one window's decision.
 ///
-/// Implementations receive the current per-task-type WIP vector and,
-/// after the first window, the [`WindowMetrics`] of the *previous* window
-/// (arrival counts, applied action, completions), which adaptive baselines
-/// use to update their internal estimates. Allocations must respect the
+/// Bundling the observation into one struct keeps the [`Allocator`] trait
+/// stable as new observables are added, and makes the window index available
+/// to policies that warm up or schedule over time. Borrowed fields keep the
+/// struct copy-free: it is built fresh each window from data the harness
+/// already holds.
+///
+/// # Examples
+///
+/// ```
+/// use baselines::Observation;
+///
+/// let wip = [3.0, 1.0];
+/// let obs = Observation::first(&wip);
+/// assert_eq!(obs.window_index, 0);
+/// assert!(obs.previous.is_none());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Observation<'a> {
+    /// The current per-task-type work-in-progress vector `w(k)`.
+    pub wip: &'a [f64],
+    /// Metrics of the *previous* window (arrival counts, applied action,
+    /// completions), absent on the very first decision. Adaptive baselines
+    /// use these to update their internal estimates.
+    pub previous: Option<&'a WindowMetrics>,
+    /// Index `k` of the decision window about to start (0-based).
+    pub window_index: usize,
+}
+
+impl<'a> Observation<'a> {
+    /// Builds an observation for window `window_index`.
+    #[must_use]
+    pub fn new(wip: &'a [f64], previous: Option<&'a WindowMetrics>, window_index: usize) -> Self {
+        Observation {
+            wip,
+            previous,
+            window_index,
+        }
+    }
+
+    /// The observation for the very first decision window: no previous
+    /// metrics, index zero.
+    #[must_use]
+    pub fn first(wip: &'a [f64]) -> Self {
+        Observation::new(wip, None, 0)
+    }
+}
+
+/// A resource-allocation policy: observation in, consumer counts out.
+///
+/// Implementations receive an [`Observation`] — the current per-task-type
+/// WIP vector, the previous window's [`WindowMetrics`] (absent on the first
+/// decision), and the window index. Allocations must respect the
 /// implementation's consumer budget.
 pub trait Allocator {
     /// Short name used in reports (matches the paper's figure legends:
     /// `miras`, `stream`, `heft`, `monad`, `rl`, …).
     fn name(&self) -> &str;
 
-    /// Consumer counts for the next window given the observed WIP and the
-    /// previous window's metrics (absent on the very first decision).
-    fn allocate(&mut self, wip: &[f64], previous: Option<&WindowMetrics>) -> Vec<usize>;
+    /// Consumer counts for the next window given the observation.
+    fn allocate(&mut self, obs: &Observation) -> Vec<usize>;
 
     /// The total-consumer constraint this allocator was configured with.
     fn consumer_budget(&self) -> usize;
 }
 
 /// [`miras_core::MirasAgent`] is itself an allocator, so the harness can run
-/// MIRAS and the baselines through one code path.
+/// MIRAS and the baselines through one code path. The agent's policy is a
+/// pure function of the WIP state, so the rest of the observation is unused.
 impl Allocator for miras_core::MirasAgent {
     fn name(&self) -> &str {
         "miras"
     }
 
-    fn allocate(&mut self, wip: &[f64], _previous: Option<&WindowMetrics>) -> Vec<usize> {
-        miras_core::MirasAgent::allocate(self, wip)
+    fn allocate(&mut self, obs: &Observation) -> Vec<usize> {
+        miras_core::MirasAgent::allocate(self, obs.wip)
     }
 
     fn consumer_budget(&self) -> usize {
@@ -53,7 +101,26 @@ mod tests {
         let alloc: &mut dyn Allocator = &mut agent;
         assert_eq!(alloc.name(), "miras");
         assert_eq!(alloc.consumer_budget(), 14);
-        let m = alloc.allocate(&[1.0, 2.0, 3.0, 4.0], None);
+        let m = alloc.allocate(&Observation::first(&[1.0, 2.0, 3.0, 4.0]));
         assert!(m.iter().sum::<usize>() <= 14);
+    }
+
+    #[test]
+    fn observation_constructors_populate_fields() {
+        let wip = [1.0, 2.0];
+        let metrics = WindowMetrics {
+            window_index: 6,
+            wip: vec![1, 2],
+            reward: 0.0,
+            action_applied: vec![1, 1],
+            constraint_violated: false,
+            arrivals: vec![0],
+            completions: vec![0],
+            mean_response_secs: vec![None],
+        };
+        let obs = Observation::new(&wip, Some(&metrics), 7);
+        assert_eq!(obs.wip, &wip);
+        assert_eq!(obs.previous.unwrap().window_index, 6);
+        assert_eq!(obs.window_index, 7);
     }
 }

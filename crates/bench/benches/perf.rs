@@ -77,22 +77,22 @@ fn bench_ddpg(c: &mut Criterion) {
 }
 
 fn bench_allocators(c: &mut Criterion) {
-    use baselines::{Allocator, DrsAllocator, HeftAllocator, MonadAllocator};
+    use baselines::{Allocator, DrsAllocator, HeftAllocator, MonadAllocator, Observation};
     let mut group = c.benchmark_group("allocators");
     let ensemble = Ensemble::ligo();
     let wip = vec![12.0, 30.0, 55.0, 8.0, 4.0, 6.0, 2.0, 40.0, 3.0];
 
     let mut drs = DrsAllocator::new(&ensemble, 30, 30.0);
     group.bench_function("drs_ligo_decision", |b| {
-        b.iter(|| black_box(drs.allocate(black_box(&wip), None)));
+        b.iter(|| black_box(drs.allocate(black_box(&Observation::first(&wip)))));
     });
     let mut heft = HeftAllocator::new(&ensemble, 30);
     group.bench_function("heft_ligo_decision", |b| {
-        b.iter(|| black_box(heft.allocate(black_box(&wip), None)));
+        b.iter(|| black_box(heft.allocate(black_box(&Observation::first(&wip)))));
     });
     let mut monad = MonadAllocator::new(9, 30, 30.0);
     group.bench_function("monad_ligo_decision", |b| {
-        b.iter(|| black_box(monad.allocate(black_box(&wip), None)));
+        b.iter(|| black_box(monad.allocate(black_box(&Observation::first(&wip)))));
     });
     group.finish();
 }

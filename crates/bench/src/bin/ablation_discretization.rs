@@ -44,20 +44,13 @@ fn replay(kind: EnsembleKind, agent: &MirasAgent, seed: u64, floor: bool) -> (f6
 
 fn main() {
     let args = BenchArgs::parse();
-    let iterations = args.iterations.unwrap_or(12);
+    let (telemetry, _sink) = miras_bench::init_telemetry("ablation_discretization");
     println!(
         "Ablation A5 — floor vs largest-remainder discretisation (seed {})\n",
         args.seed
     );
     for kind in args.ensembles() {
-        let (_, agent) = train_miras(
-            kind,
-            args.seed,
-            iterations,
-            args.paper,
-            !args.no_cache,
-            true,
-        );
+        let (_, agent) = train_miras(kind, &args, !args.no_cache, true, &telemetry);
         println!(
             "##### {} — burst {:?}, same trained policy #####",
             kind.name().to_uppercase(),
@@ -76,4 +69,5 @@ fn main() {
             kind.ensemble().default_consumer_budget()
         );
     }
+    telemetry.flush();
 }

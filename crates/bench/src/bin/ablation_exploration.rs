@@ -42,16 +42,23 @@ fn violation_rate(exploration: Exploration, seed: u64) -> f64 {
     violations as f64 / trials as f64
 }
 
-fn training_quality(kind: EnsembleKind, seed: u64, iterations: usize) {
+fn training_quality(
+    kind: EnsembleKind,
+    seed: u64,
+    iterations: usize,
+    telemetry: &telemetry::Telemetry,
+) {
     for (label, action_noise) in [("parameter noise", false), ("action noise", true)] {
         let ensemble = kind.ensemble();
         let env_config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
         let mut env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble, env_config));
+        env.set_telemetry(telemetry.clone());
         let mut config = kind.miras_config(seed, false);
         if action_noise {
             config = config.with_action_noise(0.15, 0.2);
         }
         let mut trainer = MirasTrainer::new(&env, config);
+        trainer.set_telemetry(telemetry.clone());
         print!("  {label:>16}: eval returns =");
         for _ in 0..iterations {
             let r = trainer.run_iteration(&mut env);
@@ -63,6 +70,7 @@ fn training_quality(kind: EnsembleKind, seed: u64, iterations: usize) {
 
 fn main() {
     let args = BenchArgs::parse();
+    let (telemetry, _sink) = miras_bench::init_telemetry("ablation_exploration");
     let iterations = args.iterations.unwrap_or(6);
     println!("Ablation A3 — exploration strategy (seed {})\n", args.seed);
 
@@ -92,7 +100,8 @@ fn main() {
             "##### {} — training with each exploration mode #####",
             kind.name().to_uppercase()
         );
-        training_quality(kind, args.seed, iterations);
+        training_quality(kind, args.seed, iterations, &telemetry);
         println!();
     }
+    telemetry.flush();
 }

@@ -75,6 +75,7 @@ fn accuracy(
 
 fn main() {
     let args = BenchArgs::parse();
+    let (telemetry, _sink) = miras_bench::init_telemetry("ablation_model_ensemble");
     println!(
         "Ablation A6 — single model vs deep ensemble (seed {})\n",
         args.seed
@@ -87,6 +88,7 @@ fn main() {
 
         let env_config = EnvConfig::for_ensemble(&ensemble).with_seed(args.seed);
         let mut env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble.clone(), env_config));
+        env.set_telemetry(telemetry.clone());
         let mut dataset = TransitionDataset::new(j);
         dataset.extend(collect(&mut env, 2_000, config.reset_every, &mut rng));
 
@@ -96,7 +98,12 @@ fn main() {
         let test = collect(&mut test_env, 100, 0, &mut rng);
 
         let mut single = DynamicsModel::new(j, &config);
-        let _ = single.train(&dataset, config.model_epochs, config.model_batch);
+        let _ = single.train_with_telemetry(
+            &dataset,
+            config.model_epochs,
+            config.model_batch,
+            &telemetry,
+        );
         let mut ens = EnsembleDynamics::new(j, &config, 5);
         let _ = ens.train(&dataset, config.model_epochs, config.model_batch);
 
@@ -123,4 +130,5 @@ fn main() {
             "disagreement: in-distribution {in_dist:.2}, far out-of-distribution {out_dist:.2}\n"
         );
     }
+    telemetry.flush();
 }

@@ -102,14 +102,21 @@ fn model_level(kind: EnsembleKind, seed: u64) {
     );
 }
 
-fn policy_level(kind: EnsembleKind, seed: u64, iterations: usize) {
+fn policy_level(
+    kind: EnsembleKind,
+    seed: u64,
+    iterations: usize,
+    telemetry: &telemetry::Telemetry,
+) {
     for (label, refine) in [("with refinement", true), ("without refinement", false)] {
         let ensemble = kind.ensemble();
         let env_config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
         let mut env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble, env_config));
+        env.set_telemetry(telemetry.clone());
         let mut config = kind.miras_config(seed, false);
         config.refine_enabled = refine;
         let mut trainer = MirasTrainer::new(&env, config);
+        trainer.set_telemetry(telemetry.clone());
         let mut last = f64::NAN;
         for _ in 0..iterations {
             last = trainer.run_iteration(&mut env).eval_return;
@@ -123,6 +130,7 @@ fn policy_level(kind: EnsembleKind, seed: u64, iterations: usize) {
 
 fn main() {
     let args = BenchArgs::parse();
+    let (telemetry, _sink) = miras_bench::init_telemetry("ablation_refinement");
     let iterations = args.iterations.unwrap_or(6);
     println!(
         "Ablation A2 — Lend–Giveback refinement (seed {})\n",
@@ -131,7 +139,8 @@ fn main() {
     for kind in args.ensembles() {
         println!("##### {} #####", kind.name().to_uppercase());
         model_level(kind, args.seed);
-        policy_level(kind, args.seed, iterations);
+        policy_level(kind, args.seed, iterations, &telemetry);
         println!();
     }
+    telemetry.flush();
 }

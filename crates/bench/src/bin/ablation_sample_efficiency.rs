@@ -56,6 +56,7 @@ fn evaluate(
 
 fn main() {
     let args = BenchArgs::parse();
+    let (telemetry, _sink) = miras_bench::init_telemetry("ablation_sample_efficiency");
     println!(
         "Ablation A4 — sample efficiency (seed {}, {} evaluation)\n",
         args.seed,
@@ -78,7 +79,9 @@ fn main() {
 
             // MIRAS at this budget.
             let mut env = fresh_env(kind, args.seed);
+            env.set_telemetry(telemetry.clone());
             let mut trainer = MirasTrainer::new(&env, config.clone());
+            trainer.set_telemetry(telemetry.clone());
             for _ in 0..iters {
                 let _ = trainer.run_iteration(&mut env);
             }
@@ -110,4 +113,5 @@ fn main() {
         }
         println!();
     }
+    telemetry.flush();
 }

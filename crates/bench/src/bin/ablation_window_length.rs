@@ -9,13 +9,14 @@
 //!
 //! Run: `cargo run -p miras-bench --release --bin ablation_window_length`
 
-use baselines::{Allocator, WipProportionalAllocator};
+use baselines::{Allocator, Observation, WipProportionalAllocator};
 use desim::SimTime;
 use microsim::{EnvConfig, MicroserviceEnv};
 use miras_bench::BenchArgs;
 
 fn main() {
     let args = BenchArgs::parse();
+    let (telemetry, _sink) = miras_bench::init_telemetry("ablation_window_length");
     println!(
         "Ablation A1 — decision-window length (seed {})\n",
         args.seed
@@ -40,6 +41,7 @@ fn main() {
                 .with_seed(args.seed)
                 .with_window(SimTime::from_secs(window_secs));
             let mut env = MicroserviceEnv::new(ensemble.clone(), config);
+            env.set_telemetry(telemetry.clone());
             let _ = env.reset();
             env.inject_burst(&burst);
             let mut alloc =
@@ -49,9 +51,9 @@ fn main() {
             let mut resp_n = 0usize;
             let mut final_wip = 0usize;
             let mut prev = None;
-            for _ in 0..steps {
+            for step in 0..steps {
                 let wip = env.state();
-                let m = alloc.allocate(&wip, prev.as_ref());
+                let m = alloc.allocate(&Observation::new(&wip, prev.as_ref(), step));
                 let out = env.step(&m);
                 completions += out.metrics.completions.iter().sum::<usize>();
                 if let Some(r) = out.metrics.overall_mean_response_secs() {
@@ -76,4 +78,5 @@ fn main() {
              30 s amortises start-up while staying responsive)\n"
         );
     }
+    telemetry.flush();
 }

@@ -73,14 +73,19 @@ fn correlation(a: &[f64], b: &[f64]) -> f64 {
     }
 }
 
-fn run_for(kind: EnsembleKind, seed: u64, paper: bool) {
-    let (collect_steps, test_steps) = match (kind, paper) {
-        (EnsembleKind::Msd, true) => (14_000, 100),
-        (EnsembleKind::Ligo, true) => (37_000, 100),
-        (EnsembleKind::Msd, false) => (2_000, 100),
-        (EnsembleKind::Ligo, false) => (3_000, 100),
+fn run_for(kind: EnsembleKind, args: &BenchArgs, telemetry: &telemetry::Telemetry) {
+    let seed = args.seed;
+    let (collect_steps, test_steps) = if args.smoke {
+        (300, 30)
+    } else {
+        match (kind, args.paper) {
+            (EnsembleKind::Msd, true) => (14_000, 100),
+            (EnsembleKind::Ligo, true) => (37_000, 100),
+            (EnsembleKind::Msd, false) => (2_000, 100),
+            (EnsembleKind::Ligo, false) => (3_000, 100),
+        }
     };
-    let config = kind.miras_config(seed, paper);
+    let config = args.miras_config(kind);
     let ensemble = kind.ensemble();
     let j = ensemble.num_task_types();
 
@@ -94,6 +99,7 @@ fn run_for(kind: EnsembleKind, seed: u64, paper: bool) {
     // Training data: random actions with periodic resets (§VI-A3).
     let env_config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
     let mut env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble.clone(), env_config));
+    env.set_telemetry(telemetry.clone());
     let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(0xF15));
     let mut dataset = TransitionDataset::new(j);
     dataset.extend(collect_random_trace(
@@ -112,7 +118,8 @@ fn run_for(kind: EnsembleKind, seed: u64, paper: bool) {
 
     // Train the environment model (paper-faithful architecture per §VI-A3).
     let mut model = DynamicsModel::new(j, &config);
-    let final_loss = model.train(&dataset, config.model_epochs, config.model_batch);
+    let final_loss =
+        model.train_with_telemetry(&dataset, config.model_epochs, config.model_batch, telemetry);
     println!("model trained: final epoch MSE (standardised) = {final_loss:.4}");
 
     // Fixed-input one-step predictions.
@@ -122,8 +129,10 @@ fn run_for(kind: EnsembleKind, seed: u64, paper: bool) {
     let mut fixed_w0 = Vec::new();
     for t in &test_trace {
         let pred = model.predict(&t.state, &t.action);
-        truth_reward.push(1.0 - t.next_state.iter().sum::<f64>());
-        fixed_reward.push(1.0 - pred.iter().sum::<f64>());
+        truth_reward.push(microsim::reward_from_total_wip(
+            t.next_state.iter().sum::<f64>(),
+        ));
+        fixed_reward.push(microsim::reward_from_total_wip(pred.iter().sum::<f64>()));
         truth_w0.push(t.next_state[0]);
         fixed_w0.push(pred[0]);
     }
@@ -134,7 +143,7 @@ fn run_for(kind: EnsembleKind, seed: u64, paper: bool) {
     let mut state = test_trace[0].state.clone();
     for t in &test_trace {
         let pred = model.predict(&state, &t.action);
-        iter_reward.push(1.0 - pred.iter().sum::<f64>());
+        iter_reward.push(microsim::reward_from_total_wip(pred.iter().sum::<f64>()));
         iter_w0.push(pred[0]);
         state = pred;
     }
@@ -181,11 +190,13 @@ fn run_for(kind: EnsembleKind, seed: u64, paper: bool) {
 
 fn main() {
     let args = BenchArgs::parse();
+    let (telemetry, _sink) = miras_bench::init_telemetry("fig5_model_accuracy");
     println!(
         "Fig. 5 reproduction — predictive model accuracy (seed {})",
         args.seed
     );
     for kind in args.ensembles() {
-        run_for(kind, args.seed, args.paper);
+        run_for(kind, &args, &telemetry);
     }
+    telemetry.flush();
 }

@@ -14,7 +14,8 @@ use miras_bench::{train_miras, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
-    let iterations = args.iterations.unwrap_or(12);
+    let (telemetry, _sink) = miras_bench::init_telemetry("fig6_training_trace");
+    let iterations = args.resolved_iterations();
     println!(
         "Fig. 6 reproduction — training traces (seed {}, {} iterations, {} scale)",
         args.seed,
@@ -28,7 +29,7 @@ fn main() {
         );
         // Always train (the trace IS the figure); cache the agent for the
         // comparison figures.
-        let (reports, _agent) = train_miras(kind, args.seed, iterations, args.paper, false, true);
+        let (reports, _agent) = train_miras(kind, &args, false, true, &telemetry);
         println!(
             "{:>9} {:>12} {:>16} {:>14} {:>10} {:>9}",
             "iteration", "model_loss", "synthetic_return", "eval_return", "dataset", "sigma"
@@ -58,4 +59,5 @@ fn main() {
             );
         }
     }
+    telemetry.flush();
 }

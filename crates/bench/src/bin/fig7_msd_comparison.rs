@@ -16,17 +16,12 @@ use miras_bench::{run_comparison, BenchArgs, EnsembleKind};
 
 fn main() {
     let args = BenchArgs::parse();
-    let iterations = args.iterations.unwrap_or(12);
+    let (telemetry, _sink) = miras_bench::init_telemetry("fig7_msd_comparison");
     println!(
         "Fig. 7 reproduction — MSD comparison (seed {}, {} scale)",
         args.seed,
         if args.paper { "paper" } else { "fast" }
     );
-    let _ = run_comparison(
-        EnsembleKind::Msd,
-        args.seed,
-        args.paper,
-        iterations,
-        !args.no_cache,
-    );
+    let _ = run_comparison(EnsembleKind::Msd, &args, &telemetry);
+    telemetry.flush();
 }

@@ -16,17 +16,12 @@ use miras_bench::{run_comparison, BenchArgs, EnsembleKind};
 
 fn main() {
     let args = BenchArgs::parse();
-    let iterations = args.iterations.unwrap_or(12);
+    let (telemetry, _sink) = miras_bench::init_telemetry("fig8_ligo_comparison");
     println!(
         "Fig. 8 reproduction — LIGO comparison (seed {}, {} scale)",
         args.seed,
         if args.paper { "paper" } else { "fast" }
     );
-    let _ = run_comparison(
-        EnsembleKind::Ligo,
-        args.seed,
-        args.paper,
-        iterations,
-        !args.no_cache,
-    );
+    let _ = run_comparison(EnsembleKind::Ligo, &args, &telemetry);
+    telemetry.flush();
 }

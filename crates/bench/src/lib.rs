@@ -11,11 +11,13 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 
-use baselines::Allocator;
+use baselines::{Allocator, Observation};
 use microsim::{EnvConfig, MicroserviceEnv};
 use miras_core::{ClusterEnvAdapter, IterationReport, MirasAgent, MirasConfig, MirasTrainer};
 use serde::{Deserialize, Serialize};
+use telemetry::{JsonlSink, Telemetry, Value};
 use workflow::{BurstSpec, Ensemble};
 
 /// Which of the paper's two workload ensembles to run.
@@ -111,11 +113,14 @@ pub struct BenchArgs {
     /// Evaluate in the steady-state (burst-free) regime where applicable
     /// (used by the sample-efficiency ablation).
     pub steady: bool,
+    /// Shrink every budget to a seconds-scale run (used by CI to validate
+    /// the pipeline and the telemetry stream, not the scientific results).
+    pub smoke: bool,
 }
 
 impl BenchArgs {
     /// Parses `std::env::args()`: `[--ensemble msd|ligo] [--seed N]
-    /// [--paper] [--iterations N] [--no-cache]`.
+    /// [--paper] [--iterations N] [--no-cache] [--steady] [--smoke]`.
     ///
     /// # Panics
     ///
@@ -129,6 +134,7 @@ impl BenchArgs {
             iterations: None,
             no_cache: false,
             steady: false,
+            smoke: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -156,9 +162,10 @@ impl BenchArgs {
                 "--paper" => args.paper = true,
                 "--no-cache" => args.no_cache = true,
                 "--steady" => args.steady = true,
+                "--smoke" => args.smoke = true,
                 other => panic!(
                     "unknown flag {other}; usage: [--ensemble msd|ligo] [--seed N] \
-                     [--paper] [--iterations N] [--no-cache] [--steady]"
+                     [--paper] [--iterations N] [--no-cache] [--steady] [--smoke]"
                 ),
             }
         }
@@ -173,6 +180,75 @@ impl BenchArgs {
             None => vec![EnsembleKind::Msd, EnsembleKind::Ligo],
         }
     }
+
+    /// The number of outer training iterations: the explicit `--iterations`
+    /// value if given, otherwise 2 under `--smoke` and the figures'
+    /// default of 12.
+    #[must_use]
+    pub fn resolved_iterations(&self) -> usize {
+        self.iterations.unwrap_or(if self.smoke { 2 } else { 12 })
+    }
+
+    /// The MIRAS configuration these arguments select for `kind`:
+    /// [`MirasConfig::smoke_test`] under `--smoke`, otherwise the
+    /// paper-scale or fast-scale variant per `--paper`.
+    #[must_use]
+    pub fn miras_config(&self, kind: EnsembleKind) -> MirasConfig {
+        if self.smoke {
+            MirasConfig::smoke_test(self.seed)
+        } else {
+            kind.miras_config(self.seed, self.paper)
+        }
+    }
+
+    /// The evaluation horizon for the comparison figures: 6 windows under
+    /// `--smoke`, otherwise the ensemble's paper horizon.
+    #[must_use]
+    pub fn comparison_steps(&self, kind: EnsembleKind) -> usize {
+        if self.smoke {
+            6
+        } else {
+            kind.comparison_steps()
+        }
+    }
+}
+
+/// Opens the standard telemetry stream for a figure binary: a buffered
+/// [`JsonlSink`] at `results/<bin_name>.jsonl` (the directory is created;
+/// an existing file is truncated). The returned [`Telemetry`] handle is also
+/// installed as the `nn` crate's process-global recorder so GEMM and
+/// training-batch timings land in the same stream. Call
+/// [`Telemetry::flush`] before exiting to emit the aggregate
+/// counter/gauge/histogram summary rows.
+///
+/// If the file cannot be created (e.g. a read-only working directory) the
+/// stream falls back to an in-memory buffer with a warning, so the figure
+/// still runs.
+#[must_use]
+pub fn init_telemetry(bin_name: &str) -> (Telemetry, Arc<JsonlSink>) {
+    let path = PathBuf::from("results").join(format!("{bin_name}.jsonl"));
+    let sink = match JsonlSink::create(&path) {
+        Ok(sink) => {
+            eprintln!("[telemetry] writing {}", path.display());
+            sink
+        }
+        Err(e) => {
+            eprintln!(
+                "[telemetry] cannot write {}: {e}; buffering in memory",
+                path.display()
+            );
+            JsonlSink::in_memory()
+        }
+    };
+    // Losses span orders of magnitude above the default (seconds-oriented)
+    // bucket bounds; give them their own decades.
+    sink.set_buckets(
+        "ddpg.critic_loss",
+        &[1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6],
+    );
+    let telemetry = Telemetry::new(sink.clone());
+    nn::telemetry::set_global(telemetry.clone());
+    (telemetry, sink)
 }
 
 /// One evaluated decision window of an allocator run.
@@ -213,16 +289,32 @@ pub struct RunSummary {
 /// Runs `allocator` against a fresh environment for `steps` windows,
 /// injecting `burst` at the start (plus the ensemble's default Poisson
 /// background), and returns the per-window records.
+///
+/// The environment is wired to `telemetry`, so each window emits a `window`
+/// event at source (see `microsim`); the run itself is announced with one
+/// `bench.run` event naming the algorithm, which lets stream consumers
+/// attribute the window records that follow.
 pub fn run_allocator(
     kind: EnsembleKind,
     seed: u64,
     burst: Option<&BurstSpec>,
     steps: usize,
     allocator: &mut dyn Allocator,
+    telemetry: &Telemetry,
 ) -> Vec<StepRecord> {
     let ensemble = kind.ensemble();
     let config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
     let mut env = MicroserviceEnv::new(ensemble, config);
+    env.set_telemetry(telemetry.clone());
+    telemetry.event(
+        "bench.run",
+        &[
+            ("ensemble", Value::String(kind.name().to_string())),
+            ("algorithm", Value::String(allocator.name().to_string())),
+            ("steps", Value::UInt(steps as u64)),
+            ("seed", Value::UInt(seed)),
+        ],
+    );
     let _ = env.reset();
     if let Some(b) = burst {
         env.inject_burst(b);
@@ -231,7 +323,7 @@ pub fn run_allocator(
     let mut previous = None;
     for step in 0..steps {
         let wip: Vec<f64> = env.state();
-        let m = allocator.allocate(&wip, previous.as_ref());
+        let m = allocator.allocate(&Observation::new(&wip, previous.as_ref(), step));
         let out = env.step(&m);
         records.push(StepRecord {
             step,
@@ -275,31 +367,38 @@ pub fn summarize(algorithm: &str, records: &[StepRecord]) -> RunSummary {
     }
 }
 
-/// Trains a MIRAS agent for `iterations` outer iterations, returning the
-/// per-iteration reports and the final agent. When `read_cache` is set and a
-/// previously trained agent exists under `bench_artifacts/`, training is
-/// skipped and the reports come back empty; the trained agent is persisted
-/// for later binaries whenever `write_cache` is set.
+/// Trains a MIRAS agent per `args` (scale, seed, iteration count — see
+/// [`BenchArgs::miras_config`] and [`BenchArgs::resolved_iterations`]),
+/// returning the per-iteration reports and the final agent. When
+/// `read_cache` is set and a previously trained agent exists under
+/// `bench_artifacts/`, training is skipped and the reports come back empty;
+/// the trained agent is persisted for later binaries whenever `write_cache`
+/// is set. `--smoke` runs never touch the cache (their budgets are not
+/// comparable). Training is wired to `telemetry`: the trainer emits one
+/// `iteration` event per Algorithm 2 iteration and the environment emits
+/// `window` events for every real interaction.
 pub fn train_miras(
     kind: EnsembleKind,
-    seed: u64,
-    iterations: usize,
-    paper: bool,
+    args: &BenchArgs,
     read_cache: bool,
     write_cache: bool,
+    telemetry: &Telemetry,
 ) -> (Vec<IterationReport>, MirasAgent) {
-    let cache = cache_path(kind, seed, iterations, paper);
-    if read_cache {
+    let iterations = args.resolved_iterations();
+    let cache = cache_path(kind, args.seed, iterations, args.paper);
+    if read_cache && !args.smoke {
         if let Some(agent) = load_cached_agent(&cache) {
             eprintln!("[cache] reusing trained agent from {}", cache.display());
             return (Vec::new(), agent);
         }
     }
     let ensemble = kind.ensemble();
-    let env_config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
+    let env_config = EnvConfig::for_ensemble(&ensemble).with_seed(args.seed);
     let mut env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble, env_config));
-    let config = kind.miras_config(seed, paper);
+    env.set_telemetry(telemetry.clone());
+    let config = args.miras_config(kind);
     let mut trainer = MirasTrainer::new(&env, config);
+    trainer.set_telemetry(telemetry.clone());
     let mut reports = Vec::with_capacity(iterations);
     for i in 0..iterations {
         let report = trainer.run_iteration(&mut env);
@@ -314,7 +413,7 @@ pub fn train_miras(
         reports.push(report);
     }
     let agent = trainer.agent();
-    if write_cache {
+    if write_cache && !args.smoke {
         store_cached_agent(&cache, &agent);
     }
     (reports, agent)
@@ -415,12 +514,41 @@ mod tests {
     #[test]
     fn run_allocator_produces_full_series() {
         let mut alloc = UniformAllocator::new(4, 14);
-        let records = run_allocator(EnsembleKind::Msd, 7, None, 5, &mut alloc);
+        let records = run_allocator(
+            EnsembleKind::Msd,
+            7,
+            None,
+            5,
+            &mut alloc,
+            &Telemetry::noop(),
+        );
         assert_eq!(records.len(), 5);
         for (i, r) in records.iter().enumerate() {
             assert_eq!(r.step, i);
             assert!(r.consumers_used <= 14);
         }
+    }
+
+    #[test]
+    fn smoke_args_shrink_budgets() {
+        let mut args = BenchArgs {
+            ensemble: None,
+            seed: 1,
+            paper: false,
+            iterations: None,
+            no_cache: false,
+            steady: false,
+            smoke: true,
+        };
+        assert_eq!(args.resolved_iterations(), 2);
+        assert_eq!(args.comparison_steps(EnsembleKind::Msd), 6);
+        assert_eq!(
+            args.miras_config(EnsembleKind::Msd),
+            MirasConfig::smoke_test(1)
+        );
+        args.smoke = false;
+        assert_eq!(args.resolved_iterations(), 12);
+        assert_eq!(args.comparison_steps(EnsembleKind::Msd), 25);
     }
 
     #[test]
@@ -462,26 +590,27 @@ mod tests {
 /// ensemble: MIRAS vs `stream` (DRS), `heft`, `monad`, and `rl` (model-free
 /// DDPG with the same real-interaction budget), across the paper's three
 /// burst scenarios. Returns `(scenario, algorithm, records)` tuples and
-/// prints tables along the way.
+/// prints tables along the way; every run summary is also emitted as a
+/// `bench.summary` telemetry event.
 pub fn run_comparison(
     kind: EnsembleKind,
-    seed: u64,
-    paper: bool,
-    iterations: usize,
-    read_cache: bool,
+    args: &BenchArgs,
+    telemetry: &Telemetry,
 ) -> Vec<(usize, String, Vec<StepRecord>)> {
+    let seed = args.seed;
     let ensemble = kind.ensemble();
     let j = ensemble.num_task_types();
     let budget = ensemble.default_consumer_budget();
     let window_secs = 30.0;
-    let steps = kind.comparison_steps();
+    let steps = args.comparison_steps(kind);
 
     // MIRAS: train (or load) the model-based agent.
-    let (_, miras_agent) = train_miras(kind, seed, iterations, paper, read_cache, true);
+    let (_, miras_agent) = train_miras(kind, args, !args.no_cache, true, telemetry);
 
     // Model-free DDPG with the same number of real interactions (§VI-D).
-    let miras_cfg = kind.miras_config(seed, paper);
-    let interaction_budget = iterations * (miras_cfg.real_steps_per_iter + miras_cfg.eval_steps);
+    let miras_cfg = args.miras_config(kind);
+    let interaction_budget =
+        args.resolved_iterations() * (miras_cfg.real_steps_per_iter + miras_cfg.eval_steps);
     eprintln!(
         "[train {}] model-free DDPG with {} real interactions",
         kind.name(),
@@ -489,6 +618,7 @@ pub fn run_comparison(
     );
     let env_config = EnvConfig::for_ensemble(&ensemble).with_seed(seed.wrapping_add(7));
     let mut mf_env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble.clone(), env_config));
+    mf_env.set_telemetry(telemetry.clone());
     let model_free = baselines::train_model_free(
         &mut mf_env,
         interaction_budget,
@@ -510,7 +640,7 @@ pub fn run_comparison(
         ];
         for alloc in &mut allocators {
             let name = alloc.name().to_string();
-            let records = run_allocator(kind, seed, Some(burst), steps, alloc.as_mut());
+            let records = run_allocator(kind, seed, Some(burst), steps, alloc.as_mut(), telemetry);
             summaries.push(summarize(&name, &records));
             series.push((name, records));
         }
@@ -518,9 +648,17 @@ pub fn run_comparison(
         // cheaply; run it separately with a fresh copy of its greedy policy.
         {
             let mut rl_alloc = baselines::ModelFreeDdpg::new(model_free.agent().clone(), budget);
-            let records = run_allocator(kind, seed, Some(burst), steps, &mut rl_alloc);
+            let records = run_allocator(kind, seed, Some(burst), steps, &mut rl_alloc, telemetry);
             summaries.push(summarize("rl", &records));
             series.push(("rl".to_string(), records));
+        }
+        if telemetry.is_enabled() {
+            for summary in &summaries {
+                if let Ok(Value::Object(mut fields)) = serde::value::to_value(summary) {
+                    fields.push(("scenario".to_string(), Value::UInt(scenario as u64)));
+                    telemetry.event_struct("bench.summary", &Value::Object(fields));
+                }
+            }
         }
 
         print_response_table(

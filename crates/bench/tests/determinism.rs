@@ -1,0 +1,65 @@
+//! Telemetry must be observation-only: a figure run with a recording sink
+//! attached must produce bit-identical results to the same run with the
+//! no-op recorder. This is the repo's guard against instrumentation ever
+//! consuming randomness or perturbing the computation.
+
+use miras_bench::{run_comparison, BenchArgs, EnsembleKind};
+use telemetry::{JsonlSink, Telemetry};
+
+fn smoke_args(seed: u64) -> BenchArgs {
+    BenchArgs {
+        ensemble: Some(EnsembleKind::Msd),
+        seed,
+        paper: false,
+        iterations: None,
+        no_cache: true,
+        steady: false,
+        smoke: true,
+    }
+}
+
+/// Runs the full Fig. 7 pipeline (MIRAS training, model-free DDPG training,
+/// three burst scenarios × five allocators) at smoke scale twice — once with
+/// the no-op recorder, once with a JSONL sink — and requires the per-window
+/// records to serialize identically byte for byte.
+#[test]
+fn fig7_smoke_run_is_bit_identical_with_recorder_attached() {
+    let args = smoke_args(5);
+
+    let silent = run_comparison(EnsembleKind::Msd, &args, &Telemetry::noop());
+
+    let sink = JsonlSink::in_memory();
+    let telemetry = Telemetry::new(sink.clone());
+    let recorded = run_comparison(EnsembleKind::Msd, &args, &telemetry);
+    telemetry.flush();
+
+    assert_eq!(silent.len(), recorded.len());
+    for ((scenario_a, name_a, records_a), (scenario_b, name_b, records_b)) in
+        silent.iter().zip(&recorded)
+    {
+        assert_eq!(scenario_a, scenario_b);
+        assert_eq!(name_a, name_b);
+        // Bit-exactness, not approximate equality: serialize both series
+        // (the vendored serde_json round-trips f64 exactly) and compare.
+        let json_a = serde_json::to_string(records_a).expect("serializable");
+        let json_b = serde_json::to_string(records_b).expect("serializable");
+        assert_eq!(json_a, json_b, "{name_a} diverged in scenario {scenario_a}");
+    }
+
+    // The recording run must actually have produced the stream the figure
+    // binaries ship: per-window events from the environment and
+    // per-iteration events from Algorithm 2.
+    let stream = String::from_utf8(sink.take_output()).expect("utf-8 JSONL");
+    assert!(
+        stream.contains("\"name\":\"window\""),
+        "no window events in stream"
+    );
+    assert!(
+        stream.contains("\"name\":\"iteration\""),
+        "no iteration events in stream"
+    );
+    assert!(
+        stream.contains("\"name\":\"bench.summary\""),
+        "no summary events in stream"
+    );
+}

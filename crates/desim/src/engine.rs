@@ -1,6 +1,7 @@
 //! The simulation engine: a clock plus an event queue.
 
 use crate::{EventQueue, SimTime};
+use telemetry::Telemetry;
 
 /// A discrete-event simulation engine.
 ///
@@ -33,6 +34,8 @@ pub struct Engine<E> {
     queue: EventQueue<E>,
     now: SimTime,
     processed: u64,
+    telemetry: Telemetry,
+    checkpoint_processed: u64,
 }
 
 impl<E> Engine<E> {
@@ -44,7 +47,33 @@ impl<E> Engine<E> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             processed: 0,
+            telemetry: Telemetry::noop(),
+            checkpoint_processed: 0,
         }
+    }
+
+    /// Attaches a telemetry handle. The engine records nothing in the event
+    /// hot path; clients call [`Engine::telemetry_checkpoint`] at natural
+    /// boundaries (e.g. once per decision window) to publish progress.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Publishes engine progress since the last checkpoint: the
+    /// `desim.events_processed` counter delta plus `desim.pending` and
+    /// `desim.now_secs` gauges. A no-op without an attached recorder.
+    pub fn telemetry_checkpoint(&mut self) {
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter(
+                "desim.events_processed",
+                self.processed - self.checkpoint_processed,
+            );
+            #[allow(clippy::cast_precision_loss)]
+            self.telemetry.gauge("desim.pending", self.pending() as f64);
+            self.telemetry
+                .gauge("desim.now_secs", self.now.as_secs_f64());
+        }
+        self.checkpoint_processed = self.processed;
     }
 
     /// The current simulated time (the timestamp of the most recently popped
@@ -213,6 +242,25 @@ mod tests {
         e.run(|_, _| n += 1);
         assert_eq!(n, 100);
         assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn telemetry_checkpoint_reports_event_deltas() {
+        use telemetry::{JsonlSink, Recorder, Telemetry};
+        let sink = JsonlSink::in_memory();
+        let mut e = Engine::new();
+        e.set_telemetry(Telemetry::new(sink.clone()));
+        e.schedule(SimTime::from_secs(1), ());
+        e.schedule(SimTime::from_secs(2), ());
+        e.pop();
+        e.telemetry_checkpoint();
+        e.pop();
+        e.telemetry_checkpoint();
+        Recorder::flush(&*sink);
+        let text = String::from_utf8(sink.take_output()).unwrap();
+        assert!(text.contains("\"desim.events_processed\""));
+        // Two checkpoints of one event each accumulate to 2.
+        assert!(text.contains("\"value\":2"));
     }
 
     #[test]

@@ -278,6 +278,17 @@ impl Cluster {
         std::mem::take(&mut self.completions)
     }
 
+    /// Attaches a telemetry handle to the underlying event engine.
+    pub fn set_telemetry(&mut self, telemetry: telemetry::Telemetry) {
+        self.engine.set_telemetry(telemetry);
+    }
+
+    /// Publishes event-engine progress (see
+    /// [`desim::Engine::telemetry_checkpoint`]).
+    pub fn telemetry_checkpoint(&mut self) {
+        self.engine.telemetry_checkpoint();
+    }
+
     /// Number of workflow requests submitted so far, per type.
     #[must_use]
     pub fn workflows_submitted(&self) -> &[u64] {

@@ -98,28 +98,33 @@ impl Default for SimConfig {
 }
 
 /// Configuration of the windowed RL environment wrapped around a cluster.
+///
+/// Constructed with [`EnvConfig::for_ensemble`] and customised through the
+/// `with_*` builder methods; fields are crate-private so every knob goes
+/// through one audited, validating surface. Read access goes through the
+/// same-named getters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnvConfig {
     /// Length of one decision window (paper: 30 s).
-    pub window: SimTime,
+    pub(crate) window: SimTime,
     /// Total-consumer constraint `C` (paper: 14 for MSD, 30 for LIGO).
-    pub consumer_budget: usize,
+    pub(crate) consumer_budget: usize,
     /// Background Poisson arrival rate (requests/s) per workflow type.
-    pub arrival_rates: Vec<f64>,
+    pub(crate) arrival_rates: Vec<f64>,
     /// Emulator parameters.
-    pub sim: SimConfig,
+    pub(crate) sim: SimConfig,
     /// When true (default), actions whose consumer total exceeds the budget
     /// are scaled down proportionally instead of rejected; the violation is
     /// recorded in the step's [`WindowMetrics`](crate::WindowMetrics).
-    pub clamp_actions: bool,
+    pub(crate) clamp_actions: bool,
     /// Capacity multiple used during [`reset`](crate::MicroserviceEnv::reset)
     /// ("provision sufficient consumers of each microservice to reduce WIP
     /// close to 0", §VI-A3).
-    pub reset_capacity_factor: usize,
+    pub(crate) reset_capacity_factor: usize,
     /// Maximum number of windows a reset may run before giving up.
-    pub reset_max_windows: usize,
+    pub(crate) reset_max_windows: usize,
     /// Reset finishes once total WIP is at or below this threshold.
-    pub reset_wip_threshold: usize,
+    pub(crate) reset_wip_threshold: usize,
 }
 
 impl EnvConfig {
@@ -173,12 +178,104 @@ impl EnvConfig {
         self
     }
 
+    /// Replaces the low-level emulator parameters wholesale. Note that
+    /// [`EnvConfig::with_seed`] writes into the sim config, so apply it
+    /// after this.
+    #[must_use]
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Sets whether over-budget actions are proportionally clamped (default)
+    /// or rejected with a panic.
+    #[must_use]
+    pub fn with_clamp_actions(mut self, clamp: bool) -> Self {
+        self.clamp_actions = clamp;
+        self
+    }
+
     /// Disables proportional clamping: over-budget actions panic instead.
     /// Used by the exploration ablation to count hard violations.
     #[must_use]
-    pub fn with_strict_actions(mut self) -> Self {
-        self.clamp_actions = false;
+    pub fn with_strict_actions(self) -> Self {
+        self.with_clamp_actions(false)
+    }
+
+    /// Sets the reset capacity multiple (consumers provisioned during
+    /// [`reset`](crate::MicroserviceEnv::reset) are
+    /// `consumer_budget * factor` per task type).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor is zero.
+    #[must_use]
+    pub fn with_reset_capacity_factor(mut self, factor: usize) -> Self {
+        assert!(factor > 0, "reset capacity factor must be positive");
+        self.reset_capacity_factor = factor;
         self
+    }
+
+    /// Sets the maximum number of windows a reset may run before giving up.
+    #[must_use]
+    pub fn with_reset_max_windows(mut self, windows: usize) -> Self {
+        self.reset_max_windows = windows;
+        self
+    }
+
+    /// Sets the total-WIP threshold at which a reset is considered done.
+    #[must_use]
+    pub fn with_reset_wip_threshold(mut self, threshold: usize) -> Self {
+        self.reset_wip_threshold = threshold;
+        self
+    }
+
+    /// The decision-window length.
+    #[must_use]
+    pub fn window(&self) -> SimTime {
+        self.window
+    }
+
+    /// The total-consumer constraint `C`.
+    #[must_use]
+    pub fn consumer_budget(&self) -> usize {
+        self.consumer_budget
+    }
+
+    /// Background Poisson arrival rates (requests/s per workflow type).
+    #[must_use]
+    pub fn arrival_rates(&self) -> &[f64] {
+        &self.arrival_rates
+    }
+
+    /// The low-level emulator parameters.
+    #[must_use]
+    pub fn sim(&self) -> &SimConfig {
+        &self.sim
+    }
+
+    /// Whether over-budget actions are proportionally clamped.
+    #[must_use]
+    pub fn clamp_actions(&self) -> bool {
+        self.clamp_actions
+    }
+
+    /// Capacity multiple used during reset.
+    #[must_use]
+    pub fn reset_capacity_factor(&self) -> usize {
+        self.reset_capacity_factor
+    }
+
+    /// Maximum number of windows a reset may run.
+    #[must_use]
+    pub fn reset_max_windows(&self) -> usize {
+        self.reset_max_windows
+    }
+
+    /// Total-WIP threshold at which a reset finishes.
+    #[must_use]
+    pub fn reset_wip_threshold(&self) -> usize {
+        self.reset_wip_threshold
     }
 }
 
@@ -206,6 +303,34 @@ mod tests {
         assert_eq!(c.sim.seed, 99);
         assert_eq!(c.window, SimTime::from_secs(5));
         assert_eq!(c.consumer_budget, 20);
+    }
+
+    #[test]
+    fn extended_builders_and_getters_round_trip() {
+        let msd = Ensemble::msd();
+        let sim = SimConfig::new(7).with_failure_rate(0.5);
+        let c = EnvConfig::for_ensemble(&msd)
+            .with_sim(sim.clone())
+            .with_clamp_actions(false)
+            .with_reset_capacity_factor(3)
+            .with_reset_max_windows(12)
+            .with_reset_wip_threshold(2);
+        assert_eq!(c.sim(), &sim);
+        assert!(!c.clamp_actions());
+        assert_eq!(c.reset_capacity_factor(), 3);
+        assert_eq!(c.reset_max_windows(), 12);
+        assert_eq!(c.reset_wip_threshold(), 2);
+        assert_eq!(c.window(), SimTime::from_secs(30));
+        assert_eq!(c.consumer_budget(), 14);
+        assert_eq!(c.arrival_rates().len(), 3);
+        // with_seed after with_sim overrides the sim seed.
+        assert_eq!(c.with_seed(9).sim().seed, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "reset capacity factor must be positive")]
+    fn zero_reset_capacity_factor_panics() {
+        let _ = EnvConfig::for_ensemble(&Ensemble::msd()).with_reset_capacity_factor(0);
     }
 
     #[test]

@@ -6,9 +6,28 @@ use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Poisson};
 use workflow::{ArrivalTrace, BurstSpec, Ensemble, WorkflowTypeId};
 
+use telemetry::Telemetry;
+
 use crate::{Cluster, EnvConfig, WindowMetrics};
 
+/// The paper's reward function, `r(k) = 1 − Σ_j w_j(k+1)`: the single
+/// audited implementation every layer (real environment, synthetic
+/// model-based environment, evaluation harnesses) must route through.
+///
+/// The reward is 1 when the cluster is fully drained and decreases linearly
+/// in the total work-in-progress left at the end of the window (§IV-B).
+#[must_use]
+pub fn reward_from_total_wip(total_wip: f64) -> f64 {
+    1.0 - total_wip
+}
+
 /// The result of advancing the environment by one decision window.
+///
+/// This is the environment-side mirror of [`rl::Transition`]'s
+/// `(next_state, reward)` pair (the `rl` crate keeps its own copy to stay
+/// independent of the emulator): `state` feeds the agent's next decision and
+/// `reward` is `r(k) = 1 − Σ_j w_j(k+1)` per [`reward_from_total_wip`],
+/// while `metrics` carries everything else an evaluation harness may want.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StepOutcome {
     /// The next state `w(k+1)`: WIP per task type as floats (RL convention).
@@ -17,6 +36,16 @@ pub struct StepOutcome {
     pub reward: f64,
     /// Full window observability for evaluation harnesses.
     pub metrics: WindowMetrics,
+}
+
+impl StepOutcome {
+    /// Total work-in-progress across task types at the end of the window,
+    /// `Σ_j w_j(k+1)` — the quantity the reward penalises:
+    /// `reward == reward_from_total_wip(out.wip_total())`.
+    #[must_use]
+    pub fn wip_total(&self) -> f64 {
+        self.state.iter().sum()
+    }
 }
 
 /// The microservice workflow system viewed as a reinforcement-learning
@@ -52,6 +81,7 @@ pub struct MicroserviceEnv {
     /// Injected (burst/trace) arrivals not yet attributed to a window's
     /// metrics, sorted by arrival time.
     injected_schedule: std::collections::VecDeque<(SimTime, usize)>,
+    telemetry: Telemetry,
 }
 
 impl MicroserviceEnv {
@@ -78,7 +108,19 @@ impl MicroserviceEnv {
             arrival_rng,
             window_index: 0,
             injected_schedule: std::collections::VecDeque::new(),
+            telemetry: Telemetry::noop(),
         }
+    }
+
+    /// Attaches a telemetry handle. Each subsequent [`step`] emits a
+    /// `window` event carrying the full [`WindowMetrics`] plus an
+    /// event-engine checkpoint; recording is observability-only and leaves
+    /// simulation results bit-identical.
+    ///
+    /// [`step`]: MicroserviceEnv::step
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.cluster.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// Number of task types `J` (the state and action dimensionality).
@@ -214,7 +256,8 @@ impl MicroserviceEnv {
         self.cluster.run_until(window_start + self.config.window);
 
         let wip = self.cluster.wip();
-        let reward = 1.0 - wip.iter().sum::<usize>() as f64;
+        #[allow(clippy::cast_precision_loss)]
+        let reward = reward_from_total_wip(wip.iter().sum::<usize>() as f64);
         let (completions, mean_response_secs) = self.summarise_completions();
         let metrics = WindowMetrics {
             window_index: self.window_index,
@@ -227,6 +270,23 @@ impl MicroserviceEnv {
             mean_response_secs,
         };
         self.window_index += 1;
+        if self.telemetry.is_enabled() {
+            self.cluster.telemetry_checkpoint();
+            self.telemetry.event_struct("window", &metrics);
+            self.telemetry.counter(
+                "microsim.arrivals",
+                metrics.arrivals.iter().sum::<usize>() as u64,
+            );
+            self.telemetry.counter(
+                "microsim.completions",
+                metrics.completions.iter().sum::<usize>() as u64,
+            );
+            #[allow(clippy::cast_precision_loss)]
+            self.telemetry.gauge(
+                "microsim.workflows_in_flight",
+                self.cluster.workflows_in_flight() as f64,
+            );
+        }
         StepOutcome {
             state: wip.iter().map(|&w| w as f64).collect(),
             reward,
@@ -334,6 +394,39 @@ mod tests {
         let mut env = msd_env(2);
         let out = env.step(&[4, 4, 4, 2]);
         assert!((out.reward - (1.0 - out.metrics.total_wip() as f64)).abs() < 1e-12);
+        assert_eq!(out.reward, reward_from_total_wip(out.wip_total()));
+    }
+
+    #[test]
+    fn telemetry_emits_one_window_event_per_step() {
+        use telemetry::{JsonlSink, Recorder, Telemetry};
+        let sink = JsonlSink::in_memory();
+        let mut env = msd_env(12);
+        env.set_telemetry(Telemetry::new(sink.clone()));
+        let _ = env.step(&[4, 4, 4, 2]);
+        let _ = env.step(&[4, 4, 4, 2]);
+        Recorder::flush(&*sink);
+        let text = String::from_utf8(sink.take_output()).unwrap();
+        let windows = text
+            .lines()
+            .filter(|l| l.contains("\"name\":\"window\""))
+            .count();
+        assert_eq!(windows, 2);
+        assert!(text.contains("\"desim.events_processed\""));
+        assert!(text.contains("\"window_index\""));
+    }
+
+    #[test]
+    fn telemetry_does_not_change_results() {
+        let run = |with_telemetry: bool| {
+            let mut env = msd_env(13);
+            if with_telemetry {
+                env.set_telemetry(telemetry::Telemetry::new(telemetry::JsonlSink::in_memory()));
+            }
+            env.reset();
+            (0..6).map(|_| env.step(&[4, 4, 4, 2])).collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -51,6 +51,6 @@ mod pool;
 
 pub use cluster::{Cluster, CompletionRecord};
 pub use config::{EnvConfig, SimConfig};
-pub use env::{MicroserviceEnv, StepOutcome};
+pub use env::{reward_from_total_wip, MicroserviceEnv, StepOutcome};
 pub use metrics::{LatencySummary, WindowMetrics};
 pub use pool::ConsumerPool;

@@ -70,6 +70,12 @@ impl ClusterEnvAdapter {
         &mut self.env
     }
 
+    /// Attaches a telemetry handle to the wrapped environment (see
+    /// [`MicroserviceEnv::set_telemetry`]).
+    pub fn set_telemetry(&mut self, telemetry: telemetry::Telemetry) {
+        self.env.set_telemetry(telemetry);
+    }
+
     /// Metrics of the most recent step, if any.
     #[must_use]
     pub fn last_metrics(&self) -> Option<&WindowMetrics> {

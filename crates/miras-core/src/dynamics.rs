@@ -96,7 +96,25 @@ impl DynamicsModel {
     ///
     /// Panics if the dataset is empty or its dimensionality differs.
     pub fn train(&mut self, data: &TransitionDataset, epochs: usize, batch: usize) -> f64 {
+        self.train_with_telemetry(data, epochs, batch, &telemetry::Telemetry::noop())
+    }
+
+    /// Like [`DynamicsModel::train`], additionally emitting one
+    /// `model.epoch` event (epoch index + mean standardised MSE) per epoch
+    /// and a `model.train_secs` timing span through `telemetry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or its dimensionality differs.
+    pub fn train_with_telemetry(
+        &mut self,
+        data: &TransitionDataset,
+        epochs: usize,
+        batch: usize,
+        telemetry: &telemetry::Telemetry,
+    ) -> f64 {
         assert_eq!(data.state_dim(), self.state_dim, "dimension mismatch");
+        let _span = telemetry.span("model.train_secs");
         let (x, y, s_scaler, a_scaler, y_scaler) = data.training_matrices();
         self.state_scaler = Some(s_scaler);
         self.action_scaler = Some(a_scaler);
@@ -107,7 +125,7 @@ impl DynamicsModel {
         let mut order: Vec<usize> = (0..n).collect();
         let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(n as u64));
         let mut last_loss = f64::NAN;
-        for _ in 0..epochs.max(1) {
+        for epoch in 0..epochs.max(1) {
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
@@ -120,6 +138,13 @@ impl DynamicsModel {
                 batches += 1;
             }
             last_loss = epoch_loss / batches as f64;
+            telemetry.event(
+                "model.epoch",
+                &[
+                    ("epoch", telemetry::Value::UInt(epoch as u64)),
+                    ("loss", telemetry::Value::Float(last_loss)),
+                ],
+            );
         }
         last_loss
     }

@@ -4,6 +4,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rl::policy::allocation_largest_remainder;
 use rl::{Environment, Transition as RlTransition};
+use telemetry::Telemetry;
 
 use crate::{RefinedModel, TransitionDataset};
 
@@ -51,6 +52,8 @@ pub struct SyntheticEnv {
     /// training inside the region where the model is meaningful.
     state_cap: Vec<f64>,
     rng: SmallRng,
+    telemetry: Telemetry,
+    lend_triggers: u64,
 }
 
 impl SyntheticEnv {
@@ -96,7 +99,25 @@ impl SyntheticEnv {
             state,
             state_cap,
             rng,
+            telemetry: Telemetry::noop(),
+            lend_triggers: 0,
         }
+    }
+
+    /// Attaches a telemetry handle: each step counts Lend–Giveback
+    /// refinement triggers (`synth.lend_triggers`, the number of state
+    /// dimensions below the refined model's `τ_j` threshold) and the
+    /// overall step count.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Number of Lend–Giveback trigger firings observed so far (state
+    /// dimensions entering a step below their `τ_j` refinement threshold,
+    /// summed over steps). Zero for an unrefined model.
+    #[must_use]
+    pub fn lend_triggers(&self) -> u64 {
+        self.lend_triggers
     }
 
     /// The per-dimension clamp applied to predicted states.
@@ -141,12 +162,25 @@ impl Environment for SyntheticEnv {
     fn step(&mut self, action: &[f64]) -> RlTransition {
         let allocation = allocation_largest_remainder(action, self.consumer_budget);
         let m: Vec<f64> = allocation.iter().map(|&v| v as f64).collect();
+        // Mirror the `state[j] < τ_j` test RefinedModel::predict applies, so
+        // the trigger count matches the lends actually performed.
+        let triggers = self
+            .state
+            .iter()
+            .zip(self.model.tau())
+            .filter(|(s, tau)| *s < tau)
+            .count() as u64;
+        self.lend_triggers += triggers;
         let mut next = self.model.predict(&self.state, &m, &mut self.rng);
         for (v, &cap) in next.iter_mut().zip(&self.state_cap) {
             *v = v.min(cap);
         }
-        let reward = 1.0 - next.iter().sum::<f64>();
+        let reward = microsim::reward_from_total_wip(next.iter().sum::<f64>());
         self.state = next.clone();
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter("synth.steps", 1);
+            self.telemetry.counter("synth.lend_triggers", triggers);
+        }
         RlTransition {
             next_state: next,
             reward,

@@ -50,6 +50,8 @@ pub struct MirasTrainer {
     iteration: usize,
     consumer_budget: usize,
     rng: SmallRng,
+    telemetry: telemetry::Telemetry,
+    lend_triggers_total: u64,
 }
 
 impl MirasTrainer {
@@ -69,7 +71,19 @@ impl MirasTrainer {
             consumer_budget: env.consumer_budget(),
             rng: SmallRng::seed_from_u64(config.seed.wrapping_add(0xA11CE)),
             config,
+            telemetry: telemetry::Telemetry::noop(),
+            lend_triggers_total: 0,
         }
+    }
+
+    /// Attaches a telemetry handle and cascades it into the DDPG learner.
+    /// Each [`run_iteration`](MirasTrainer::run_iteration) then emits an
+    /// `iteration` event carrying the full [`IterationReport`] plus the
+    /// iteration's Lend–Giveback trigger count and the synthetic-vs-real
+    /// per-step reward gap. Recording never changes training results.
+    pub fn set_telemetry(&mut self, telemetry: telemetry::Telemetry) {
+        self.agent.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// The accumulated dataset `D`.
@@ -163,10 +177,11 @@ impl MirasTrainer {
         real_env.drain_into(&mut self.dataset);
 
         // 2. Retrain the environment model on the grown dataset.
-        let model_loss = self.model.train(
+        let model_loss = self.model.train_with_telemetry(
             &self.dataset,
             self.config.model_epochs,
             self.config.model_batch,
+            &self.telemetry,
         );
 
         // 3. Inner loop: improve the policy against the refined model.
@@ -182,6 +197,7 @@ impl MirasTrainer {
             self.consumer_budget,
             synth_seed,
         );
+        synth.set_telemetry(self.telemetry.clone());
         let mut returns = Vec::new();
         let mut best = f64::NEG_INFINITY;
         let mut stale = 0usize;
@@ -234,8 +250,43 @@ impl MirasTrainer {
             eval_return,
             exploration_sigma: self.agent.param_noise_sigma(),
         };
+        self.lend_triggers_total += synth.lend_triggers();
+        if self.telemetry.is_enabled() {
+            // Per-step reward means make the synthetic-vs-real gap
+            // comparable across rollout/evaluation budgets.
+            let synth_mean_step = if self.config.rollout_len > 0 {
+                synthetic_return_mean / self.config.rollout_len as f64
+            } else {
+                0.0
+            };
+            let real_mean_step = if self.config.eval_steps > 0 {
+                eval_return / self.config.eval_steps as f64
+            } else {
+                0.0
+            };
+            if let Ok(serde::value::Value::Object(mut fields)) = serde::value::to_value(&report) {
+                fields.push((
+                    "lend_triggers".to_string(),
+                    serde::value::Value::UInt(synth.lend_triggers()),
+                ));
+                fields.push((
+                    "reward_gap_per_step".to_string(),
+                    serde::value::Value::Float(synth_mean_step - real_mean_step),
+                ));
+                self.telemetry
+                    .event_struct("iteration", &serde::value::Value::Object(fields));
+            }
+            self.telemetry.counter("trainer.iterations", 1);
+        }
         self.iteration += 1;
         report
+    }
+
+    /// Total Lend–Giveback refinement triggers observed across all
+    /// iterations' synthetic rollouts.
+    #[must_use]
+    pub fn lend_triggers_total(&self) -> u64 {
+        self.lend_triggers_total
     }
 
     /// Injects a random episode-opening burst when collection bursts are

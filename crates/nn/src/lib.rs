@@ -58,6 +58,7 @@ mod matrix;
 mod network;
 mod optimizer;
 mod scratch;
+pub mod telemetry;
 pub mod threads;
 
 pub use activation::Activation;

@@ -3,6 +3,7 @@
 use nn::{Activation, Adam, DenseGrads, Matrix, Mlp};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use telemetry::Telemetry;
 
 use crate::policy::project_to_simplex;
 use crate::{AdaptiveParamNoise, OrnsteinUhlenbeck, ReplayBuffer, RunningNorm, StoredTransition};
@@ -383,7 +384,13 @@ pub struct Ddpg {
     recent_states: Vec<Vec<f64>>,
     steps_since_resample: usize,
     rng: SmallRng,
+    telemetry: Telemetry,
+    train_steps_done: u64,
 }
+
+/// How often (in train steps) the expensive target-network divergence
+/// diagnostic is sampled when telemetry is enabled.
+const TARGET_DIVERGENCE_EVERY: u64 = 100;
 
 /// Maximum number of recent states kept for parameter-noise adaption.
 const RECENT_STATES_CAP: usize = 128;
@@ -465,6 +472,8 @@ impl Ddpg {
             steps_since_resample: 0,
             config,
             rng,
+            telemetry: Telemetry::noop(),
+            train_steps_done: 0,
         };
         agent.resample_perturbation();
         agent
@@ -663,10 +672,47 @@ impl Ddpg {
             t.soft_update_from(c, self.config.tau);
         }
 
+        self.train_steps_done += 1;
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter("ddpg.train_steps", 1);
+            self.telemetry.gauge("ddpg.critic_loss", critic_loss);
+            self.telemetry.gauge("ddpg.mean_q", mean_q);
+            self.telemetry.observe("ddpg.critic_loss", critic_loss);
+            if self
+                .train_steps_done
+                .is_multiple_of(TARGET_DIVERGENCE_EVERY)
+            {
+                self.telemetry
+                    .gauge("ddpg.target_divergence", self.target_divergence());
+            }
+        }
+
         Some(TrainStats {
             critic_loss,
             mean_q,
         })
+    }
+
+    /// Mean absolute parameter gap between the actor and its Polyak target —
+    /// a read-only diagnostic of how far the target network lags.
+    #[must_use]
+    pub fn target_divergence(&self) -> f64 {
+        let a = self.actor.flat_params();
+        let t = self.actor_target.flat_params();
+        if a.is_empty() {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let n = a.len() as f64;
+        a.iter().zip(&t).map(|(x, y)| (x - y).abs()).sum::<f64>() / n
+    }
+
+    /// Attaches a telemetry handle: each train step records its critic loss
+    /// and mean Q, sigma adaptions emit `ddpg.sigma_adapt` events, and the
+    /// target-network divergence is sampled periodically. Recording is
+    /// observability-only — training results stay bit-identical.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Number of transitions currently stored.
@@ -745,7 +791,19 @@ impl Ddpg {
                 let diff = &clean - &noisy;
                 let mse = diff.as_slice().iter().map(|&v| v * v).sum::<f64>()
                     / diff.as_slice().len() as f64;
-                noise.adapt(mse.sqrt());
+                let distance = mse.sqrt();
+                noise.adapt(distance);
+                if self.telemetry.is_enabled() {
+                    let sigma = noise.sigma();
+                    self.telemetry.gauge("ddpg.sigma", sigma);
+                    self.telemetry.event(
+                        "ddpg.sigma_adapt",
+                        &[
+                            ("sigma", telemetry::Value::Float(sigma)),
+                            ("action_distance", telemetry::Value::Float(distance)),
+                        ],
+                    );
+                }
             }
         }
         self.resample_perturbation();

@@ -1,11 +1,22 @@
 //! The environment interface.
 
-/// The result of one environment step.
+/// The result of one environment step: the `(s', r)` pair the agent learns
+/// from.
+///
+/// For the microservice problem both fields have a fixed physical meaning:
+/// `next_state` is the per-task-type work-in-progress vector `w(k+1)` at the
+/// end of the decision window, and `reward` is `r(k) = 1 − Σ_j w_j(k+1)`.
+/// Every environment — the real emulated cluster
+/// (`microsim::MicroserviceEnv`, whose `StepOutcome` mirrors this pair) and
+/// the learnt synthetic environment — computes the reward through the single
+/// audited helper `microsim::reward_from_total_wip`, so the three layers can
+/// never drift apart.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Transition {
-    /// The state after applying the action.
+    /// The state after applying the action (`w(k+1)` for the microservice
+    /// problem).
     pub next_state: Vec<f64>,
-    /// The scalar reward observed.
+    /// The scalar reward observed (`1 − Σ_j w_j(k+1)`).
     pub reward: f64,
 }
 

@@ -50,7 +50,7 @@ fn main() {
     let mut peak_wip = 0usize;
     while t < horizon {
         let wip: Vec<f64> = cluster.wip().iter().map(|&w| w as f64).collect();
-        let m = allocator.allocate(&wip, None);
+        let m = allocator.allocate(&Observation::first(&wip));
         cluster.set_consumers(&m);
         t += window;
         cluster.run_until(t);

@@ -58,7 +58,7 @@ fn main() {
 
     // Queueing-theoretic allocation straight out of the box.
     let mut drs = DrsAllocator::new(&ensemble, ensemble.default_consumer_budget(), 30.0);
-    let steady = drs.allocate(&vec![0.0; ensemble.num_task_types()], None);
+    let steady = drs.allocate(&Observation::first(&vec![0.0; ensemble.num_task_types()]));
     println!("DRS steady-state allocation: {steady:?}");
 
     // A miniature MIRAS loop on the custom ensemble.

@@ -20,9 +20,9 @@ fn run(allocator: &mut dyn Allocator, seed: u64, steps: usize) -> (Vec<usize>, u
     let mut wip_series = Vec::new();
     let mut completions = 0;
     let mut prev: Option<WindowMetrics> = None;
-    for _ in 0..steps {
+    for step in 0..steps {
         let wip = env.state();
-        let m = allocator.allocate(&wip, prev.as_ref());
+        let m = allocator.allocate(&Observation::new(&wip, prev.as_ref(), step));
         let out = env.step(&m);
         wip_series.push(out.metrics.total_wip());
         completions += out.metrics.completions.iter().sum::<usize>();

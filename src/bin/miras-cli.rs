@@ -141,7 +141,7 @@ fn run_policy(
     burst: Option<Vec<usize>>,
     trace_path: Option<&str>,
     windows: usize,
-    mut next_allocation: impl FnMut(&[f64], Option<&WindowMetrics>) -> Vec<usize>,
+    mut next_allocation: impl FnMut(&miras::baselines::Observation) -> Vec<usize>,
 ) -> Result<(), String> {
     let config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
     let mut env = MicroserviceEnv::new(ensemble, config);
@@ -169,7 +169,11 @@ fn run_policy(
     let mut total_completions = 0usize;
     for w in 0..windows {
         let wip = env.state();
-        let m = next_allocation(&wip, previous.as_ref());
+        let m = next_allocation(&miras::baselines::Observation::new(
+            &wip,
+            previous.as_ref(),
+            w,
+        ));
         let out = env.step(&m);
         total_reward += out.reward;
         let completions: usize = out.metrics.completions.iter().sum();
@@ -218,8 +222,8 @@ fn simulate(flags: &Flags) -> Result<(), String> {
         allocator.name()
     );
     let trace = flags.get("trace").map(String::as_str);
-    run_policy(ensemble, seed, burst, trace, windows, |wip, prev| {
-        allocator.allocate(wip, prev)
+    run_policy(ensemble, seed, burst, trace, windows, |obs| {
+        allocator.allocate(obs)
     })
 }
 
@@ -283,8 +287,8 @@ fn evaluate(flags: &Flags) -> Result<(), String> {
         ensemble.name()
     );
     let trace = flags.get("trace").map(String::as_str);
-    run_policy(ensemble, seed, burst, trace, windows, |wip, _| {
-        agent.allocate(wip)
+    run_policy(ensemble, seed, burst, trace, windows, |obs| {
+        agent.allocate(obs.wip)
     })
 }
 

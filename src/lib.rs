@@ -46,13 +46,14 @@ pub use microsim;
 pub use miras_core;
 pub use nn;
 pub use rl;
+pub use telemetry;
 pub use workflow;
 
 /// Commonly used types, importable in one line.
 pub mod prelude {
     pub use baselines::{
-        Allocator, DrsAllocator, HeftAllocator, ModelFreeDdpg, MonadAllocator, UniformAllocator,
-        WipProportionalAllocator,
+        Allocator, DrsAllocator, HeftAllocator, ModelFreeDdpg, MonadAllocator, Observation,
+        UniformAllocator, WipProportionalAllocator,
     };
     pub use desim::SimTime;
     pub use microsim::{Cluster, EnvConfig, MicroserviceEnv, SimConfig, WindowMetrics};

@@ -20,9 +20,9 @@ fn drive(
     let mut prev: Option<WindowMetrics> = None;
     let mut completions = 0;
     let mut final_wip = 0;
-    for _ in 0..steps {
+    for step in 0..steps {
         let wip = env.state();
-        let m = allocator.allocate(&wip, prev.as_ref());
+        let m = allocator.allocate(&Observation::new(&wip, prev.as_ref(), step));
         let total: usize = m.iter().sum();
         assert!(
             total <= allocator.consumer_budget(),
@@ -118,7 +118,7 @@ fn drs_respects_stability_on_both_ensembles() {
     for ensemble in [Ensemble::msd(), Ensemble::ligo()] {
         let budget = ensemble.default_consumer_budget();
         let mut drs = DrsAllocator::new(&ensemble, budget, 30.0);
-        let alloc = drs.allocate(&vec![0.0; ensemble.num_task_types()], None);
+        let alloc = drs.allocate(&Observation::first(&vec![0.0; ensemble.num_task_types()]));
         let lambda = drs.task_arrival_rates();
         for (j, ((&l, &m), t)) in lambda
             .iter()
