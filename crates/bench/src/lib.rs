@@ -14,7 +14,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use baselines::{Allocator, Observation};
-use microsim::{EnvConfig, MicroserviceEnv};
+use desim::SimTime;
+use microsim::{EnvConfig, MicroserviceEnv, SimConfig};
 use miras_core::{ClusterEnvAdapter, IterationReport, MirasAgent, MirasConfig, MirasTrainer};
 use serde::{Deserialize, Serialize};
 use telemetry::{JsonlSink, Telemetry, Value};
@@ -302,8 +303,24 @@ pub fn run_allocator(
     allocator: &mut dyn Allocator,
     telemetry: &Telemetry,
 ) -> Vec<StepRecord> {
+    let config = EnvConfig::for_ensemble(&kind.ensemble()).with_seed(seed);
+    run_allocator_configured(kind, config, burst, steps, allocator, telemetry)
+}
+
+/// Like [`run_allocator`] but with an explicit environment configuration,
+/// so callers can inject faults (consumer crashes, node outages,
+/// stragglers, delivery-delay spikes) or otherwise reshape the cluster.
+/// Used by the resilience benchmark.
+pub fn run_allocator_configured(
+    kind: EnsembleKind,
+    config: EnvConfig,
+    burst: Option<&BurstSpec>,
+    steps: usize,
+    allocator: &mut dyn Allocator,
+    telemetry: &Telemetry,
+) -> Vec<StepRecord> {
     let ensemble = kind.ensemble();
-    let config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
+    let seed = config.sim().seed;
     let mut env = MicroserviceEnv::new(ensemble, config);
     env.set_telemetry(telemetry.clone());
     telemetry.event(
@@ -584,6 +601,165 @@ mod tests {
         assert_eq!(s.total_completions, 5);
         assert_eq!(s.final_wip, 0);
     }
+}
+
+/// A named environment-fault configuration for the resilience benchmark.
+///
+/// Applying a scenario to a [`SimConfig`] turns on its fault model while
+/// leaving everything else (seed, start-up delays, contention) untouched;
+/// the `healthy` scenario is the identity.
+#[derive(Clone, Copy)]
+pub struct FaultScenario {
+    /// Name used in output tables and the `scenario` field of
+    /// `bench.summary` telemetry events.
+    pub name: &'static str,
+    apply: fn(SimConfig) -> SimConfig,
+}
+
+impl FaultScenario {
+    /// Returns `sim` with this scenario's fault model enabled.
+    #[must_use]
+    pub fn apply(&self, sim: SimConfig) -> SimConfig {
+        (self.apply)(sim)
+    }
+}
+
+/// The resilience benchmark's scenario suite: a healthy control plus one
+/// scenario per fault class in `microsim` — independent consumer crashes,
+/// correlated node outages, stragglers, and queue delivery-delay spikes.
+/// Rates are chosen so each fault visibly perturbs a 25-window run.
+#[must_use]
+pub fn fault_scenarios() -> Vec<FaultScenario> {
+    vec![
+        FaultScenario {
+            name: "healthy",
+            apply: |s| s,
+        },
+        FaultScenario {
+            name: "crashes",
+            apply: |s| s.with_failure_rate(20.0),
+        },
+        FaultScenario {
+            name: "outages",
+            apply: |s| s.with_node_model(3, 2.0),
+        },
+        FaultScenario {
+            name: "stragglers",
+            apply: |s| s.with_stragglers(0.05, 10.0),
+        },
+        FaultScenario {
+            name: "delays",
+            apply: |s| s.with_delivery_delay_spikes(0.10, SimTime::from_secs(10)),
+        },
+    ]
+}
+
+/// Runs the resilience benchmark for one ensemble: MIRAS and all five
+/// baselines (`uniform`, `stream`/DRS, `heft`, `monad`, model-free `rl`)
+/// under every [`fault_scenarios`] entry, each with the ensemble's first
+/// burst scenario on top of the Poisson background.
+///
+/// Agents are trained once on the *healthy* environment — resilience here
+/// means how a policy trained under nominal conditions copes when the
+/// cluster degrades. Returns `(scenario, algorithm, records)` tuples and
+/// prints a summary table per scenario; every run summary is also emitted
+/// as a `bench.summary` telemetry event with a string `scenario` field, so
+/// the JSONL stream segments per scenario.
+pub fn run_resilience(
+    kind: EnsembleKind,
+    args: &BenchArgs,
+    telemetry: &Telemetry,
+) -> Vec<(String, String, Vec<StepRecord>)> {
+    let seed = args.seed;
+    let ensemble = kind.ensemble();
+    let j = ensemble.num_task_types();
+    let budget = ensemble.default_consumer_budget();
+    let window_secs = 30.0;
+    let steps = args.comparison_steps(kind);
+    let burst = kind.burst_scenarios().remove(0);
+
+    // Train MIRAS (or load the cached agent) and the model-free baseline on
+    // the healthy environment, exactly as the comparison figures do.
+    let (_, miras_agent) = train_miras(kind, args, !args.no_cache, true, telemetry);
+    let miras_cfg = args.miras_config(kind);
+    let interaction_budget =
+        args.resolved_iterations() * (miras_cfg.real_steps_per_iter + miras_cfg.eval_steps);
+    let env_config = EnvConfig::for_ensemble(&ensemble).with_seed(seed.wrapping_add(7));
+    let mut mf_env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble.clone(), env_config));
+    mf_env.set_telemetry(telemetry.clone());
+    let model_free = baselines::train_model_free(
+        &mut mf_env,
+        interaction_budget,
+        miras_cfg.reset_every,
+        miras_cfg.ddpg.clone(),
+        miras_cfg.collect_burst_max.as_deref(),
+    );
+
+    let mut results = Vec::new();
+    for scenario in fault_scenarios() {
+        let base = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
+        let config = base.clone().with_sim(scenario.apply(base.sim().clone()));
+        let mut series: Vec<(String, Vec<StepRecord>)> = Vec::new();
+        let mut summaries = Vec::new();
+
+        let mut allocators: Vec<Box<dyn Allocator>> = vec![
+            Box::new(miras_agent.clone()),
+            Box::new(baselines::UniformAllocator::new(j, budget)),
+            Box::new(baselines::DrsAllocator::new(&ensemble, budget, window_secs)),
+            Box::new(baselines::HeftAllocator::new(&ensemble, budget)),
+            Box::new(baselines::MonadAllocator::new(j, budget, window_secs)),
+        ];
+        for alloc in &mut allocators {
+            let name = alloc.name().to_string();
+            let records = run_allocator_configured(
+                kind,
+                config.clone(),
+                Some(&burst),
+                steps,
+                alloc.as_mut(),
+                telemetry,
+            );
+            summaries.push(summarize(&name, &records));
+            series.push((name, records));
+        }
+        {
+            let mut rl_alloc = baselines::ModelFreeDdpg::new(model_free.agent().clone(), budget);
+            let records = run_allocator_configured(
+                kind,
+                config.clone(),
+                Some(&burst),
+                steps,
+                &mut rl_alloc,
+                telemetry,
+            );
+            summaries.push(summarize("rl", &records));
+            series.push(("rl".to_string(), records));
+        }
+        if telemetry.is_enabled() {
+            for summary in &summaries {
+                if let Ok(Value::Object(mut fields)) = serde::value::to_value(summary) {
+                    fields.push((
+                        "scenario".to_string(),
+                        Value::String(scenario.name.to_string()),
+                    ));
+                    telemetry.event_struct("bench.summary", &Value::Object(fields));
+                }
+            }
+        }
+
+        println!(
+            "\n=== {} resilience — scenario `{}` (burst {:?}, {} windows) ===",
+            kind.name().to_uppercase(),
+            scenario.name,
+            burst.counts(),
+            steps
+        );
+        print_summaries(&summaries);
+        for (name, records) in series {
+            results.push((scenario.name.to_string(), name, records));
+        }
+    }
+    results
 }
 
 /// Runs the paper's five-algorithm comparison (Figs. 7 and 8) for one

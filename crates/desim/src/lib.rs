@@ -37,6 +37,6 @@ mod engine;
 mod queue;
 mod time;
 
-pub use engine::Engine;
+pub use engine::{Engine, EngineSnapshot};
 pub use queue::{EventQueue, ScheduledEvent};
 pub use time::SimTime;

@@ -110,6 +110,42 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// The next sequence number that [`EventQueue::push`] would assign.
+    /// Captured by checkpoints so FIFO tie-breaking survives a restore.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Pending events as `(time, seq, event)` triples, sorted by delivery
+    /// order. Used to serialise the queue into a checkpoint.
+    #[must_use]
+    pub fn snapshot_events(&self) -> Vec<(SimTime, u64, E)>
+    where
+        E: Clone,
+    {
+        let mut events: Vec<(SimTime, u64, E)> = self
+            .heap
+            .iter()
+            .map(|e| (e.time, e.seq, e.event.clone()))
+            .collect();
+        events.sort_by_key(|(time, seq, _)| (*time, *seq));
+        events
+    }
+
+    /// Rebuilds a queue from a [`EventQueue::snapshot_events`] capture and
+    /// the matching [`EventQueue::next_seq`], preserving the original
+    /// sequence numbers so simultaneous events still pop in their original
+    /// FIFO order.
+    #[must_use]
+    pub fn from_snapshot(events: Vec<(SimTime, u64, E)>, next_seq: u64) -> Self {
+        let heap = events
+            .into_iter()
+            .map(|(time, seq, event)| ScheduledEvent { time, seq, event })
+            .collect();
+        EventQueue { heap, next_seq }
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -163,6 +199,30 @@ mod tests {
         q.push(t, 11);
         assert_eq!(q.pop().unwrap().event, 10);
         assert_eq!(q.pop().unwrap().event, 11);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_fifo_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(2);
+        q.push(SimTime::from_secs(3), 30);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let restored = EventQueue::from_snapshot(q.snapshot_events(), q.next_seq());
+        let mut a = q;
+        let mut b = restored;
+        loop {
+            match (a.pop(), b.pop()) {
+                (None, None) => break,
+                (x, y) => {
+                    let x = x.expect("restored queue too long");
+                    let y = y.expect("restored queue too short");
+                    assert_eq!((x.time, x.seq, x.event), (y.time, y.seq, y.event));
+                }
+            }
+        }
+        assert_eq!(a.next_seq(), b.next_seq());
     }
 
     #[test]

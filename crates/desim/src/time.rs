@@ -4,6 +4,8 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 use std::time::Duration;
 
+use serde::{Deserialize, Serialize};
+
 /// A point on (or span of) the simulated timeline, with microsecond
 /// resolution.
 ///
@@ -26,7 +28,9 @@ use std::time::Duration;
 /// assert_eq!((end - start).as_micros(), 500_000);
 /// assert!(end > start);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {

@@ -12,6 +12,7 @@ use desim::{Engine, SimTime};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
 use workflow::{Ensemble, TaskTypeId, WorkflowTypeId};
 
 use crate::pool::ConsumerPool;
@@ -21,7 +22,7 @@ use crate::SimConfig;
 type InstanceId = u64;
 
 /// One completed workflow request: who it was and how long it took.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CompletionRecord {
     /// The workflow type of the completed request.
     pub workflow_type: WorkflowTypeId,
@@ -40,7 +41,7 @@ impl CompletionRecord {
 }
 
 /// Simulation events.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 enum Event {
     /// A workflow request of the given type arrives.
     Arrival(WorkflowTypeId),
@@ -60,10 +61,20 @@ enum Event {
     },
     /// A container of the given task type finished starting up.
     ConsumerUp(TaskTypeId),
+    /// The physical node with the given index fails, taking down every
+    /// consumer it hosts at the same instant (correlated outage injection).
+    NodeOutage(usize),
+    /// A delayed queue delivery (message-broker latency spike): the task
+    /// request materialises in its queue only now.
+    Deliver {
+        task: TaskTypeId,
+        instance: InstanceId,
+        node: usize,
+    },
 }
 
 /// Bookkeeping for one in-flight workflow request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct WorkflowInstance {
     workflow_type: WorkflowTypeId,
     arrival: SimTime,
@@ -74,7 +85,7 @@ struct WorkflowInstance {
 }
 
 /// One task request waiting in a microservice queue.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct PendingTask {
     instance: InstanceId,
     node: usize,
@@ -119,6 +130,11 @@ pub struct Cluster {
     tasks_completed: Vec<u64>,
     workflows_submitted: Vec<u64>,
     consumer_failures: u64,
+    /// Absolute time of each node's next correlated outage (empty when the
+    /// node fault model is disabled). Dispatch consults this so requests
+    /// whose service would outlive the node fail at the outage instant.
+    node_next_outage: Vec<SimTime>,
+    node_outages: u64,
 }
 
 impl Cluster {
@@ -145,7 +161,7 @@ impl Cluster {
             })
             .collect();
         let n = ensemble.num_workflow_types();
-        Cluster {
+        let mut cluster = Cluster {
             ensemble,
             engine: Engine::new(),
             queues: vec![VecDeque::new(); j],
@@ -159,7 +175,17 @@ impl Cluster {
             tasks_completed: vec![0; j],
             workflows_submitted: vec![0; n],
             consumer_failures: 0,
+            node_next_outage: Vec::new(),
+            node_outages: 0,
+        };
+        if cluster.config.node_outage_rate_per_hour > 0.0 {
+            for node in 0..cluster.config.node_count {
+                let at = cluster.sample_outage_gap();
+                cluster.node_next_outage.push(at);
+                cluster.engine.schedule(at, Event::NodeOutage(node));
+            }
         }
+        cluster
     }
 
     /// The workload domain this cluster serves.
@@ -307,10 +333,17 @@ impl Cluster {
         self.instances.len()
     }
 
-    /// Number of injected consumer failures so far.
+    /// Number of injected consumer failures so far (independent crashes plus
+    /// consumers lost to node outages).
     #[must_use]
     pub fn consumer_failures(&self) -> u64 {
         self.consumer_failures
+    }
+
+    /// Number of injected correlated node outages so far.
+    #[must_use]
+    pub fn node_outages(&self) -> u64 {
+        self.node_outages
     }
 
     fn sample_startup_delay(&mut self) -> SimTime {
@@ -330,6 +363,21 @@ impl Cluster {
         SimTime::from_secs_f64(secs.max(1e-3))
     }
 
+    /// Exponential gap until a node's next outage. Clamped to at least one
+    /// microsecond so a degenerate draw cannot wedge the event loop at a
+    /// single instant.
+    fn sample_outage_gap(&mut self) -> SimTime {
+        let rate = self.config.node_outage_rate_per_hour;
+        debug_assert!(rate > 0.0);
+        let hours: f64 = -(1.0 - self.rng.gen::<f64>()).ln() / rate;
+        SimTime::from_secs_f64(hours * 3600.0).max(SimTime::from_micros(1))
+    }
+
+    /// The physical node hosting consumer pool `j` (round-robin placement).
+    fn node_of(&self, j: usize) -> usize {
+        j % self.config.node_count
+    }
+
     fn handle(&mut self, event: Event) {
         match event {
             Event::Arrival(wf) => self.handle_arrival(wf),
@@ -347,6 +395,15 @@ impl Cluster {
                 if self.pools[task.index()].consumer_up() {
                     self.dispatch(task);
                 }
+            }
+            Event::NodeOutage(node) => self.handle_node_outage(node),
+            Event::Deliver {
+                task,
+                instance,
+                node,
+            } => {
+                self.queues[task.index()].push_back(PendingTask { instance, node });
+                self.dispatch(task);
             }
         }
     }
@@ -374,19 +431,41 @@ impl Cluster {
     }
 
     fn enqueue_task(&mut self, task: TaskTypeId, instance: InstanceId, node: usize) {
+        // Delivery-delay spikes: with configured probability the broker
+        // delivers the request only after a uniform delay in (0, max].
+        let p = self.config.delivery_delay_prob;
+        if p > 0.0 && self.rng.gen_bool(p) {
+            let max = self.config.delivery_delay_max.as_micros();
+            let delay = SimTime::from_micros(self.rng.gen_range(1..=max));
+            self.engine.schedule_after(
+                delay,
+                Event::Deliver {
+                    task,
+                    instance,
+                    node,
+                },
+            );
+            return;
+        }
         self.queues[task.index()].push_back(PendingTask { instance, node });
         self.dispatch(task);
     }
 
     /// Hands queued requests to idle consumers of `task`. With failure
     /// injection enabled, each execution may instead end in a consumer
-    /// crash partway through the request's service time.
+    /// crash partway through the request's service time — either an
+    /// independent crash (exponential time-to-failure) or a correlated
+    /// node outage that would land before the service completes.
     fn dispatch(&mut self, task: TaskTypeId) {
         let j = task.index();
         while self.pools[j].idle() > 0 && !self.queues[j].is_empty() {
             let pending = self.queues[j].pop_front().expect("checked non-empty");
             self.pools[j].begin_work();
             let mut service = self.sample_service(task);
+            if self.config.straggler_prob > 0.0 && self.rng.gen_bool(self.config.straggler_prob) {
+                service =
+                    SimTime::from_secs_f64(service.as_secs_f64() * self.config.straggler_factor);
+            }
             if let Some(cores) = self.config.total_cores {
                 // Processor-sharing approximation: with b busy consumers on
                 // `cores` CPUs, each runs at cores/b speed (never faster
@@ -395,18 +474,29 @@ impl Cluster {
                 let slowdown = (busy as f64 / cores).max(1.0);
                 service = SimTime::from_secs_f64(service.as_secs_f64() * slowdown);
             }
+            let completion = self.engine.now() + service;
             let rate = self.config.failure_rate_per_hour;
-            let failure_at = if rate > 0.0 {
+            // Earliest interrupting instant, if any: an independent crash of
+            // this consumer, or its node going down before the service ends.
+            let mut interrupt_at: Option<SimTime> = None;
+            if rate > 0.0 {
                 // Exponential time-to-failure while busy.
                 let hours: f64 = -(1.0 - self.rng.gen::<f64>()).ln() / rate;
-                Some(SimTime::from_secs_f64(hours * 3600.0))
-            } else {
-                None
-            };
-            match failure_at {
-                Some(ttf) if ttf < service => {
-                    self.engine.schedule_after(
-                        ttf,
+                let ttf = SimTime::from_secs_f64(hours * 3600.0);
+                if ttf < service {
+                    interrupt_at = Some(self.engine.now() + ttf);
+                }
+            }
+            if !self.node_next_outage.is_empty() {
+                let outage = self.node_next_outage[self.node_of(j)];
+                if outage < completion && interrupt_at.is_none_or(|t| outage < t) {
+                    interrupt_at = Some(outage);
+                }
+            }
+            match interrupt_at {
+                Some(at) => {
+                    self.engine.schedule(
+                        at,
                         Event::ConsumerFailed {
                             task,
                             instance: pending.instance,
@@ -414,9 +504,9 @@ impl Cluster {
                         },
                     );
                 }
-                _ => {
-                    self.engine.schedule_after(
-                        service,
+                None => {
+                    self.engine.schedule(
+                        completion,
                         Event::TaskComplete {
                             task,
                             instance: pending.instance,
@@ -426,6 +516,35 @@ impl Cluster {
                 }
             }
         }
+    }
+
+    /// A physical node failed: every consumer it hosts dies at this instant.
+    /// Busy consumers fail through the [`Event::ConsumerFailed`] events that
+    /// dispatch scheduled at the outage time; this handler removes the idle
+    /// ones, requests replacement containers, and arms the node's next
+    /// outage.
+    fn handle_node_outage(&mut self, node: usize) {
+        self.node_outages += 1;
+        for j in 0..self.pools.len() {
+            if self.node_of(j) != node {
+                continue;
+            }
+            let lost = self.pools[j].fail_idle();
+            if lost > 0 {
+                self.consumer_failures += lost as u64;
+                let new_target = self.pools[j].effective_target() + lost;
+                let retarget = self.pools[j].retarget(new_target);
+                for _ in 0..retarget.to_start {
+                    let delay = self.sample_startup_delay();
+                    self.engine
+                        .schedule_after(delay, Event::ConsumerUp(TaskTypeId::new(j)));
+                }
+            }
+        }
+        let gap = self.sample_outage_gap();
+        let next = self.engine.now() + gap;
+        self.node_next_outage[node] = next;
+        self.engine.schedule(next, Event::NodeOutage(node));
     }
 
     /// A consumer crashed mid-request: redeliver the request to the front
@@ -490,6 +609,118 @@ impl Cluster {
             self.dispatch(task);
         }
     }
+
+    /// Captures the cluster's complete dynamic state for checkpointing.
+    ///
+    /// The snapshot embeds the event queue with its exact FIFO tie-break
+    /// sequence numbers and the service-time RNG state, so a cluster
+    /// restored with [`Cluster::from_snapshot`] replays the very same event
+    /// trajectory the original would have. The ensemble itself is *not*
+    /// stored — only a structural fingerprint — because the workload
+    /// definition is static configuration the caller re-supplies at restore.
+    #[must_use]
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        let engine = self.engine.snapshot();
+        let mut instances: Vec<(InstanceId, WorkflowInstance)> = self
+            .instances
+            .iter()
+            .map(|(&id, inst)| (id, inst.clone()))
+            .collect();
+        instances.sort_by_key(|(id, _)| *id);
+        ClusterSnapshot {
+            num_task_types: self.ensemble.num_task_types(),
+            num_workflow_types: self.ensemble.num_workflow_types(),
+            now: engine.now,
+            processed: engine.processed,
+            events: engine.events,
+            next_seq: engine.next_seq,
+            queues: self.queues.clone(),
+            pools: self.pools.clone(),
+            instances,
+            next_instance: self.next_instance,
+            rng_state: self.rng.state(),
+            config: self.config.clone(),
+            completions: self.completions.clone(),
+            tasks_completed: self.tasks_completed.clone(),
+            workflows_submitted: self.workflows_submitted.clone(),
+            consumer_failures: self.consumer_failures,
+            node_next_outage: self.node_next_outage.clone(),
+            node_outages: self.node_outages,
+        }
+    }
+
+    /// Rebuilds a cluster from a [`ClusterSnapshot`], continuing
+    /// bit-identically with the run that produced it.
+    ///
+    /// Telemetry is not carried across a restore; reattach with
+    /// [`Cluster::set_telemetry`] if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ensemble`'s structure does not match the fingerprint
+    /// recorded in the snapshot (wrong workload for this checkpoint).
+    #[must_use]
+    pub fn from_snapshot(ensemble: Ensemble, snapshot: ClusterSnapshot) -> Self {
+        assert_eq!(
+            ensemble.num_task_types(),
+            snapshot.num_task_types,
+            "snapshot was taken for an ensemble with a different task-type count"
+        );
+        assert_eq!(
+            ensemble.num_workflow_types(),
+            snapshot.num_workflow_types,
+            "snapshot was taken for an ensemble with a different workflow-type count"
+        );
+        let mut fresh = Cluster::new(ensemble, snapshot.config.clone());
+        fresh.engine = Engine::from_snapshot(desim::EngineSnapshot {
+            now: snapshot.now,
+            processed: snapshot.processed,
+            events: snapshot.events,
+            next_seq: snapshot.next_seq,
+        });
+        fresh.queues = snapshot.queues;
+        fresh.pools = snapshot.pools;
+        fresh.instances = snapshot.instances.into_iter().collect();
+        fresh.next_instance = snapshot.next_instance;
+        fresh.rng = SmallRng::from_state(snapshot.rng_state);
+        fresh.config = snapshot.config;
+        fresh.completions = snapshot.completions;
+        fresh.tasks_completed = snapshot.tasks_completed;
+        fresh.workflows_submitted = snapshot.workflows_submitted;
+        fresh.consumer_failures = snapshot.consumer_failures;
+        fresh.node_next_outage = snapshot.node_next_outage;
+        fresh.node_outages = snapshot.node_outages;
+        fresh
+    }
+}
+
+/// Serializable checkpoint of a [`Cluster`]'s full dynamic state.
+///
+/// An opaque token: its only contract is that
+/// [`Cluster::from_snapshot`] resumes bit-identically. The fields include
+/// the event queue (with FIFO tie-break sequence numbers) and the RNG
+/// state, so two clusters that share a snapshot replay identical event
+/// trajectories.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSnapshot {
+    num_task_types: usize,
+    num_workflow_types: usize,
+    now: SimTime,
+    processed: u64,
+    events: Vec<(SimTime, u64, Event)>,
+    next_seq: u64,
+    queues: Vec<VecDeque<PendingTask>>,
+    pools: Vec<ConsumerPool>,
+    instances: Vec<(InstanceId, WorkflowInstance)>,
+    next_instance: InstanceId,
+    rng_state: [u64; 4],
+    config: SimConfig,
+    completions: Vec<CompletionRecord>,
+    tasks_completed: Vec<u64>,
+    workflows_submitted: Vec<u64>,
+    consumer_failures: u64,
+    node_next_outage: Vec<SimTime>,
+    node_outages: u64,
 }
 
 #[cfg(test)]
@@ -667,6 +898,149 @@ mod tests {
         c.submit(SimTime::ZERO, WorkflowTypeId::new(2));
         c.run_until(SimTime::from_secs(1));
         assert_eq!(c.workflows_submitted(), &[0, 2, 1]);
+    }
+
+    #[test]
+    fn node_outage_kills_idle_consumers_and_replaces_them() {
+        // One node hosting everything, failing roughly every sim-hour: idle
+        // consumers die in the outage and replacements are scheduled.
+        let cfg = instant_config(21).with_node_model(1, 1.0);
+        let mut c = Cluster::new(Ensemble::msd(), cfg);
+        c.set_consumers(&[2, 2, 2, 2]);
+        c.run_until(SimTime::from_secs(8 * 3600));
+        assert!(c.node_outages() > 0, "an outage should have fired");
+        assert!(
+            c.consumer_failures() >= c.node_outages(),
+            "each outage kills the idle consumers it finds"
+        );
+        // Replacements keep the pools at their targets.
+        for j in 0..4 {
+            assert_eq!(c.pool(TaskTypeId::new(j)).effective_target(), 2);
+        }
+    }
+
+    #[test]
+    fn node_outage_interrupts_inflight_work_correlated() {
+        // A saturated single-node cluster: requests in flight when the node
+        // dies are redelivered, so all submitted workflows still complete.
+        let cfg = instant_config(22).with_node_model(1, 6.0);
+        let mut c = Cluster::new(Ensemble::msd(), cfg);
+        c.set_consumers(&[3, 3, 3, 3]);
+        for s in 0..40 {
+            c.submit(
+                SimTime::from_secs(s * 30),
+                WorkflowTypeId::new((s % 3) as usize),
+            );
+        }
+        c.run_until(SimTime::from_secs(4 * 3600));
+        assert!(c.node_outages() > 0);
+        assert_eq!(c.drain_completions().len(), 40, "redelivery loses no work");
+        assert_eq!(c.workflows_in_flight(), 0);
+    }
+
+    #[test]
+    fn stragglers_inflate_response_times() {
+        let run = |cfg: SimConfig| {
+            let mut c = Cluster::new(Ensemble::msd(), cfg);
+            c.set_consumers(&[1, 1, 1, 1]);
+            for s in 0..30 {
+                c.submit(SimTime::from_secs(s * 60), WorkflowTypeId::new(0));
+            }
+            c.run_until(SimTime::from_secs(3600));
+            let done = c.drain_completions();
+            assert_eq!(done.len(), 30);
+            done.iter()
+                .map(CompletionRecord::response_secs)
+                .sum::<f64>()
+        };
+        let healthy = run(instant_config(23));
+        let straggly = run(instant_config(23).with_stragglers(0.3, 10.0));
+        assert!(
+            straggly > healthy * 1.5,
+            "stragglers must visibly inflate total response time \
+             (healthy {healthy:.1}s vs straggly {straggly:.1}s)"
+        );
+    }
+
+    #[test]
+    fn delivery_delay_spikes_defer_but_do_not_lose_work() {
+        let cfg = instant_config(24).with_delivery_delay_spikes(1.0, SimTime::from_secs(60));
+        let mut c = Cluster::new(Ensemble::msd(), cfg);
+        c.set_consumers(&[2, 2, 2, 2]);
+        c.submit(SimTime::ZERO, WorkflowTypeId::new(0));
+        // With every delivery delayed, nothing can be in the queue at t=1ms.
+        c.run_until(SimTime::from_millis(1));
+        assert_eq!(c.total_wip(), 0, "delivery is still in flight");
+        c.run_until(SimTime::from_secs(600));
+        assert_eq!(c.drain_completions().len(), 1);
+    }
+
+    #[test]
+    fn fault_features_off_leave_trajectory_unchanged() {
+        // Explicitly-disabled fault features must not perturb the RNG
+        // stream: the trajectory matches a default-config run exactly.
+        let run = |cfg: SimConfig| {
+            let mut c = Cluster::new(Ensemble::msd(), cfg);
+            c.set_consumers(&[4, 4, 4, 2]);
+            for s in 0..30 {
+                c.submit(
+                    SimTime::from_secs(s * 3),
+                    WorkflowTypeId::new((s % 3) as usize),
+                );
+            }
+            c.run_until(SimTime::from_secs(500));
+            let responses: Vec<u64> = c
+                .drain_completions()
+                .iter()
+                .map(|r| (r.completion - r.arrival).as_micros())
+                .collect();
+            (c.wip(), responses)
+        };
+        let base = run(SimConfig::new(31));
+        let gated = run(SimConfig::new(31)
+            .with_stragglers(0.0, 5.0)
+            .with_delivery_delay_spikes(0.0, SimTime::ZERO)
+            .with_node_model(3, 0.0));
+        assert_eq!(base, gated);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let drive = |c: &mut Cluster, from: u64, to: u64| {
+            for s in from..to {
+                c.submit(
+                    SimTime::from_secs(s * 7),
+                    WorkflowTypeId::new((s % 3) as usize),
+                );
+            }
+            c.run_until(SimTime::from_secs(to * 7));
+        };
+        let cfg = SimConfig::new(55)
+            .with_failure_rate(20.0)
+            .with_node_model(2, 2.0)
+            .with_stragglers(0.1, 5.0)
+            .with_delivery_delay_spikes(0.2, SimTime::from_secs(3));
+        let mut original = Cluster::new(Ensemble::msd(), cfg);
+        original.set_consumers(&[3, 3, 3, 3]);
+        drive(&mut original, 0, 40);
+
+        // Round-trip the snapshot through JSON, as a checkpoint file would.
+        let json = serde_json::to_string(&original.snapshot()).unwrap();
+        let snap: ClusterSnapshot = serde_json::from_str(&json).unwrap();
+        let mut restored = Cluster::from_snapshot(Ensemble::msd(), snap);
+
+        drive(&mut original, 40, 120);
+        drive(&mut restored, 40, 120);
+        assert_eq!(original.snapshot(), restored.snapshot());
+        assert_eq!(original.drain_completions(), restored.drain_completions());
+    }
+
+    #[test]
+    #[should_panic(expected = "different task-type count")]
+    fn snapshot_restore_rejects_wrong_ensemble() {
+        let c = Cluster::new(Ensemble::msd(), SimConfig::new(1));
+        let snap = c.snapshot();
+        let _ = Cluster::from_snapshot(Ensemble::ligo(), snap);
     }
 
     #[test]

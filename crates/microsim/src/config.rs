@@ -1,6 +1,7 @@
 //! Configuration for the emulated cluster and the RL-facing environment.
 
 use desim::SimTime;
+use serde::{Deserialize, Serialize};
 use workflow::Ensemble;
 
 /// Low-level emulator parameters.
@@ -8,7 +9,7 @@ use workflow::Ensemble;
 /// Defaults follow the paper's measurements: Kubernetes takes 5–10 s to
 /// start/stop a container (§VI-A2), so scaling a consumer pool up incurs a
 /// uniformly distributed start-up delay per consumer.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Minimum container start-up delay.
     pub startup_min: SimTime,
@@ -30,6 +31,30 @@ pub struct SimConfig {
     /// are busy cluster-wide runs at `max(1, b / cores)` times its nominal
     /// service time (processor sharing approximated at dispatch time).
     pub total_cores: Option<f64>,
+    /// Number of physical nodes consumers are spread over (consumer pool
+    /// `j` lives on node `j mod node_count`). Only meaningful together with
+    /// [`SimConfig::node_outage_rate_per_hour`]; see
+    /// [`SimConfig::with_node_model`].
+    pub node_count: usize,
+    /// Mean correlated node outages per node-hour (0 disables, the
+    /// default). When a node fails, *every* consumer hosted on it dies at
+    /// the same instant — busy consumers crash mid-request (their requests
+    /// are redelivered) and idle consumers are lost; the orchestrator
+    /// starts replacements for all of them. This models the correlated
+    /// mass failure a single-machine loss causes, which independent
+    /// per-consumer crashes cannot.
+    pub node_outage_rate_per_hour: f64,
+    /// Probability that a dispatched request is a straggler (0 disables,
+    /// the default).
+    pub straggler_prob: f64,
+    /// Service-time multiplier applied to straggler requests (≥ 1).
+    pub straggler_factor: f64,
+    /// Probability that a task's queue delivery is delayed (0 disables,
+    /// the default) — modelling message-broker delivery latency spikes.
+    pub delivery_delay_prob: f64,
+    /// Maximum delivery delay; delayed deliveries are postponed by a
+    /// uniform draw from `(0, delivery_delay_max]`.
+    pub delivery_delay_max: SimTime,
 }
 
 impl SimConfig {
@@ -42,6 +67,12 @@ impl SimConfig {
             seed,
             failure_rate_per_hour: 0.0,
             total_cores: None,
+            node_count: 1,
+            node_outage_rate_per_hour: 0.0,
+            straggler_prob: 0.0,
+            straggler_factor: 1.0,
+            delivery_delay_prob: 0.0,
+            delivery_delay_max: SimTime::ZERO,
         }
     }
 
@@ -89,6 +120,74 @@ impl SimConfig {
         self.startup_max = max;
         self
     }
+
+    /// Enables correlated node outages: consumers are spread round-robin
+    /// over `nodes` physical nodes (pool `j` lives on node `j mod nodes`)
+    /// and each node fails independently at mean rate `outages_per_hour`
+    /// per node-hour. A failing node takes down *all* its consumers at the
+    /// same instant; see [`SimConfig::node_outage_rate_per_hour`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or the rate is negative or non-finite.
+    #[must_use]
+    pub fn with_node_model(mut self, nodes: usize, outages_per_hour: f64) -> Self {
+        assert!(nodes > 0, "node count must be positive");
+        assert!(
+            outages_per_hour.is_finite() && outages_per_hour >= 0.0,
+            "node outage rate must be non-negative"
+        );
+        self.node_count = nodes;
+        self.node_outage_rate_per_hour = outages_per_hour;
+        self
+    }
+
+    /// Enables straggler injection: each dispatched request independently
+    /// becomes a straggler with probability `prob`, running `factor` times
+    /// its nominal service time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `prob` is a probability in `[0, 1]` and `factor` is
+    /// finite and at least 1.
+    #[must_use]
+    pub fn with_stragglers(mut self, prob: f64, factor: f64) -> Self {
+        assert!(
+            prob.is_finite() && (0.0..=1.0).contains(&prob),
+            "straggler probability must be in [0, 1]"
+        );
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "straggler factor must be finite and at least 1"
+        );
+        self.straggler_prob = prob;
+        self.straggler_factor = factor;
+        self
+    }
+
+    /// Enables queue-delivery delay spikes: each task delivery is delayed
+    /// with probability `prob` by a uniform draw from `(0, max]`, modelling
+    /// message-broker latency spikes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `prob` is a probability in `[0, 1]`, or if `prob` is
+    /// positive while `max` is zero (a delay spike of zero length is a
+    /// configuration error, not a feature).
+    #[must_use]
+    pub fn with_delivery_delay_spikes(mut self, prob: f64, max: SimTime) -> Self {
+        assert!(
+            prob.is_finite() && (0.0..=1.0).contains(&prob),
+            "delivery delay probability must be in [0, 1]"
+        );
+        assert!(
+            prob == 0.0 || !max.is_zero(),
+            "delivery delay max must be positive when spikes are enabled"
+        );
+        self.delivery_delay_prob = prob;
+        self.delivery_delay_max = max;
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -103,7 +202,7 @@ impl Default for SimConfig {
 /// `with_*` builder methods; fields are crate-private so every knob goes
 /// through one audited, validating surface. Read access goes through the
 /// same-named getters.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EnvConfig {
     /// Length of one decision window (paper: 30 s).
     pub(crate) window: SimTime,
@@ -172,8 +271,17 @@ impl EnvConfig {
     }
 
     /// Sets the background arrival rates (requests/s per workflow type).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is negative or non-finite — a NaN rate would
+    /// silently poison every Poisson arrival draw downstream.
     #[must_use]
     pub fn with_arrival_rates(mut self, rates: Vec<f64>) -> Self {
+        assert!(
+            rates.iter().all(|r| r.is_finite() && *r >= 0.0),
+            "arrival rates must be finite and non-negative"
+        );
         self.arrival_rates = rates;
         self
     }
@@ -343,5 +451,111 @@ mod tests {
     #[should_panic(expected = "startup delay range inverted")]
     fn inverted_startup_range_panics() {
         let _ = SimConfig::new(0).with_startup_delay(SimTime::from_secs(10), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn fault_model_defaults_are_off() {
+        let c = SimConfig::new(0);
+        assert_eq!(c.node_count, 1);
+        assert_eq!(c.node_outage_rate_per_hour, 0.0);
+        assert_eq!(c.straggler_prob, 0.0);
+        assert_eq!(c.straggler_factor, 1.0);
+        assert_eq!(c.delivery_delay_prob, 0.0);
+        assert!(c.delivery_delay_max.is_zero());
+    }
+
+    #[test]
+    fn fault_model_builders_apply() {
+        let c = SimConfig::new(0)
+            .with_node_model(3, 0.2)
+            .with_stragglers(0.05, 8.0)
+            .with_delivery_delay_spikes(0.1, SimTime::from_secs(2));
+        assert_eq!(c.node_count, 3);
+        assert_eq!(c.node_outage_rate_per_hour, 0.2);
+        assert_eq!(c.straggler_prob, 0.05);
+        assert_eq!(c.straggler_factor, 8.0);
+        assert_eq!(c.delivery_delay_prob, 0.1);
+        assert_eq!(c.delivery_delay_max, SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "failure rate must be non-negative")]
+    fn nan_failure_rate_panics() {
+        let _ = SimConfig::new(0).with_failure_rate(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count must be positive")]
+    fn infinite_core_count_panics() {
+        let _ = SimConfig::new(0).with_total_cores(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "node count must be positive")]
+    fn zero_node_count_panics() {
+        let _ = SimConfig::new(0).with_node_model(0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "node outage rate must be non-negative")]
+    fn nan_node_outage_rate_panics() {
+        let _ = SimConfig::new(0).with_node_model(3, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "straggler probability must be in [0, 1]")]
+    fn straggler_prob_above_one_panics() {
+        let _ = SimConfig::new(0).with_stragglers(1.5, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "straggler factor must be finite and at least 1")]
+    fn nan_straggler_factor_panics() {
+        let _ = SimConfig::new(0).with_stragglers(0.1, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "delivery delay probability must be in [0, 1]")]
+    fn nan_delivery_delay_prob_panics() {
+        let _ = SimConfig::new(0).with_delivery_delay_spikes(f64::NAN, SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "delivery delay max must be positive when spikes are enabled")]
+    fn zero_delivery_delay_max_panics() {
+        let _ = SimConfig::new(0).with_delivery_delay_spikes(0.1, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rates must be finite and non-negative")]
+    fn nan_arrival_rate_panics() {
+        let _ = EnvConfig::for_ensemble(&Ensemble::msd()).with_arrival_rates(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rates must be finite and non-negative")]
+    fn negative_arrival_rate_panics() {
+        let _ = EnvConfig::for_ensemble(&Ensemble::msd()).with_arrival_rates(vec![-0.5]);
+    }
+
+    #[test]
+    fn configs_serde_round_trip() {
+        let sim = SimConfig::new(42)
+            .with_failure_rate(0.25)
+            .with_total_cores(3.0)
+            .with_node_model(3, 0.2)
+            .with_stragglers(0.05, 8.0)
+            .with_delivery_delay_spikes(0.1, SimTime::from_secs(2));
+        let json = serde_json::to_string(&sim).unwrap();
+        let restored: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, sim);
+
+        let env = EnvConfig::for_ensemble(&Ensemble::msd())
+            .with_sim(sim)
+            .with_seed(7)
+            .with_arrival_rates(vec![0.1, 0.2, 0.3]);
+        let json = serde_json::to_string(&env).unwrap();
+        let restored: EnvConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, env);
     }
 }

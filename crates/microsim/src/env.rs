@@ -1,13 +1,17 @@
 //! The RL-facing, window-stepped view of the cluster.
 
+use std::collections::VecDeque;
+
 use desim::SimTime;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Poisson};
+use serde::{Deserialize, Serialize};
 use workflow::{ArrivalTrace, BurstSpec, Ensemble, WorkflowTypeId};
 
 use telemetry::Telemetry;
 
+use crate::cluster::ClusterSnapshot;
 use crate::{Cluster, EnvConfig, WindowMetrics};
 
 /// The paper's reward function, `r(k) = 1 − Σ_j w_j(k+1)`: the single
@@ -80,7 +84,7 @@ pub struct MicroserviceEnv {
     window_index: usize,
     /// Injected (burst/trace) arrivals not yet attributed to a window's
     /// metrics, sorted by arrival time.
-    injected_schedule: std::collections::VecDeque<(SimTime, usize)>,
+    injected_schedule: VecDeque<(SimTime, usize)>,
     telemetry: Telemetry,
 }
 
@@ -107,7 +111,7 @@ impl MicroserviceEnv {
             config,
             arrival_rng,
             window_index: 0,
-            injected_schedule: std::collections::VecDeque::new(),
+            injected_schedule: VecDeque::new(),
             telemetry: Telemetry::noop(),
         }
     }
@@ -343,6 +347,45 @@ impl MicroserviceEnv {
         (applied, true)
     }
 
+    /// Captures the environment's complete dynamic state (cluster, arrival
+    /// RNG, window index, pending injected arrivals) for checkpointing.
+    /// Telemetry attachment is not part of the snapshot; reattach with
+    /// [`MicroserviceEnv::set_telemetry`] after restoring.
+    #[must_use]
+    pub fn snapshot(&self) -> EnvSnapshot {
+        EnvSnapshot {
+            cluster: self.cluster.snapshot(),
+            config: self.config.clone(),
+            arrival_rng_state: self.arrival_rng.state(),
+            window_index: self.window_index,
+            injected_schedule: self.injected_schedule.clone(),
+        }
+    }
+
+    /// Rebuilds an environment from an [`EnvSnapshot`], continuing
+    /// bit-identically with the run that produced it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ensemble` does not match the snapshot (wrong task-type or
+    /// workflow-type count for this checkpoint).
+    #[must_use]
+    pub fn from_snapshot(ensemble: Ensemble, snapshot: EnvSnapshot) -> Self {
+        assert_eq!(
+            snapshot.config.arrival_rates.len(),
+            ensemble.num_workflow_types(),
+            "one arrival rate per workflow type"
+        );
+        MicroserviceEnv {
+            cluster: Cluster::from_snapshot(ensemble, snapshot.cluster),
+            config: snapshot.config,
+            arrival_rng: SmallRng::from_state(snapshot.arrival_rng_state),
+            window_index: snapshot.window_index,
+            injected_schedule: snapshot.injected_schedule,
+            telemetry: Telemetry::noop(),
+        }
+    }
+
     fn summarise_completions(&mut self) -> (Vec<usize>, Vec<Option<f64>>) {
         let n = self.num_workflow_types();
         let mut counts = vec![0usize; n];
@@ -359,6 +402,19 @@ impl MicroserviceEnv {
             .collect();
         (counts, means)
     }
+}
+
+/// Serializable checkpoint of a [`MicroserviceEnv`]'s full dynamic state.
+///
+/// An opaque token: its only contract is that
+/// [`MicroserviceEnv::from_snapshot`] resumes bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnvSnapshot {
+    cluster: ClusterSnapshot,
+    config: EnvConfig,
+    arrival_rng_state: [u64; 4],
+    window_index: usize,
+    injected_schedule: VecDeque<(SimTime, usize)>,
 }
 
 #[cfg(test)]
@@ -536,6 +592,32 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn env_snapshot_restore_resumes_bit_identically() {
+        let ensemble = Ensemble::msd();
+        let config = EnvConfig::for_ensemble(&ensemble)
+            .with_seed(91)
+            .with_sim(crate::SimConfig::new(91).with_failure_rate(10.0));
+        let mut env = MicroserviceEnv::new(ensemble, config);
+        env.reset();
+        for k in 0..4 {
+            let _ = env.step(&[(k % 4) + 1, 3, 4, 2]);
+        }
+        // Leave injected arrivals pending across the snapshot boundary: they
+        // are attributed to the first post-restore window.
+        env.inject_burst(&BurstSpec::new(vec![5, 5, 5]));
+
+        let json = serde_json::to_string(&env.snapshot()).unwrap();
+        let snap: EnvSnapshot = serde_json::from_str(&json).unwrap();
+        let mut restored = MicroserviceEnv::from_snapshot(Ensemble::msd(), snap);
+
+        for k in 0..6 {
+            let a = [(k % 4) + 1, 3, 4, 2];
+            assert_eq!(env.step(&a), restored.step(&a), "window {k}");
+        }
+        assert_eq!(env.snapshot(), restored.snapshot());
     }
 
     #[test]

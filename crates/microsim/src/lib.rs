@@ -49,8 +49,8 @@ mod env;
 mod metrics;
 mod pool;
 
-pub use cluster::{Cluster, CompletionRecord};
+pub use cluster::{Cluster, ClusterSnapshot, CompletionRecord};
 pub use config::{EnvConfig, SimConfig};
-pub use env::{reward_from_total_wip, MicroserviceEnv, StepOutcome};
+pub use env::{reward_from_total_wip, EnvSnapshot, MicroserviceEnv, StepOutcome};
 pub use metrics::{LatencySummary, WindowMetrics};
 pub use pool::ConsumerPool;

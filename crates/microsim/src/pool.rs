@@ -1,5 +1,7 @@
 //! Consumer pools: the per-microservice set of identical workers.
 
+use serde::{Deserialize, Serialize};
+
 /// The consumer pool of one microservice.
 ///
 /// A pool tracks four populations:
@@ -15,7 +17,7 @@
 ///
 /// The pool itself is pure bookkeeping; the [`Cluster`](crate::Cluster)
 /// schedules the actual `ConsumerUp` events.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ConsumerPool {
     active: usize,
     busy: usize,
@@ -163,6 +165,18 @@ impl ConsumerPool {
         }
     }
 
+    /// All idle consumers died at once (correlated node outage). Removes
+    /// them from the pool and returns how many were lost so the cluster can
+    /// start replacements. Busy consumers fail separately through
+    /// [`ConsumerPool::fail_busy`] (their in-flight requests must be
+    /// redelivered), and starting containers are unaffected — the
+    /// orchestrator places them after the outage.
+    pub fn fail_idle(&mut self) -> usize {
+        let lost = self.idle();
+        self.active -= lost;
+        lost
+    }
+
     /// Tears the pool down to zero: cancels all starting containers, retires
     /// idle consumers immediately, and marks busy consumers to retire when
     /// their in-flight requests complete (requests are never killed, matching
@@ -305,6 +319,20 @@ mod tests {
         let _ = p.retarget(1); // one pending retire
         assert!(!p.fail_busy(), "crash satisfies the scale-down");
         assert_eq!(p.effective_target(), 1);
+    }
+
+    #[test]
+    fn fail_idle_spares_busy_and_starting() {
+        let mut p = pool_with_active(4);
+        p.begin_work();
+        let _ = p.retarget(6); // 2 starting on top
+        assert_eq!(p.fail_idle(), 3);
+        assert_eq!(p.active(), 1);
+        assert_eq!(p.busy(), 1);
+        assert_eq!(p.idle(), 0);
+        assert_eq!(p.starting(), 2);
+        // A second outage with nothing idle is a no-op.
+        assert_eq!(p.fail_idle(), 0);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Adapter presenting the emulated cluster as an RL environment.
 
-use microsim::{MicroserviceEnv, WindowMetrics};
+use microsim::{EnvSnapshot, MicroserviceEnv, WindowMetrics};
 use rl::policy::allocation_largest_remainder;
 use rl::{Environment, Transition as RlTransition};
+use serde::{Deserialize, Serialize};
+use workflow::Ensemble;
 
 use crate::{Transition, TransitionDataset};
 
@@ -94,6 +96,48 @@ impl ClusterEnvAdapter {
             dataset.push(t);
         }
     }
+
+    /// Captures the adapter's complete dynamic state — the wrapped
+    /// environment plus the not-yet-drained transitions — for checkpointing.
+    /// Telemetry is not part of the snapshot; reattach after restoring.
+    #[must_use]
+    pub fn snapshot(&self) -> AdapterSnapshot {
+        AdapterSnapshot {
+            env: self.env.snapshot(),
+            pending: self.pending.clone(),
+            last_metrics: self.last_metrics.clone(),
+            current_state: self.current_state.clone(),
+        }
+    }
+
+    /// Rebuilds an adapter from an [`AdapterSnapshot`], continuing
+    /// bit-identically with the run that produced it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ensemble` does not match the snapshot (see
+    /// [`MicroserviceEnv::from_snapshot`]).
+    #[must_use]
+    pub fn from_snapshot(ensemble: Ensemble, snapshot: AdapterSnapshot) -> Self {
+        ClusterEnvAdapter {
+            env: MicroserviceEnv::from_snapshot(ensemble, snapshot.env),
+            pending: snapshot.pending,
+            last_metrics: snapshot.last_metrics,
+            current_state: snapshot.current_state,
+        }
+    }
+}
+
+/// Serializable checkpoint of a [`ClusterEnvAdapter`]'s full dynamic state.
+///
+/// An opaque token: its only contract is that
+/// [`ClusterEnvAdapter::from_snapshot`] resumes bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdapterSnapshot {
+    env: EnvSnapshot,
+    pending: Vec<Transition>,
+    last_metrics: Option<WindowMetrics>,
+    current_state: Vec<f64>,
 }
 
 impl Environment for ClusterEnvAdapter {

@@ -1,6 +1,7 @@
 //! MIRAS hyper-parameters.
 
 use rl::{DdpgConfig, Exploration};
+use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of the full MIRAS pipeline (model + policy + loop).
 ///
@@ -9,7 +10,7 @@ use rl::{DdpgConfig, Exploration};
 /// proportionally scaled-down versions used by the benchmark harness where
 /// wall-clock matters more than exact scale, and
 /// [`MirasConfig::smoke_test`] is a miniature for unit tests.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MirasConfig {
     /// Hidden-layer widths of the environment model (paper: `[20; 3]` for
     /// MSD, `[20]` for LIGO — the smaller LIGO model avoids overfitting).

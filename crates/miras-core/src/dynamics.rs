@@ -42,7 +42,11 @@ pub struct DynamicsModel {
     state_scaler: Option<Standardizer>,
     action_scaler: Option<Standardizer>,
     target_scaler: Option<Standardizer>,
-    #[serde(skip, default = "default_adam")]
+    /// Serialized so a resumed training run continues with the exact Adam
+    /// moments of the interrupted one (bit-identical checkpoint/resume).
+    /// The default only applies to legacy payloads that predate optimizer
+    /// persistence.
+    #[serde(default = "default_adam")]
     optimizer: Adam,
     seed: u64,
 }

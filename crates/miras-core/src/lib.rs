@@ -47,6 +47,7 @@
 
 mod adapter;
 mod agent;
+mod checkpoint;
 mod config;
 mod dataset;
 mod dynamics;
@@ -55,12 +56,13 @@ mod refine;
 mod synth_env;
 mod trainer;
 
-pub use adapter::ClusterEnvAdapter;
+pub use adapter::{AdapterSnapshot, ClusterEnvAdapter};
 pub use agent::MirasAgent;
+pub use checkpoint::{CheckpointError, CheckpointPayload, CHECKPOINT_VERSION};
 pub use config::MirasConfig;
 pub use dataset::{Standardizer, Transition, TransitionDataset};
 pub use dynamics::DynamicsModel;
 pub use ensemble_model::EnsembleDynamics;
 pub use refine::RefinedModel;
 pub use synth_env::SyntheticEnv;
-pub use trainer::{IterationReport, MirasTrainer};
+pub use trainer::{IterationReport, MirasTrainer, TrainerError};

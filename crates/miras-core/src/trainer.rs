@@ -1,14 +1,59 @@
-//! The iterative model-based training loop (paper §IV-E, Algorithm 2).
+//! The iterative model-based training loop (paper §IV-E, Algorithm 2),
+//! with crash-safe checkpointing and a divergence watchdog.
+
+use std::fmt;
+use std::path::Path;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rl::{Ddpg, Environment};
+use rl::{Ddpg, Environment, TrainError, TrainHealth};
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{CheckpointError, CheckpointPayload, CHECKPOINT_VERSION};
 use crate::{
     ClusterEnvAdapter, DynamicsModel, MirasAgent, MirasConfig, RefinedModel, SyntheticEnv,
     TransitionDataset,
 };
+
+/// Why a self-healing training driver ultimately gave up.
+#[derive(Debug)]
+pub enum TrainerError {
+    /// The divergence watchdog kept firing after every allowed recovery
+    /// attempt (see [`MirasTrainer::run_iteration_recovering`]).
+    Train(TrainError),
+    /// The rollback checkpoint could not be saved or reloaded.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for TrainerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainerError::Train(e) => write!(f, "training diverged beyond recovery: {e}"),
+            TrainerError::Checkpoint(e) => write!(f, "checkpoint failure during recovery: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainerError::Train(e) => Some(e),
+            TrainerError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<TrainError> for TrainerError {
+    fn from(e: TrainError) -> Self {
+        TrainerError::Train(e)
+    }
+}
+
+impl From<CheckpointError> for TrainerError {
+    fn from(e: CheckpointError) -> Self {
+        TrainerError::Checkpoint(e)
+    }
+}
 
 /// What happened during one outer iteration of Algorithm 2.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -138,7 +183,41 @@ impl MirasTrainer {
     }
 
     /// Runs one outer iteration of Algorithm 2 against the real environment.
+    ///
+    /// Divergence checks run with the default watchdog policy but treat a
+    /// detection as fatal; use
+    /// [`try_run_iteration`](MirasTrainer::try_run_iteration) (or the
+    /// self-healing [`run_iteration_recovering`](MirasTrainer::run_iteration_recovering))
+    /// to handle divergence as a recoverable error instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if training produces non-finite losses or weights or the
+    /// critic loss blows up.
     pub fn run_iteration(&mut self, real_env: &mut ClusterEnvAdapter) -> IterationReport {
+        let mut health = TrainHealth::default_policy();
+        self.try_run_iteration(real_env, &mut health)
+            .expect("training diverged; use try_run_iteration to recover")
+    }
+
+    /// Runs one outer iteration of Algorithm 2, reporting divergence as a
+    /// recoverable [`TrainError`] instead of panicking.
+    ///
+    /// The watchdog `health` monitors every DDPG update: non-finite losses
+    /// or weights and EWMA critic-loss blow-ups abort the iteration. Pass a
+    /// watchdog that lives across iterations so its critic-loss baseline
+    /// carries over. On `Err`, the trainer has performed part of the
+    /// iteration's updates; roll back to a checkpoint before retrying
+    /// (see [`run_iteration_recovering`](MirasTrainer::run_iteration_recovering)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TrainError`] raised by the first unhealthy DDPG update.
+    pub fn try_run_iteration(
+        &mut self,
+        real_env: &mut ClusterEnvAdapter,
+        health: &mut TrainHealth,
+    ) -> Result<IterationReport, TrainError> {
         // 1. Collect real interactions, resetting periodically (§VI-A3).
         //    The first iteration uses random allocations (the untrained
         //    policy's near-constant actions carry no action-response
@@ -210,7 +289,7 @@ impl MirasTrainer {
                 let a = self.agent.act_exploratory(&s);
                 let t = synth.step(&a);
                 self.agent.observe(&s, &a, t.reward, &t.next_state);
-                let _ = self.agent.train_step();
+                let _ = self.agent.try_train_step(health)?;
                 total += t.reward;
                 s = t.next_state;
             }
@@ -279,7 +358,174 @@ impl MirasTrainer {
             self.telemetry.counter("trainer.iterations", 1);
         }
         self.iteration += 1;
-        report
+        Ok(report)
+    }
+
+    /// Atomically persists the complete training state — agent, model,
+    /// dataset, RNG streams, iteration index, and the real environment's
+    /// simulator state — so [`resume`](MirasTrainer::resume) can continue
+    /// bit-identically after a crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] if the file cannot be written.
+    pub fn save_checkpoint(
+        &self,
+        real_env: &ClusterEnvAdapter,
+        path: &Path,
+    ) -> Result<(), CheckpointError> {
+        CheckpointPayload {
+            version: CHECKPOINT_VERSION,
+            config: self.config.clone(),
+            iteration: self.iteration,
+            consumer_budget: self.consumer_budget,
+            dataset: self.dataset.clone(),
+            model: self.model.clone(),
+            agent: self.agent.snapshot(),
+            trainer_rng_state: self.rng.state(),
+            lend_triggers_total: self.lend_triggers_total,
+            adapter: real_env.snapshot(),
+        }
+        .save(path)
+    }
+
+    /// Reloads a checkpoint written by
+    /// [`save_checkpoint`](MirasTrainer::save_checkpoint), returning the
+    /// trainer *and* the real-environment adapter exactly as they were at
+    /// save time. Continuing the loop from the pair is bit-identical to a
+    /// run that was never interrupted. Telemetry is not persisted — call
+    /// [`set_telemetry`](MirasTrainer::set_telemetry) on the restored pair
+    /// to keep recording.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] if the file is missing, truncated,
+    /// corrupt, or from an incompatible format version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ensemble` does not match the checkpointed simulator state.
+    pub fn resume(
+        path: &Path,
+        ensemble: workflow::Ensemble,
+    ) -> Result<(MirasTrainer, ClusterEnvAdapter), CheckpointError> {
+        let payload = CheckpointPayload::load(path)?;
+        Ok(Self::restore(payload, ensemble))
+    }
+
+    /// Materialises a trainer + adapter pair from a loaded payload.
+    fn restore(
+        payload: CheckpointPayload,
+        ensemble: workflow::Ensemble,
+    ) -> (Self, ClusterEnvAdapter) {
+        let adapter = ClusterEnvAdapter::from_snapshot(ensemble, payload.adapter);
+        let trainer = MirasTrainer {
+            config: payload.config,
+            agent: Ddpg::from_snapshot(payload.agent),
+            model: payload.model,
+            dataset: payload.dataset,
+            iteration: payload.iteration,
+            consumer_budget: payload.consumer_budget,
+            rng: SmallRng::from_state(payload.trainer_rng_state),
+            telemetry: telemetry::Telemetry::noop(),
+            lend_triggers_total: payload.lend_triggers_total,
+        };
+        (trainer, adapter)
+    }
+
+    /// Runs one outer iteration with automatic divergence recovery: the
+    /// state is checkpointed to `checkpoint_path` first, and when the
+    /// watchdog fires the trainer (and the real environment) roll back to
+    /// that checkpoint, parameter-noise σ is halved, the agent's noise
+    /// stream is re-seeded so the retry explores a different trajectory,
+    /// and the iteration is retried — up to `max_retries` times. Every
+    /// recovery emits a `recovery` telemetry event (iteration, attempt,
+    /// error kind, post-halving σ) and bumps the `trainer.recoveries`
+    /// counter.
+    ///
+    /// If the *current* state is itself unserializable (e.g. NaNs already
+    /// smuggled into the replay buffer by an external fault), the refresh
+    /// of the rollback point is skipped and the previous good checkpoint at
+    /// `checkpoint_path` — if any — remains the rollback target, exactly as
+    /// after a crash.
+    ///
+    /// A rollback resets the environment adapter's telemetry handle (it is
+    /// not part of the checkpoint); reattach with
+    /// [`ClusterEnvAdapter::set_telemetry`] afterwards if the environment
+    /// was recording.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainerError::Train`] when every retry diverged, or
+    /// [`TrainerError::Checkpoint`] when the rollback checkpoint could not
+    /// be saved or reloaded.
+    pub fn run_iteration_recovering(
+        &mut self,
+        real_env: &mut ClusterEnvAdapter,
+        health: &mut TrainHealth,
+        checkpoint_path: &Path,
+        max_retries: usize,
+    ) -> Result<IterationReport, TrainerError> {
+        match self.save_checkpoint(real_env, checkpoint_path) {
+            Ok(()) => {}
+            // Unserializable state means the poison is already aboard; the
+            // stale-but-good checkpoint stays the rollback point.
+            Err(CheckpointError::Corrupt(_)) if checkpoint_path.exists() => {}
+            Err(e) => return Err(e.into()),
+        }
+        let mut attempt = 0usize;
+        loop {
+            match self.try_run_iteration(real_env, health) {
+                Ok(report) => return Ok(report),
+                Err(e) => {
+                    attempt += 1;
+                    let telemetry = self.telemetry.clone();
+                    if attempt > max_retries {
+                        return Err(e.into());
+                    }
+                    // Roll back both the trainer and the environment to the
+                    // pre-iteration state, then perturb the exploration so
+                    // the retry does not deterministically re-diverge.
+                    let payload = CheckpointPayload::load(checkpoint_path)?;
+                    let ensemble = real_env.env().cluster().ensemble().clone();
+                    let (trainer, env) = Self::restore(payload, ensemble);
+                    *self = trainer;
+                    *real_env = env;
+                    self.set_telemetry(telemetry.clone());
+                    self.agent.halve_param_noise();
+                    let recovery_seed = self
+                        .config
+                        .seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(0xD1DE ^ attempt as u64);
+                    self.agent.reseed(recovery_seed);
+                    health.reset();
+                    telemetry.event(
+                        "recovery",
+                        &[
+                            ("iteration", telemetry::Value::UInt(self.iteration as u64)),
+                            ("attempt", telemetry::Value::UInt(attempt as u64)),
+                            ("kind", telemetry::Value::String(e.kind().to_string())),
+                            (
+                                "sigma",
+                                telemetry::Value::Float(
+                                    self.agent.param_noise_sigma().unwrap_or(f64::NAN),
+                                ),
+                            ),
+                        ],
+                    );
+                    telemetry.counter("trainer.recoveries", 1);
+                }
+            }
+        }
+    }
+
+    /// Mutable access to the underlying DDPG learner. Exposed so
+    /// fault-injection tests (and the resilience benchmark) can poison the
+    /// replay buffer or inspect optimizer state; production drivers should
+    /// not need it.
+    pub fn agent_mut(&mut self) -> &mut Ddpg {
+        &mut self.agent
     }
 
     /// Total Lend–Giveback refinement triggers observed across all
@@ -426,5 +672,155 @@ mod tests {
             r.eval_return
         };
         assert_eq!(run(10), run(10));
+    }
+
+    fn temp_checkpoint(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("miras_trainer_test_{name}.json"))
+    }
+
+    #[test]
+    fn resumed_training_is_bit_identical_to_uninterrupted() {
+        let path = temp_checkpoint("bit_identical");
+        // Uninterrupted reference: three iterations straight through.
+        let mut ref_env = real_env(11);
+        let mut reference = MirasTrainer::new(&ref_env, MirasConfig::smoke_test(12));
+        let _ = reference.run_iteration(&mut ref_env);
+        let ref_r2 = reference.run_iteration(&mut ref_env);
+        let ref_r3 = reference.run_iteration(&mut ref_env);
+
+        // "Crashed" run: one iteration, checkpoint, drop everything.
+        let mut env = real_env(11);
+        let mut trainer = MirasTrainer::new(&env, MirasConfig::smoke_test(12));
+        let _ = trainer.run_iteration(&mut env);
+        trainer.save_checkpoint(&env, &path).unwrap();
+        drop(trainer);
+        drop(env);
+
+        // Resume from disk and continue.
+        let (mut resumed, mut env) = MirasTrainer::resume(&path, Ensemble::msd()).unwrap();
+        let r2 = resumed.run_iteration(&mut env);
+        let r3 = resumed.run_iteration(&mut env);
+        assert_eq!(r2, ref_r2);
+        assert_eq!(r3, ref_r3);
+        // Not just the reports: the full agent state matches bit for bit.
+        assert_eq!(
+            resumed.agent_mut().snapshot(),
+            reference.agent_mut().snapshot()
+        );
+        // And the two environments are in identical simulator states.
+        assert_eq!(env.snapshot(), ref_env.snapshot());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected_as_corrupt() {
+        let path = temp_checkpoint("truncated");
+        let mut env = real_env(13);
+        let mut trainer = MirasTrainer::new(&env, MirasConfig::smoke_test(14));
+        let _ = trainer.run_iteration(&mut env);
+        trainer.save_checkpoint(&env, &path).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = MirasTrainer::resume(&path, Ensemble::msd()).unwrap_err();
+        assert!(
+            matches!(err, crate::CheckpointError::Corrupt(_)),
+            "expected Corrupt, got {err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_save_leaves_no_temp_file() {
+        let path = temp_checkpoint("atomic");
+        let mut env = real_env(15);
+        let mut trainer = MirasTrainer::new(&env, MirasConfig::smoke_test(16));
+        let _ = trainer.run_iteration(&mut env);
+        trainer.save_checkpoint(&env, &path).unwrap();
+        assert!(path.exists());
+        assert!(!std::path::Path::new(&format!("{}.tmp", path.display())).exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn watchdog_detects_poisoned_replay_and_recovering_driver_heals() {
+        use rl::StoredTransition;
+        let path = temp_checkpoint("recovery");
+        let sink = telemetry::JsonlSink::in_memory();
+        let mut env = real_env(17);
+        let mut trainer = MirasTrainer::new(&env, MirasConfig::smoke_test(18));
+        trainer.set_telemetry(telemetry::Telemetry::new(sink.clone()));
+        let mut health = rl::TrainHealth::default_policy();
+
+        // A healthy first iteration establishes a baseline.
+        let r1 = trainer
+            .run_iteration_recovering(&mut env, &mut health, &path, 2)
+            .unwrap();
+        assert!(r1.eval_return.is_finite());
+
+        // Poison the replay buffer behind the validation layer's back —
+        // the stand-in for any divergence source inside an iteration. Many
+        // copies so the next sampled batch almost surely hits one.
+        let sigma_before = trainer.agent_mut().param_noise_sigma().unwrap();
+        for _ in 0..24 {
+            trainer
+                .agent_mut()
+                .replay_mut()
+                .push_unchecked(StoredTransition {
+                    state: vec![f64::NAN; 4],
+                    action: vec![0.25; 4],
+                    reward: f64::NAN,
+                    next_state: vec![f64::NAN; 4],
+                });
+        }
+        let r2 = trainer
+            .run_iteration_recovering(&mut env, &mut health, &path, 3)
+            .expect("rollback + retry heals the poisoned run");
+        assert!(r2.model_loss.is_finite());
+        assert!(r2.eval_return.is_finite());
+        // The rollback restored the pre-poison checkpoint and halved σ.
+        let sigma_after = trainer.agent_mut().param_noise_sigma().unwrap();
+        assert!(
+            sigma_after < sigma_before,
+            "σ should shrink on recovery: {sigma_before} -> {sigma_after}"
+        );
+
+        // The recovery is visible in telemetry.
+        trainer.set_telemetry(telemetry::Telemetry::noop());
+        sink.try_flush().unwrap();
+        let out = String::from_utf8(sink.take_output()).unwrap();
+        assert!(out.contains("\"recovery\""), "no recovery event in {out}");
+        assert!(out.contains("non_finite"), "no error kind in {out}");
+        assert!(out.contains("trainer.recoveries"), "no counter in {out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_iteration_recovering_gives_up_after_retry_budget() {
+        let path = temp_checkpoint("gives_up");
+        let mut env = real_env(19);
+        let mut trainer = MirasTrainer::new(&env, MirasConfig::smoke_test(20));
+        let mut health = rl::TrainHealth::default_policy();
+        let _ = trainer
+            .run_iteration_recovering(&mut env, &mut health, &path, 1)
+            .unwrap();
+        // A zero-retry budget with a poisoned buffer must surface
+        // TrainerError::Train instead of retrying.
+        use rl::StoredTransition;
+        for _ in 0..24 {
+            trainer
+                .agent_mut()
+                .replay_mut()
+                .push_unchecked(StoredTransition {
+                    state: vec![f64::NAN; 4],
+                    action: vec![0.25; 4],
+                    reward: f64::NAN,
+                    next_state: vec![f64::NAN; 4],
+                });
+        }
+        let err = trainer
+            .run_iteration_recovering(&mut env, &mut health, &path, 0)
+            .unwrap_err();
+        assert!(matches!(err, TrainerError::Train(_)), "got {err}");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -3,6 +3,7 @@
 use nn::{Activation, Adam, DenseGrads, Matrix, Mlp};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use telemetry::Telemetry;
 
 use crate::policy::project_to_simplex;
@@ -72,7 +73,7 @@ struct CriticShard {
 ///
 /// Internally this is a one-layer trunk over the state followed by a head
 /// over `[trunk(s) ‖ a]`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Critic {
     trunk: Mlp,
     head: Mlp,
@@ -210,7 +211,7 @@ impl Critic {
 }
 
 /// The exploration strategy used while collecting experience.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Exploration {
     /// Parameter-space noise (the paper's choice, §IV-D): perturb a copy of
     /// the actor's weights; adapt the scale so the induced action-space
@@ -239,7 +240,7 @@ pub enum Exploration {
 }
 
 /// DDPG hyper-parameters.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DdpgConfig {
     /// Hidden-layer widths shared by actor and critic (paper: `[256; 3]` for
     /// MSD, `[512; 3]` for LIGO).
@@ -350,6 +351,203 @@ pub struct TrainStats {
     pub mean_q: f64,
 }
 
+/// A detected training-health failure, raised by
+/// [`Ddpg::try_train_step`] instead of letting a diverged agent keep
+/// training (or a hot-path assertion kill the process). The trainer
+/// boundary turns these into a rollback to the last good checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The critic loss or mean Q of a step came back NaN or ±∞.
+    NonFiniteLoss {
+        /// The agent's lifetime train-step count when the failure occurred.
+        step: u64,
+        /// The offending critic loss.
+        critic_loss: f64,
+        /// The offending mean Q.
+        mean_q: f64,
+    },
+    /// A network weight became NaN or ±∞ (sampled periodically).
+    NonFiniteWeights {
+        /// The agent's lifetime train-step count when the failure occurred.
+        step: u64,
+    },
+    /// The critic loss blew past `factor ×` its exponential moving average —
+    /// the classic shape of a diverging critic before it reaches NaN.
+    CriticBlowup {
+        /// The agent's lifetime train-step count when the failure occurred.
+        step: u64,
+        /// The offending critic loss.
+        critic_loss: f64,
+        /// The EWMA baseline the loss was compared against.
+        ewma: f64,
+        /// The trip threshold multiplier.
+        factor: f64,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::NonFiniteLoss {
+                step,
+                critic_loss,
+                mean_q,
+            } => write!(
+                f,
+                "non-finite training loss at step {step}: critic_loss={critic_loss}, mean_q={mean_q}"
+            ),
+            TrainError::NonFiniteWeights { step } => {
+                write!(f, "non-finite network weights detected at step {step}")
+            }
+            TrainError::CriticBlowup {
+                step,
+                critic_loss,
+                ewma,
+                factor,
+            } => write!(
+                f,
+                "critic loss blow-up at step {step}: {critic_loss} > {factor} x EWMA {ewma}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl TrainError {
+    /// A short machine-readable tag (`non_finite_loss`,
+    /// `non_finite_weights`, `critic_blowup`) used in telemetry `recovery`
+    /// events.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TrainError::NonFiniteLoss { .. } => "non_finite_loss",
+            TrainError::NonFiniteWeights { .. } => "non_finite_weights",
+            TrainError::CriticBlowup { .. } => "critic_blowup",
+        }
+    }
+}
+
+/// Divergence watchdog over a stream of [`TrainStats`].
+///
+/// Tracks an exponential moving average of the critic loss and trips when a
+/// step's loss is non-finite or exceeds `blowup_factor ×` the EWMA after a
+/// warm-up period (early training legitimately spikes while the critic
+/// finds its scale). The monitor is pure bookkeeping — it never touches the
+/// agent — so checking health cannot perturb training determinism.
+///
+/// # Examples
+///
+/// ```
+/// use rl::{TrainHealth, TrainStats};
+///
+/// let mut health = TrainHealth::new(0.99, 1e4, 8);
+/// for step in 0..20 {
+///     let stats = TrainStats { critic_loss: 1.0, mean_q: 0.0 };
+///     health.check(step, &stats).unwrap();
+/// }
+/// let spike = TrainStats { critic_loss: 1e9, mean_q: 0.0 };
+/// assert!(health.check(20, &spike).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainHealth {
+    ewma: Option<f64>,
+    beta: f64,
+    blowup_factor: f64,
+    warmup: usize,
+    checked: usize,
+}
+
+impl TrainHealth {
+    /// Creates a watchdog with EWMA smoothing `beta` (0 < beta < 1; higher
+    /// is smoother), trip multiplier `blowup_factor` (> 1) and `warmup`
+    /// checks during which blow-up detection is suppressed (non-finite
+    /// values always trip, even during warm-up).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters.
+    #[must_use]
+    pub fn new(beta: f64, blowup_factor: f64, warmup: usize) -> Self {
+        assert!(
+            beta > 0.0 && beta < 1.0,
+            "EWMA beta must be strictly inside (0, 1)"
+        );
+        assert!(
+            blowup_factor.is_finite() && blowup_factor > 1.0,
+            "blow-up factor must be finite and exceed 1"
+        );
+        TrainHealth {
+            ewma: None,
+            beta,
+            blowup_factor,
+            warmup,
+            checked: 0,
+        }
+    }
+
+    /// The defaults the MIRAS trainer uses: EWMA beta 0.99, trip at 10⁴×
+    /// the moving average, 100-step warm-up.
+    #[must_use]
+    pub fn default_policy() -> Self {
+        TrainHealth::new(0.99, 1e4, 100)
+    }
+
+    /// The current critic-loss EWMA, if any step has been observed yet.
+    #[must_use]
+    pub fn ewma(&self) -> Option<f64> {
+        self.ewma
+    }
+
+    /// Checks one step's statistics, updating the EWMA on success. `step`
+    /// is the agent's lifetime train-step index, carried into errors for
+    /// diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::NonFiniteLoss`] when the loss or mean Q is NaN/±∞;
+    /// [`TrainError::CriticBlowup`] when, past warm-up, the loss exceeds
+    /// `blowup_factor ×` the EWMA. On error the EWMA is left at its last
+    /// good value (the caller rolls the agent back anyway).
+    pub fn check(&mut self, step: u64, stats: &TrainStats) -> Result<(), TrainError> {
+        if !stats.critic_loss.is_finite() || !stats.mean_q.is_finite() {
+            return Err(TrainError::NonFiniteLoss {
+                step,
+                critic_loss: stats.critic_loss,
+                mean_q: stats.mean_q,
+            });
+        }
+        if self.checked >= self.warmup {
+            if let Some(ewma) = self.ewma {
+                // The max(EWMA, tiny) floor keeps a near-zero baseline from
+                // tripping on any normal-sized loss.
+                let baseline = ewma.max(1e-6);
+                if stats.critic_loss > self.blowup_factor * baseline {
+                    return Err(TrainError::CriticBlowup {
+                        step,
+                        critic_loss: stats.critic_loss,
+                        ewma,
+                        factor: self.blowup_factor,
+                    });
+                }
+            }
+        }
+        self.ewma = Some(match self.ewma {
+            Some(e) => self.beta * e + (1.0 - self.beta) * stats.critic_loss,
+            None => stats.critic_loss,
+        });
+        self.checked += 1;
+        Ok(())
+    }
+
+    /// Forgets all history (used after a rollback, when the restored agent's
+    /// loss scale may differ from the diverged run's).
+    pub fn reset(&mut self) {
+        self.ewma = None;
+        self.checked = 0;
+    }
+}
+
 /// A DDPG agent (Lillicrap et al.) with the paper's constraint-aware actor
 /// and parameter-space exploration.
 ///
@@ -394,6 +592,12 @@ const TARGET_DIVERGENCE_EVERY: u64 = 100;
 
 /// Maximum number of recent states kept for parameter-noise adaption.
 const RECENT_STATES_CAP: usize = 128;
+
+/// How often (in train steps) [`Ddpg::try_train_step`] scans network
+/// weights for non-finite values. A full scan walks every parameter, so it
+/// is sampled rather than run per step; a NaN weight also shows up as a NaN
+/// loss on the very next minibatch that touches it.
+const WEIGHT_CHECK_EVERY: u64 = 50;
 
 impl Ddpg {
     /// Creates an agent for `state_dim`-dimensional states and
@@ -541,16 +745,27 @@ impl Ddpg {
 
     /// Records a transition in the replay buffer. The reward is scaled by
     /// the configured `reward_scale` before storage.
+    ///
+    /// Transitions containing non-finite values are rejected by the buffer
+    /// (see [`ReplayBuffer::push`]); each rejection increments the
+    /// `replay.rejected_nonfinite` telemetry counter so poisoned inputs are
+    /// visible instead of silently corrupting later minibatches.
     pub fn observe(&mut self, state: &[f64], action: &[f64], reward: f64, next_state: &[f64]) {
-        self.obs_norm.update(state);
         let scaled = reward * self.config.reward_scale;
-        self.reward_norm.update(&[scaled]);
-        self.replay.push(StoredTransition {
+        let stored = self.replay.push(StoredTransition {
             state: state.to_vec(),
             action: action.to_vec(),
             reward: scaled,
             next_state: next_state.to_vec(),
         });
+        if stored {
+            // Running statistics are only fed accepted data, so a poisoned
+            // observation cannot corrupt the normalisers either.
+            self.obs_norm.update(state);
+            self.reward_norm.update(&[scaled]);
+        } else {
+            self.telemetry.counter("replay.rejected_nonfinite", 1);
+        }
     }
 
     /// Runs one minibatch update (critic, actor, target networks). Returns
@@ -693,6 +908,132 @@ impl Ddpg {
         })
     }
 
+    /// Runs one minibatch update under the divergence watchdog.
+    ///
+    /// Semantically [`Ddpg::train_step`] followed by `health.check` — plus a
+    /// periodic (every [`WEIGHT_CHECK_EVERY`] steps) scan of all network
+    /// weights for non-finite values. Returns `Ok(None)` while the replay
+    /// buffer is still filling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the watchdog's [`TrainError`]s; additionally raises
+    /// [`TrainError::NonFiniteWeights`] when the weight scan finds NaN/±∞.
+    /// On error the agent's weights are in an unknown (possibly poisoned)
+    /// state — the caller is expected to roll back to a checkpoint.
+    pub fn try_train_step(
+        &mut self,
+        health: &mut TrainHealth,
+    ) -> Result<Option<TrainStats>, TrainError> {
+        let Some(stats) = self.train_step() else {
+            return Ok(None);
+        };
+        let step = self.train_steps_done;
+        health.check(step, &stats)?;
+        if step.is_multiple_of(WEIGHT_CHECK_EVERY) && !self.weights_are_finite() {
+            return Err(TrainError::NonFiniteWeights { step });
+        }
+        Ok(Some(stats))
+    }
+
+    /// Whether every weight of every network (actor, critics, targets) is
+    /// finite. A full parameter walk — prefer the sampled check inside
+    /// [`Ddpg::try_train_step`] on hot paths.
+    #[must_use]
+    pub fn weights_are_finite(&self) -> bool {
+        let mlp_ok = |m: &Mlp| m.flat_params().iter().all(|w| w.is_finite());
+        let critic_ok = |c: &Critic| mlp_ok(&c.trunk) && mlp_ok(&c.head);
+        mlp_ok(&self.actor)
+            && mlp_ok(&self.actor_target)
+            && critic_ok(&self.critic)
+            && critic_ok(&self.critic_target)
+            && self.critic2.as_ref().is_none_or(critic_ok)
+            && self.critic2_target.as_ref().is_none_or(critic_ok)
+    }
+
+    /// Halves the parameter-noise scale (no-op under other exploration
+    /// strategies). The watchdog calls this after a rollback: divergence
+    /// under parameter noise usually means exploration kicked the policy
+    /// somewhere the critic cannot follow, so the retry explores more
+    /// gently.
+    pub fn halve_param_noise(&mut self) {
+        if let Some(noise) = &mut self.param_noise {
+            noise.scale_sigma(0.5);
+        }
+    }
+
+    /// Replaces the agent's RNG stream with one seeded from `seed` and
+    /// draws a fresh perturbation from it. Used after a rollback so the
+    /// retry does not replay the exact random choices that led to the
+    /// failure.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
+        self.resample_perturbation();
+    }
+
+    /// Captures the agent's complete state — networks, target networks,
+    /// optimiser moments, replay buffer, exploration state, normalisers and
+    /// the RNG stream — as a serialisable snapshot. Restoring with
+    /// [`Ddpg::from_snapshot`] resumes training bit-identically.
+    #[must_use]
+    pub fn snapshot(&self) -> DdpgSnapshot {
+        DdpgSnapshot {
+            actor: self.actor.clone(),
+            actor_target: self.actor_target.clone(),
+            perturbed_actor: self.perturbed_actor.clone(),
+            critic: self.critic.clone(),
+            critic_target: self.critic_target.clone(),
+            critic2: self.critic2.clone(),
+            critic2_target: self.critic2_target.clone(),
+            actor_opt: self.actor_opt.clone(),
+            critic_trunk_opt: self.critic_trunk_opt.clone(),
+            critic_head_opt: self.critic_head_opt.clone(),
+            critic2_trunk_opt: self.critic2_trunk_opt.clone(),
+            critic2_head_opt: self.critic2_head_opt.clone(),
+            replay: self.replay.clone(),
+            config: self.config.clone(),
+            param_noise: self.param_noise.clone(),
+            action_noise: self.action_noise.clone(),
+            obs_norm: self.obs_norm.clone(),
+            reward_norm: self.reward_norm.clone(),
+            recent_states: self.recent_states.clone(),
+            steps_since_resample: self.steps_since_resample,
+            rng_state: self.rng.state(),
+            train_steps_done: self.train_steps_done,
+        }
+    }
+
+    /// Rebuilds an agent from a [`Ddpg::snapshot`] capture. Telemetry is
+    /// detached (re-attach with [`Ddpg::set_telemetry`]).
+    #[must_use]
+    pub fn from_snapshot(s: DdpgSnapshot) -> Self {
+        Ddpg {
+            actor: s.actor,
+            actor_target: s.actor_target,
+            perturbed_actor: s.perturbed_actor,
+            critic: s.critic,
+            critic_target: s.critic_target,
+            critic2: s.critic2,
+            critic2_target: s.critic2_target,
+            actor_opt: s.actor_opt,
+            critic_trunk_opt: s.critic_trunk_opt,
+            critic_head_opt: s.critic_head_opt,
+            critic2_trunk_opt: s.critic2_trunk_opt,
+            critic2_head_opt: s.critic2_head_opt,
+            replay: s.replay,
+            config: s.config,
+            param_noise: s.param_noise,
+            action_noise: s.action_noise,
+            obs_norm: s.obs_norm,
+            reward_norm: s.reward_norm,
+            recent_states: s.recent_states,
+            steps_since_resample: s.steps_since_resample,
+            rng: SmallRng::from_state(s.rng_state),
+            telemetry: Telemetry::noop(),
+            train_steps_done: s.train_steps_done,
+        }
+    }
+
     /// Mean absolute parameter gap between the actor and its Polyak target —
     /// a read-only diagnostic of how far the target network lags.
     #[must_use]
@@ -752,6 +1093,14 @@ impl Ddpg {
         self.obs_norm.update(state);
     }
 
+    /// Mutable access to the replay buffer. This is a fault-injection /
+    /// testing hook (e.g. poisoning a batch via
+    /// [`ReplayBuffer::push_unchecked`] to exercise the divergence
+    /// watchdog); normal experience flows through [`Ddpg::observe`].
+    pub fn replay_mut(&mut self) -> &mut ReplayBuffer {
+        &mut self.replay
+    }
+
     /// Forces a fresh perturbation of the exploration actor (e.g. at episode
     /// boundaries).
     pub fn resample_perturbation(&mut self) {
@@ -808,6 +1157,39 @@ impl Ddpg {
         }
         self.resample_perturbation();
     }
+}
+
+/// The complete serialisable state of a [`Ddpg`] agent, produced by
+/// [`Ddpg::snapshot`] and consumed by [`Ddpg::from_snapshot`].
+///
+/// Fields are intentionally private: the snapshot is an opaque token whose
+/// only contract is bit-identical resume. It exists as a separate type
+/// (rather than serde on `Ddpg` itself) because the RNG stream and the
+/// telemetry handle need explicit translation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DdpgSnapshot {
+    actor: Mlp,
+    actor_target: Mlp,
+    perturbed_actor: Mlp,
+    critic: Critic,
+    critic_target: Critic,
+    critic2: Option<Critic>,
+    critic2_target: Option<Critic>,
+    actor_opt: Adam,
+    critic_trunk_opt: Adam,
+    critic_head_opt: Adam,
+    critic2_trunk_opt: Adam,
+    critic2_head_opt: Adam,
+    replay: ReplayBuffer,
+    config: DdpgConfig,
+    param_noise: Option<AdaptiveParamNoise>,
+    action_noise: Option<OrnsteinUhlenbeck>,
+    obs_norm: RunningNorm,
+    reward_norm: RunningNorm,
+    recent_states: Vec<Vec<f64>>,
+    steps_since_resample: usize,
+    rng_state: [u64; 4],
+    train_steps_done: u64,
 }
 
 #[cfg(test)]
@@ -1031,6 +1413,126 @@ mod tests {
             q_twin <= q_single + 0.5,
             "twin Q {q_twin} vs single Q {q_single}"
         );
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical() {
+        let drive = |agent: &mut Ddpg, start: usize, steps: usize| {
+            let mut outs = Vec::new();
+            for i in start..start + steps {
+                let s = [i as f64 * 0.1, 1.0];
+                let a = agent.act_exploratory(&s);
+                agent.observe(&s, &a, a[0], &s);
+                let stats = agent.train_step();
+                outs.push((a, stats));
+            }
+            outs
+        };
+        let mut uninterrupted = Ddpg::new(2, 2, config(21));
+        let mut resumed = Ddpg::new(2, 2, config(21));
+        drive(&mut uninterrupted, 0, 25);
+        drive(&mut resumed, 0, 25);
+        // Round-trip through JSON mid-run.
+        let json = serde_json::to_string(&resumed.snapshot()).unwrap();
+        let mut resumed = Ddpg::from_snapshot(serde_json::from_str(&json).unwrap());
+        let a = drive(&mut uninterrupted, 25, 25);
+        let b = drive(&mut resumed, 25, 25);
+        assert_eq!(a, b);
+        assert_eq!(uninterrupted.snapshot(), resumed.snapshot());
+    }
+
+    #[test]
+    fn health_trips_on_non_finite_loss() {
+        let mut health = TrainHealth::new(0.99, 1e4, 0);
+        let bad = TrainStats {
+            critic_loss: f64::NAN,
+            mean_q: 0.0,
+        };
+        match health.check(7, &bad) {
+            Err(TrainError::NonFiniteLoss { step: 7, .. }) => {}
+            other => panic!("expected NonFiniteLoss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn health_trips_on_blowup_after_warmup_only() {
+        let mut health = TrainHealth::new(0.99, 100.0, 5);
+        let normal = TrainStats {
+            critic_loss: 1.0,
+            mean_q: 0.0,
+        };
+        let spike = TrainStats {
+            critic_loss: 1e6,
+            mean_q: 0.0,
+        };
+        // During warm-up even a huge finite spike passes.
+        health.check(0, &normal).unwrap();
+        health.check(1, &spike).unwrap();
+        health.reset();
+        for i in 0..5 {
+            health.check(i, &normal).unwrap();
+        }
+        match health.check(5, &spike) {
+            Err(TrainError::CriticBlowup { .. }) => {}
+            other => panic!("expected CriticBlowup, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poisoned_replay_trips_watchdog_via_try_train_step() {
+        let mut agent = Ddpg::new(2, 2, config(22));
+        for i in 0..8 {
+            let s = [i as f64, 0.0];
+            agent.observe(&s, &[0.5, 0.5], 0.0, &s);
+        }
+        // Inject a NaN batch the validated path would have rejected.
+        for _ in 0..8 {
+            agent.replay_mut().push_unchecked(StoredTransition {
+                state: vec![0.0, 0.0],
+                action: vec![0.5, 0.5],
+                reward: f64::NAN,
+                next_state: vec![0.0, 0.0],
+            });
+        }
+        let mut health = TrainHealth::new(0.99, 1e4, 0);
+        let mut tripped = false;
+        for _ in 0..50 {
+            if agent.try_train_step(&mut health).is_err() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "NaN batch must trip the watchdog");
+    }
+
+    #[test]
+    fn recovery_helpers_halve_sigma_and_reseed() {
+        let mut agent = Ddpg::new(2, 2, config(23));
+        let sigma = agent.param_noise_sigma().unwrap();
+        agent.halve_param_noise();
+        assert!((agent.param_noise_sigma().unwrap() - sigma / 2.0).abs() < 1e-15);
+        // Reseeding with the same seed gives identical subsequent streams.
+        let mut twin = agent.clone();
+        agent.reseed(99);
+        twin.reseed(99);
+        let s = [0.3, 0.7];
+        assert_eq!(agent.act_exploratory(&s), twin.act_exploratory(&s));
+    }
+
+    #[test]
+    fn observe_rejects_non_finite_and_counts() {
+        use telemetry::{JsonlSink, Recorder, Telemetry};
+        let sink = JsonlSink::in_memory();
+        let mut agent = Ddpg::new(2, 2, config(24));
+        agent.set_telemetry(Telemetry::new(sink.clone()));
+        agent.observe(&[0.0, 0.0], &[0.5, 0.5], f64::NAN, &[1.0, 1.0]);
+        assert_eq!(agent.replay_len(), 0);
+        assert_eq!(agent.obs_normalizer().count(), 0);
+        agent.observe(&[0.0, 0.0], &[0.5, 0.5], 1.0, &[1.0, 1.0]);
+        assert_eq!(agent.replay_len(), 1);
+        Recorder::flush(&*sink);
+        let text = String::from_utf8(sink.take_output()).unwrap();
+        assert!(text.contains("replay.rejected_nonfinite"));
     }
 
     #[test]

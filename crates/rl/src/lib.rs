@@ -56,7 +56,9 @@ mod norm;
 pub mod policy;
 mod replay;
 
-pub use ddpg::{Critic, Ddpg, DdpgConfig, Exploration, TrainStats};
+pub use ddpg::{
+    Critic, Ddpg, DdpgConfig, DdpgSnapshot, Exploration, TrainError, TrainHealth, TrainStats,
+};
 pub use env::{Environment, Transition};
 pub use noise::{AdaptiveParamNoise, OrnsteinUhlenbeck};
 pub use norm::RunningNorm;

@@ -68,6 +68,21 @@ impl AdaptiveParamNoise {
             self.sigma /= self.alpha;
         }
     }
+
+    /// Scales `sigma` by `factor`, flooring at a tiny positive value so the
+    /// controller never reaches an invalid zero scale. Used by the
+    /// divergence watchdog, which halves exploration noise after a rollback.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive.
+    pub fn scale_sigma(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "sigma scale factor must be finite and positive"
+        );
+        self.sigma = (self.sigma * factor).max(1e-9);
+    }
 }
 
 /// Ornstein–Uhlenbeck action-space noise — the classical DDPG exploration
@@ -157,6 +172,24 @@ mod tests {
         }
         let induced = 0.5 * n.sigma();
         assert!((induced - 0.2).abs() < 0.05, "induced {induced}");
+    }
+
+    #[test]
+    fn scale_sigma_halves_and_floors() {
+        let mut n = AdaptiveParamNoise::new(0.2, 0.1, 1.01);
+        n.scale_sigma(0.5);
+        assert!((n.sigma() - 0.1).abs() < 1e-12);
+        for _ in 0..200 {
+            n.scale_sigma(0.5);
+        }
+        assert!(n.sigma() >= 1e-9, "sigma must stay positive");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma scale factor must be finite and positive")]
+    fn scale_sigma_rejects_nan() {
+        let mut n = AdaptiveParamNoise::new(0.2, 0.1, 1.01);
+        n.scale_sigma(f64::NAN);
     }
 
     #[test]

@@ -32,12 +32,19 @@ const BUFFER_CAP: usize = 4096;
 /// final `"le":null` entry is the `+Inf` bucket. Non-finite floats anywhere
 /// are rendered as `null` (JSON has no `NaN`).
 ///
-/// I/O errors are swallowed: telemetry must never abort the run it observes.
+/// For file-backed sinks ([`JsonlSink::create`]) every flush also fsyncs
+/// (`File::sync_all`), so records survive a crash of the process *or* the
+/// machine once `flush` returns. In-run I/O errors are swallowed — telemetry
+/// must never abort the run it observes — but the final flush in `Drop`
+/// reports failures on stderr, and [`JsonlSink::try_flush`] exposes them to
+/// callers that want to hard-fail.
 pub struct JsonlSink {
     state: Mutex<SinkState>,
 }
 
 enum Output {
+    /// A file plus buffering; flush fsyncs for crash durability.
+    File(BufWriter<File>),
     Writer(Box<dyn Write + Send>),
     Buffer(Vec<u8>),
 }
@@ -68,7 +75,8 @@ impl JsonlSink {
     }
 
     /// Creates a sink writing to the file at `path` (truncating it),
-    /// creating parent directories as needed.
+    /// creating parent directories as needed. File-backed sinks fsync on
+    /// every flush, so flushed records survive crashes.
     ///
     /// # Errors
     ///
@@ -80,9 +88,7 @@ impl JsonlSink {
             }
         }
         let file = File::create(path)?;
-        Ok(Self::with_output(Output::Writer(Box::new(BufWriter::new(
-            file,
-        )))))
+        Ok(Self::with_output(Output::File(BufWriter::new(file))))
     }
 
     /// Creates a sink over an arbitrary writer.
@@ -105,8 +111,28 @@ impl JsonlSink {
     pub fn take_output(&self) -> Vec<u8> {
         match &mut self.lock().out {
             Output::Buffer(buf) => std::mem::take(buf),
-            Output::Writer(_) => Vec::new(),
+            Output::File(_) | Output::Writer(_) => Vec::new(),
         }
+    }
+
+    /// Like [`Recorder::flush`] but reporting I/O failures instead of
+    /// swallowing them. For file-backed sinks a successful return means the
+    /// data has reached the disk (`File::sync_all`), not just the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write, flush, or fsync error encountered.
+    pub fn try_flush(&self) -> io::Result<()> {
+        let mut state = self.lock();
+        state.summary_rows();
+        let write_res = state.write_lines();
+        let sync_res = match &mut state.out {
+            Output::File(w) => w.flush().and_then(|()| w.get_ref().sync_all()),
+            Output::Writer(w) => w.flush(),
+            Output::Buffer(_) => Ok(()),
+        };
+        state.dirty = false;
+        write_res.and(sync_res)
     }
 
     /// Overrides the histogram bucket bounds for `name`. Must be called
@@ -134,18 +160,25 @@ impl SinkState {
         }
         self.dirty = true;
         if self.lines.len() >= BUFFER_CAP {
-            self.write_lines();
+            let _ = self.write_lines();
         }
     }
 
-    fn write_lines(&mut self) {
+    fn write_lines(&mut self) -> io::Result<()> {
         let out: &mut dyn Write = match &mut self.out {
+            Output::File(w) => w,
             Output::Writer(w) => w,
             Output::Buffer(b) => b,
         };
+        let mut result = Ok(());
         for line in self.lines.drain(..) {
-            let _ = writeln!(out, "{line}");
+            if let Err(e) = writeln!(out, "{line}") {
+                if result.is_ok() {
+                    result = Err(e);
+                }
+            }
         }
+        result
     }
 
     fn summary_rows(&mut self) {
@@ -234,21 +267,16 @@ impl Recorder for JsonlSink {
     }
 
     fn flush(&self) {
-        let mut state = self.lock();
-        state.summary_rows();
-        state.write_lines();
-        let _ = match &mut state.out {
-            Output::Writer(w) => w.flush(),
-            Output::Buffer(_) => Ok(()),
-        };
-        state.dirty = false;
+        let _ = self.try_flush();
     }
 }
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
         if self.lock().dirty {
-            self.flush();
+            if let Err(e) = self.try_flush() {
+                eprintln!("telemetry: final flush failed, records may be lost: {e}");
+            }
         }
     }
 }
@@ -353,6 +381,20 @@ mod tests {
         let rows = lines(&sink);
         assert_eq!(field(field(&rows[0], "data"), "bad"), &Value::Null);
         assert_eq!(field(&rows[1], "value"), &Value::Null);
+    }
+
+    #[test]
+    fn file_backed_try_flush_persists_records() {
+        let path = std::env::temp_dir().join("miras_telemetry_sink_flush_test.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        let tel = Telemetry::new(sink.clone());
+        tel.event("tick", &[("n", Value::UInt(1))]);
+        sink.try_flush().expect("flush + fsync succeeds");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.contains("\"tick\""), "{contents}");
+        drop(tel);
+        drop(sink);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
