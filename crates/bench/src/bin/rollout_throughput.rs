@@ -1,0 +1,288 @@
+//! Rollout-engine throughput: sequential vs batched lockstep.
+//!
+//! Measures synthetic-environment steps per second for the inner policy
+//! loop's hot path — exploratory action, model step, replay observe — in
+//! the original sequential mode and in lockstep mode at several lane
+//! counts. Writes `BENCH_rollout.json` at the repository root (next to
+//! `BENCH_nn.json`) and a telemetry stream to
+//! `results/rollout_throughput.jsonl`.
+//!
+//! Usage: `rollout_throughput [--seed N] [--smoke] [--steps N]`
+//! (`--steps` is the per-mode environment-step budget).
+
+use std::time::Instant;
+
+use miras_bench::init_telemetry;
+use miras_core::{
+    BatchedSyntheticEnv, DynamicsModel, MirasConfig, RefinedModel, SyntheticEnv, Transition,
+    TransitionDataset,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rl::{Ddpg, Environment};
+use serde::Serialize;
+use telemetry::Value;
+
+/// Lane counts exercised by the lockstep sweep.
+const LANE_SWEEP: [usize; 4] = [1, 4, 16, 64];
+
+#[derive(Debug, Serialize)]
+struct ModeResult {
+    mode: String,
+    lanes: usize,
+    env_steps: usize,
+    secs: f64,
+    steps_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    bench: String,
+    config: String,
+    state_dim: usize,
+    rollout_len: usize,
+    nn_threads: usize,
+    results: Vec<ModeResult>,
+    speedup_lockstep16_vs_sequential: f64,
+}
+
+/// Builds a drain-dynamics dataset (`s' = max(0, s − 2a) + 1`) big enough
+/// to train the environment model; the model's accuracy is irrelevant here,
+/// only its shape and cost.
+fn build_dataset(j: usize, seed: u64) -> TransitionDataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut data = TransitionDataset::new(j);
+    for _ in 0..600 {
+        let s: Vec<f64> = (0..j).map(|_| rng.gen_range(0.0..20.0)).collect();
+        let a: Vec<f64> = (0..j).map(|_| rng.gen_range(0.0f64..7.0).floor()).collect();
+        let next: Vec<f64> = s
+            .iter()
+            .zip(&a)
+            .map(|(&si, &ai)| (si - 2.0 * ai).max(0.0) + 1.0)
+            .collect();
+        data.push(Transition {
+            state: s,
+            action: a,
+            next_state: next,
+        });
+    }
+    data
+}
+
+/// Times the sequential rollout path: `act_exploratory` → `SyntheticEnv::
+/// step` → `observe`, in waves of `rollout_len` steps with a reset and
+/// perturbation resample between waves (the trainer's structure, minus the
+/// gradient updates that are orthogonal to the rollout engine).
+fn run_sequential(
+    refined: &RefinedModel,
+    data: &TransitionDataset,
+    budget: usize,
+    agent: &mut Ddpg,
+    rollout_len: usize,
+    env_steps: usize,
+    telemetry: &telemetry::Telemetry,
+) -> ModeResult {
+    let mut env = SyntheticEnv::new(refined.clone(), data.clone(), budget, 99);
+    env.set_telemetry(telemetry.clone());
+    let rollouts = (env_steps / rollout_len).max(1);
+    // Warm-up wave: fills the normaliser scratch, replay ring and the
+    // recent-state window so the timed region sees steady-state costs.
+    let mut s = env.reset();
+    for _ in 0..rollout_len {
+        let a = agent.act_exploratory(&s);
+        let t = env.step(&a);
+        agent.observe(&s, &a, t.reward, &t.next_state);
+        s = t.next_state;
+    }
+    let start = Instant::now();
+    for _ in 0..rollouts {
+        let mut s = env.reset();
+        agent.resample_perturbation();
+        for _ in 0..rollout_len {
+            let a = agent.act_exploratory(&s);
+            let t = env.step(&a);
+            agent.observe(&s, &a, t.reward, &t.next_state);
+            s = t.next_state;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let steps = rollouts * rollout_len;
+    ModeResult {
+        mode: "sequential".to_string(),
+        lanes: 1,
+        env_steps: steps,
+        secs,
+        steps_per_sec: steps as f64 / secs,
+    }
+}
+
+/// Times the lockstep rollout path at `lanes` lanes:
+/// `act_exploratory_batch` → `BatchedSyntheticEnv::step` → `observe_batch`.
+fn run_lockstep(
+    refined: &RefinedModel,
+    data: &TransitionDataset,
+    budget: usize,
+    agent: &mut Ddpg,
+    lanes: usize,
+    rollout_len: usize,
+    env_steps: usize,
+    telemetry: &telemetry::Telemetry,
+) -> ModeResult {
+    let mut env = BatchedSyntheticEnv::new(refined.clone(), data.clone(), budget, 99, lanes);
+    env.set_telemetry(telemetry.clone());
+    let waves = (env_steps / (lanes * rollout_len)).max(1);
+    let mut prev = nn::Matrix::zeros(0, 0);
+    let mut step_wave = |env: &mut BatchedSyntheticEnv, agent: &mut Ddpg| {
+        env.reset(lanes);
+        agent.resample_perturbation();
+        for _ in 0..rollout_len {
+            prev.resize(env.states().rows(), env.states().cols());
+            prev.as_mut_slice().copy_from_slice(env.states().as_slice());
+            let actions = agent.act_exploratory_batch(&prev);
+            env.step(&actions);
+            agent.observe_batch(&prev, &actions, env.rewards(), env.states());
+        }
+    };
+    step_wave(&mut env, agent); // warm-up
+    let start = Instant::now();
+    for _ in 0..waves {
+        step_wave(&mut env, agent);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let steps = waves * lanes * rollout_len;
+    ModeResult {
+        mode: "lockstep".to_string(),
+        lanes,
+        env_steps: steps,
+        secs,
+        steps_per_sec: steps as f64 / secs,
+    }
+}
+
+fn main() {
+    let mut seed = 42u64;
+    let mut smoke = false;
+    let mut steps_override: Option<usize> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed must be an integer");
+            }
+            "--steps" => {
+                steps_override = Some(
+                    it.next()
+                        .expect("--steps needs a value")
+                        .parse()
+                        .expect("steps must be an integer"),
+                );
+            }
+            "--smoke" => smoke = true,
+            other => panic!("unknown flag {other}; usage: [--seed N] [--smoke] [--steps N]"),
+        }
+    }
+
+    let (telemetry, sink) = init_telemetry("rollout_throughput");
+    let config = MirasConfig::msd_fast(seed);
+    let j = 4usize;
+    let budget = 14usize;
+    let rollout_len = config.rollout_len;
+    let env_steps = steps_override.unwrap_or(if smoke { 3_200 } else { 32_000 });
+
+    eprintln!("[rollout] training environment model ({j}-dim drain dynamics)");
+    let data = build_dataset(j, seed);
+    let mut model = DynamicsModel::new(j, &config);
+    let loss = model.train(&data, 10, config.model_batch);
+    eprintln!("[rollout] model loss {loss:.5}; timing {env_steps} env steps per mode");
+    let refined = RefinedModel::fit(model, &data, config.refine_percentile);
+
+    let mut results = Vec::new();
+    {
+        let mut agent = Ddpg::new(j, j, config.ddpg.clone());
+        let r = run_sequential(
+            &refined,
+            &data,
+            budget,
+            &mut agent,
+            rollout_len,
+            env_steps,
+            &telemetry,
+        );
+        eprintln!(
+            "[rollout] {:>10} lanes={:<3} {:>9.0} steps/s",
+            r.mode, r.lanes, r.steps_per_sec
+        );
+        results.push(r);
+    }
+    for lanes in LANE_SWEEP {
+        let mut agent = Ddpg::new(j, j, config.ddpg.clone());
+        let r = run_lockstep(
+            &refined,
+            &data,
+            budget,
+            &mut agent,
+            lanes,
+            rollout_len,
+            env_steps,
+            &telemetry,
+        );
+        eprintln!(
+            "[rollout] {:>10} lanes={:<3} {:>9.0} steps/s",
+            r.mode, r.lanes, r.steps_per_sec
+        );
+        results.push(r);
+    }
+
+    let sequential_sps = results[0].steps_per_sec;
+    let lockstep16_sps = results
+        .iter()
+        .find(|r| r.mode == "lockstep" && r.lanes == 16)
+        .map_or(0.0, |r| r.steps_per_sec);
+    let speedup = lockstep16_sps / sequential_sps;
+    println!("\nrollout throughput (steps/sec), {env_steps} env steps per mode:");
+    for r in &results {
+        println!(
+            "  {:>10} lanes={:<3} {:>10.0} steps/s",
+            r.mode, r.lanes, r.steps_per_sec
+        );
+    }
+    println!("  lockstep(16) vs sequential: {speedup:.2}x");
+
+    for r in &results {
+        telemetry.event(
+            "rollout.bench",
+            &[
+                ("mode", Value::String(r.mode.clone())),
+                ("lanes", Value::UInt(r.lanes as u64)),
+                ("env_steps", Value::UInt(r.env_steps as u64)),
+                ("steps_per_sec", Value::Float(r.steps_per_sec)),
+            ],
+        );
+    }
+
+    let report = BenchReport {
+        bench: "rollout_throughput".to_string(),
+        config: "msd_fast".to_string(),
+        state_dim: j,
+        rollout_len,
+        nn_threads: nn::threads::configured_threads(),
+        results,
+        speedup_lockstep16_vs_sequential: speedup,
+    };
+    match serde_json::to_string(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write("BENCH_rollout.json", json + "\n") {
+                eprintln!("[rollout] could not write BENCH_rollout.json: {e}");
+            } else {
+                eprintln!("[rollout] wrote BENCH_rollout.json");
+            }
+        }
+        Err(e) => eprintln!("[rollout] could not serialise report: {e}"),
+    }
+    telemetry.flush();
+    drop(sink);
+}

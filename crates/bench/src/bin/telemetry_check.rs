@@ -5,7 +5,10 @@
 //! that event sequence numbers increase, and that the stream contains the
 //! records the MIRAS pipeline is expected to emit — per-window `window`
 //! events and (when `--require-training` is passed) per-iteration
-//! `iteration` events from Algorithm 2.
+//! `iteration` events from Algorithm 2. With `--require-rollout` the window
+//! requirement is replaced by a check for `rollout.bench` throughput events
+//! (the rollout engine benchmark never runs the cluster emulator, so it has
+//! no decision windows).
 //!
 //! Run: `cargo run -p miras-bench --bin telemetry_check -- \
 //!       results/fig7_msd_comparison.jsonl --require-training`
@@ -46,11 +49,12 @@ fn is_number(value: &Value) -> bool {
 /// One validation failure: line number (1-based) plus description.
 struct Problem(usize, String);
 
-fn check(text: &str, require_training: bool) -> Result<String, Problem> {
+fn check(text: &str, require_training: bool, require_rollout: bool) -> Result<String, Problem> {
     let mut events = 0usize;
     let mut windows = 0usize;
     let mut iterations = 0usize;
     let mut summaries = 0usize;
+    let mut rollouts = 0usize;
     let mut last_seq: Option<u64> = None;
     for (idx, line) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -116,6 +120,23 @@ fn check(text: &str, require_training: bool) -> Result<String, Problem> {
                         }
                     }
                     "bench.summary" => summaries += 1,
+                    "rollout.bench" => {
+                        rollouts += 1;
+                        for field in ["mode", "lanes", "env_steps", "steps_per_sec"] {
+                            if get(data, field).is_none() {
+                                return Err(Problem(
+                                    lineno,
+                                    format!("rollout.bench event missing `{field}`"),
+                                ));
+                            }
+                        }
+                        if !is_number(get(data, "steps_per_sec").expect("checked above")) {
+                            return Err(Problem(
+                                lineno,
+                                "rollout.bench `steps_per_sec` is not numeric".into(),
+                            ));
+                        }
+                    }
                     _ => {}
                 }
             }
@@ -153,34 +174,45 @@ fn check(text: &str, require_training: bool) -> Result<String, Problem> {
             other => return Err(Problem(lineno, format!("unknown record type `{other}`"))),
         }
     }
-    if windows == 0 {
+    if require_rollout {
+        if rollouts == 0 {
+            return Err(Problem(
+                0,
+                "stream contains no `rollout.bench` events".into(),
+            ));
+        }
+    } else if windows == 0 {
         return Err(Problem(0, "stream contains no `window` events".into()));
     }
     if require_training && iterations == 0 {
         return Err(Problem(0, "stream contains no `iteration` events".into()));
     }
     Ok(format!(
-        "{events} events ({windows} window, {iterations} iteration, {summaries} summary records)"
+        "{events} events ({windows} window, {iterations} iteration, {summaries} summary, \
+         {rollouts} rollout records)"
     ))
 }
 
 fn main() -> ExitCode {
     let mut path = None;
     let mut require_training = false;
+    let mut require_rollout = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--require-training" => require_training = true,
+            "--require-rollout" => require_rollout = true,
             other if path.is_none() => path = Some(other.to_string()),
             other => {
                 eprintln!(
-                    "unexpected argument {other}; usage: telemetry_check FILE [--require-training]"
+                    "unexpected argument {other}; usage: \
+                     telemetry_check FILE [--require-training] [--require-rollout]"
                 );
                 return ExitCode::FAILURE;
             }
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: telemetry_check FILE [--require-training]");
+        eprintln!("usage: telemetry_check FILE [--require-training] [--require-rollout]");
         return ExitCode::FAILURE;
     };
     let text = match std::fs::read_to_string(&path) {
@@ -190,7 +222,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match check(&text, require_training) {
+    match check(&text, require_training, require_rollout) {
         Ok(report) => {
             println!("telemetry_check: {path} OK — {report}");
             ExitCode::SUCCESS

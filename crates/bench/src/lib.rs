@@ -18,8 +18,64 @@ use desim::SimTime;
 use microsim::{EnvConfig, MicroserviceEnv, SimConfig};
 use miras_core::{ClusterEnvAdapter, IterationReport, MirasAgent, MirasConfig, MirasTrainer};
 use serde::{Deserialize, Serialize};
-use telemetry::{JsonlSink, Telemetry, Value};
+use telemetry::{BufferedRecorder, JsonlSink, Telemetry, Value};
 use workflow::{BurstSpec, Ensemble};
+
+/// The worker-thread budget for the scenario × algorithm evaluation grid:
+/// `MIRAS_GRID_THREADS` when set to a positive integer, otherwise the `nn`
+/// kernel thread budget. The variable is re-read on every call (unlike
+/// `NN_NUM_THREADS`, which is latched once per process) so in-process tests
+/// can compare single- and multi-worker runs.
+#[must_use]
+pub fn grid_threads() -> usize {
+    match std::env::var("MIRAS_GRID_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => nn::threads::effective_threads(),
+    }
+}
+
+/// Runs independent evaluation-grid cells on up to [`grid_threads`] worker
+/// threads, returning their results **in cell order** regardless of how the
+/// cells were scheduled. Cells are statically partitioned into contiguous
+/// chunks, one per worker; each cell runs under
+/// [`nn::threads::with_serial`] when more than one worker is live, so grid
+/// workers do not also fan out kernel threads and oversubscribe the machine.
+///
+/// Cells must be independent: they may not share mutable state or consume a
+/// common RNG stream, which is what makes the outputs identical for every
+/// worker count.
+pub fn run_grid<T, F>(tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    let workers = grid_threads().min(n).max(1);
+    if workers <= 1 {
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut slots: Vec<Option<F>> = tasks.into_iter().map(Some).collect();
+    let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|scope| {
+        for (task_chunk, result_chunk) in slots.chunks_mut(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (task, result) in task_chunk.iter_mut().zip(result_chunk.iter_mut()) {
+                    if let Some(f) = task.take() {
+                        *result = Some(nn::threads::with_serial(f));
+                    }
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every grid cell ran"))
+        .collect()
+}
 
 /// Which of the paper's two workload ensembles to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -695,45 +751,67 @@ pub fn run_resilience(
         miras_cfg.collect_burst_max.as_deref(),
     );
 
-    let mut results = Vec::new();
-    for scenario in fault_scenarios() {
+    // Fan the scenario × algorithm grid out across worker threads. Every
+    // cell builds its own allocator and environment from cloned inputs and
+    // records into a private buffer, so the numbers are identical to a
+    // sequential sweep; buffers are replayed in cell order afterwards, so
+    // the telemetry stream is too.
+    let scenarios = fault_scenarios();
+    let algorithms = RESILIENCE_ALGORITHMS;
+    let enabled = telemetry.is_enabled();
+    let mf_actor = model_free.agent();
+    let mut tasks: Vec<Box<dyn FnOnce() -> GridCell + Send + '_>> = Vec::new();
+    for scenario in &scenarios {
         let base = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
         let config = base.clone().with_sim(scenario.apply(base.sim().clone()));
-        let mut series: Vec<(String, Vec<StepRecord>)> = Vec::new();
-        let mut summaries = Vec::new();
-
-        let mut allocators: Vec<Box<dyn Allocator>> = vec![
-            Box::new(miras_agent.clone()),
-            Box::new(baselines::UniformAllocator::new(j, budget)),
-            Box::new(baselines::DrsAllocator::new(&ensemble, budget, window_secs)),
-            Box::new(baselines::HeftAllocator::new(&ensemble, budget)),
-            Box::new(baselines::MonadAllocator::new(j, budget, window_secs)),
-        ];
-        for alloc in &mut allocators {
-            let name = alloc.name().to_string();
-            let records = run_allocator_configured(
-                kind,
-                config.clone(),
-                Some(&burst),
-                steps,
-                alloc.as_mut(),
-                telemetry,
-            );
-            summaries.push(summarize(&name, &records));
-            series.push((name, records));
+        for &algorithm in algorithms {
+            let config = config.clone();
+            let ensemble = ensemble.clone();
+            let miras_agent = miras_agent.clone();
+            let mf_actor = mf_actor.clone();
+            let burst = &burst;
+            tasks.push(Box::new(move || {
+                let buffer = Arc::new(BufferedRecorder::new());
+                let cell_telemetry = if enabled {
+                    Telemetry::new(buffer.clone())
+                } else {
+                    Telemetry::noop()
+                };
+                let mut alloc: Box<dyn Allocator> = match algorithm {
+                    "miras" => Box::new(miras_agent),
+                    "uniform" => Box::new(baselines::UniformAllocator::new(j, budget)),
+                    "stream" => {
+                        Box::new(baselines::DrsAllocator::new(&ensemble, budget, window_secs))
+                    }
+                    "heft" => Box::new(baselines::HeftAllocator::new(&ensemble, budget)),
+                    "monad" => Box::new(baselines::MonadAllocator::new(j, budget, window_secs)),
+                    "rl" => Box::new(baselines::ModelFreeDdpg::new(mf_actor, budget)),
+                    other => unreachable!("unknown grid algorithm {other}"),
+                };
+                let records = run_allocator_configured(
+                    kind,
+                    config,
+                    Some(burst),
+                    steps,
+                    alloc.as_mut(),
+                    &cell_telemetry,
+                );
+                GridCell {
+                    name: algorithm.to_string(),
+                    records,
+                    buffer,
+                }
+            }));
         }
-        {
-            let mut rl_alloc = baselines::ModelFreeDdpg::new(model_free.agent().clone(), budget);
-            let records = run_allocator_configured(
-                kind,
-                config.clone(),
-                Some(&burst),
-                steps,
-                &mut rl_alloc,
-                telemetry,
-            );
-            summaries.push(summarize("rl", &records));
-            series.push(("rl".to_string(), records));
+    }
+    let cells = run_grid(tasks);
+
+    let mut results = Vec::new();
+    for (scenario, row) in scenarios.iter().zip(cells.chunks(algorithms.len())) {
+        let mut summaries = Vec::new();
+        for cell in row {
+            cell.buffer.replay(telemetry);
+            summaries.push(summarize(&cell.name, &cell.records));
         }
         if telemetry.is_enabled() {
             for summary in &summaries {
@@ -755,11 +833,30 @@ pub fn run_resilience(
             steps
         );
         print_summaries(&summaries);
-        for (name, records) in series {
-            results.push((scenario.name.to_string(), name, records));
+        for cell in row {
+            results.push((
+                scenario.name.to_string(),
+                cell.name.clone(),
+                cell.records.clone(),
+            ));
         }
     }
     results
+}
+
+/// The algorithm roster of the resilience grid, in output order. The names
+/// are the allocators' own [`Allocator::name`] values.
+const RESILIENCE_ALGORITHMS: &[&str] = &["miras", "uniform", "stream", "heft", "monad", "rl"];
+
+/// The algorithm roster of the comparison grid (Figs. 7–8), in output order.
+const COMPARISON_ALGORITHMS: &[&str] = &["miras", "stream", "heft", "monad", "rl"];
+
+/// One completed evaluation-grid cell: the algorithm's name, its per-window
+/// records, and the telemetry it captured while running.
+struct GridCell {
+    name: String,
+    records: Vec<StepRecord>,
+    buffer: Arc<BufferedRecorder>,
 }
 
 /// Runs the paper's five-algorithm comparison (Figs. 7 and 8) for one
@@ -803,30 +900,65 @@ pub fn run_comparison(
         miras_cfg.collect_burst_max.as_deref(),
     );
 
+    // Fan the burst-scenario × algorithm grid out across worker threads;
+    // see `run_resilience` for the determinism contract.
+    let bursts = kind.burst_scenarios();
+    let algorithms = COMPARISON_ALGORITHMS;
+    let enabled = telemetry.is_enabled();
+    let mf_actor = model_free.agent();
+    let mut tasks: Vec<Box<dyn FnOnce() -> GridCell + Send + '_>> = Vec::new();
+    for burst in &bursts {
+        for &algorithm in algorithms {
+            let ensemble = ensemble.clone();
+            let miras_agent = miras_agent.clone();
+            let mf_actor = mf_actor.clone();
+            tasks.push(Box::new(move || {
+                let buffer = Arc::new(BufferedRecorder::new());
+                let cell_telemetry = if enabled {
+                    Telemetry::new(buffer.clone())
+                } else {
+                    Telemetry::noop()
+                };
+                let mut alloc: Box<dyn Allocator> = match algorithm {
+                    "miras" => Box::new(miras_agent),
+                    "stream" => {
+                        Box::new(baselines::DrsAllocator::new(&ensemble, budget, window_secs))
+                    }
+                    "heft" => Box::new(baselines::HeftAllocator::new(&ensemble, budget)),
+                    "monad" => Box::new(baselines::MonadAllocator::new(j, budget, window_secs)),
+                    "rl" => Box::new(baselines::ModelFreeDdpg::new(mf_actor, budget)),
+                    other => unreachable!("unknown grid algorithm {other}"),
+                };
+                let records = run_allocator(
+                    kind,
+                    seed,
+                    Some(burst),
+                    steps,
+                    alloc.as_mut(),
+                    &cell_telemetry,
+                );
+                GridCell {
+                    name: algorithm.to_string(),
+                    records,
+                    buffer,
+                }
+            }));
+        }
+    }
+    let cells = run_grid(tasks);
+
     let mut results = Vec::new();
-    for (scenario, burst) in kind.burst_scenarios().iter().enumerate() {
+    for (scenario, (burst, row)) in bursts
+        .iter()
+        .zip(cells.chunks(algorithms.len()))
+        .enumerate()
+    {
         let mut series: Vec<(String, Vec<StepRecord>)> = Vec::new();
         let mut summaries = Vec::new();
-
-        let mut allocators: Vec<Box<dyn Allocator>> = vec![
-            Box::new(miras_agent.clone()),
-            Box::new(baselines::DrsAllocator::new(&ensemble, budget, window_secs)),
-            Box::new(baselines::HeftAllocator::new(&ensemble, budget)),
-            Box::new(baselines::MonadAllocator::new(j, budget, window_secs)),
-        ];
-        for alloc in &mut allocators {
-            let name = alloc.name().to_string();
-            let records = run_allocator(kind, seed, Some(burst), steps, alloc.as_mut(), telemetry);
-            summaries.push(summarize(&name, &records));
-            series.push((name, records));
-        }
-        // The model-free agent cannot be cloned through the trait object
-        // cheaply; run it separately with a fresh copy of its greedy policy.
-        {
-            let mut rl_alloc = baselines::ModelFreeDdpg::new(model_free.agent().clone(), budget);
-            let records = run_allocator(kind, seed, Some(burst), steps, &mut rl_alloc, telemetry);
-            summaries.push(summarize("rl", &records));
-            series.push(("rl".to_string(), records));
+        for cell in row {
+            cell.buffer.replay(telemetry);
+            summaries.push(summarize(&cell.name, &cell.records));
+            series.push((cell.name.clone(), cell.records.clone()));
         }
         if telemetry.is_enabled() {
             for summary in &summaries {

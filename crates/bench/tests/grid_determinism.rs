@@ -1,0 +1,94 @@
+//! The parallel evaluation grid must be invisible in the output: running
+//! the scenario × algorithm sweep on one worker or many must produce the
+//! same records AND the same telemetry event stream, byte for byte. Worker
+//! count is driven through `MIRAS_GRID_THREADS`, which `grid_threads()`
+//! re-reads on every call precisely so this test can flip it in-process.
+
+use std::sync::Mutex;
+
+use miras_bench::{grid_threads, run_grid, run_resilience, BenchArgs, EnsembleKind, StepRecord};
+use telemetry::{JsonlSink, Telemetry};
+
+/// All tests in this file mutate `MIRAS_GRID_THREADS`; serialise them so
+/// the libtest thread pool cannot interleave the env-var writes.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn smoke_args(seed: u64) -> BenchArgs {
+    BenchArgs {
+        ensemble: Some(EnsembleKind::Msd),
+        seed,
+        paper: false,
+        iterations: None,
+        no_cache: true,
+        steady: false,
+        smoke: true,
+    }
+}
+
+type GridResults = Vec<(String, String, Vec<StepRecord>)>;
+
+/// Runs the full resilience pipeline with the given worker count and
+/// returns the grid results plus the `"t":"event"` rows of the JSONL
+/// stream. Only event rows are compared: counter/gauge rows are aggregates
+/// (order-free) and histogram rows carry wall-clock span timings, which are
+/// legitimately nondeterministic.
+fn run_with_workers(workers: &str, seed: u64) -> (GridResults, Vec<String>) {
+    std::env::set_var("MIRAS_GRID_THREADS", workers);
+    let sink = JsonlSink::in_memory();
+    let telemetry = Telemetry::new(sink.clone());
+    let results = run_resilience(EnsembleKind::Msd, &smoke_args(seed), &telemetry);
+    telemetry.flush();
+    std::env::remove_var("MIRAS_GRID_THREADS");
+    let out = String::from_utf8(sink.take_output()).unwrap();
+    let events = out
+        .lines()
+        .filter(|l| l.contains("\"t\":\"event\""))
+        .map(str::to_string)
+        .collect();
+    (results, events)
+}
+
+#[test]
+fn grid_results_and_event_stream_match_across_worker_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let (serial_results, serial_events) = run_with_workers("1", 33);
+    let (parallel_results, parallel_events) = run_with_workers("4", 33);
+
+    // The grid covers every scenario × algorithm cell, in a stable order.
+    assert_eq!(serial_results.len(), 5 * 6, "scenarios × algorithms");
+    let key = |r: &(String, String, Vec<StepRecord>)| (r.0.clone(), r.1.clone());
+    assert_eq!(
+        serial_results.iter().map(key).collect::<Vec<_>>(),
+        parallel_results.iter().map(key).collect::<Vec<_>>()
+    );
+    // Records are bit-identical (StepRecord is all PartialEq floats).
+    assert_eq!(serial_results, parallel_results);
+
+    // The replayed telemetry stream is byte-identical, including the
+    // monotonic per-event sequence numbers assigned by the sink.
+    assert_eq!(serial_events.len(), parallel_events.len());
+    for (i, (a, b)) in serial_events.iter().zip(&parallel_events).enumerate() {
+        assert_eq!(a, b, "event row {i} differs");
+    }
+}
+
+#[test]
+fn grid_threads_env_var_is_reread_per_call() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::set_var("MIRAS_GRID_THREADS", "3");
+    assert_eq!(grid_threads(), 3);
+    std::env::set_var("MIRAS_GRID_THREADS", "1");
+    assert_eq!(grid_threads(), 1);
+    std::env::remove_var("MIRAS_GRID_THREADS");
+    assert!(grid_threads() >= 1);
+}
+
+#[test]
+fn run_grid_preserves_cell_order() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::set_var("MIRAS_GRID_THREADS", "4");
+    let tasks: Vec<_> = (0..17).map(|i| move || i * i).collect();
+    let out = run_grid(tasks);
+    std::env::remove_var("MIRAS_GRID_THREADS");
+    assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+}

@@ -3,6 +3,23 @@
 use rl::{DdpgConfig, Exploration};
 use serde::{Deserialize, Serialize};
 
+/// How the inner policy loop of Algorithm 2 executes its synthetic rollouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RolloutMode {
+    /// One rollout at a time, one model forward per step (the original
+    /// loop). The reference semantics every other mode is measured against.
+    #[default]
+    Sequential,
+    /// `B` rollout lanes stepped in lockstep through batched model and
+    /// actor forwards (see
+    /// [`BatchedSyntheticEnv`](crate::BatchedSyntheticEnv)). `Lockstep(1)`
+    /// is bit-identical to [`RolloutMode::Sequential`]; wider batches are
+    /// deterministic but consume exploration randomness in a different
+    /// order, so they are a *throughput* option, not a replay of the
+    /// sequential run.
+    Lockstep(usize),
+}
+
 /// Hyper-parameters of the full MIRAS pipeline (model + policy + loop).
 ///
 /// [`MirasConfig::msd_paper`] and [`MirasConfig::ligo_paper`] mirror §VI-A3
@@ -63,6 +80,11 @@ pub struct MirasConfig {
     pub collect_burst_max: Option<Vec<usize>>,
     /// DDPG hyper-parameters.
     pub ddpg: DdpgConfig,
+    /// How the inner loop's synthetic rollouts execute. Defaults to
+    /// [`RolloutMode::Sequential`]; absent in older checkpoints/configs,
+    /// hence the serde default.
+    #[serde(default)]
+    pub rollout_mode: RolloutMode,
     /// Master seed.
     pub seed: u64,
 }
@@ -88,6 +110,7 @@ impl MirasConfig {
             random_action_fraction: 0.1,
             collect_burst_max: Some(vec![400, 250, 400]),
             ddpg: DdpgConfig::paper(256, seed),
+            rollout_mode: RolloutMode::Sequential,
             seed,
         }
     }
@@ -119,6 +142,7 @@ impl MirasConfig {
                 d.entropy_weight = 4.0;
                 d
             },
+            rollout_mode: RolloutMode::Sequential,
             seed,
         }
     }
@@ -176,8 +200,17 @@ impl MirasConfig {
             random_action_fraction: 0.1,
             collect_burst_max: None,
             ddpg,
+            rollout_mode: RolloutMode::Sequential,
             seed,
         }
+    }
+
+    /// Returns a copy running the inner loop as `lanes` lockstep rollout
+    /// lanes (batched model and actor forwards).
+    #[must_use]
+    pub fn with_lockstep(mut self, lanes: usize) -> Self {
+        self.rollout_mode = RolloutMode::Lockstep(lanes);
+        self
     }
 
     /// Returns a copy with refinement disabled (ablation A2).

@@ -85,6 +85,34 @@ impl Standardizer {
             .map(|((&v, &m), &s)| v * s + m)
             .collect()
     }
+
+    /// Allocation-free [`Standardizer::transform`] into a caller buffer.
+    /// Bitwise-identical to `transform` (same per-element expression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` or `out.len()` differ from the fitted
+    /// dimensionality.
+    pub fn transform_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        assert_eq!(out.len(), self.mean.len(), "output dimension mismatch");
+        for (((o, &v), &m), &s) in out.iter_mut().zip(x).zip(&self.mean).zip(&self.std) {
+            *o = (v - m) / s;
+        }
+    }
+
+    /// Allocation-free [`Standardizer::inverse`] applied in place.
+    /// Bitwise-identical to `inverse` (same per-element expression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len()` differs from the fitted dimensionality.
+    pub fn inverse_in_place(&self, z: &mut [f64]) {
+        assert_eq!(z.len(), self.mean.len(), "dimension mismatch");
+        for ((v, &m), &s) in z.iter_mut().zip(&self.mean).zip(&self.std) {
+            *v = *v * s + m;
+        }
+    }
 }
 
 /// The growing dataset `D` of real-environment transitions (Algorithm 2,

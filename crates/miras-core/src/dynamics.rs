@@ -177,6 +177,58 @@ impl DynamicsModel {
             .collect()
     }
 
+    /// Batched [`DynamicsModel::predict`]: one network forward for a whole
+    /// row-batch of `(state, action)` pairs, written into `out` (resized to
+    /// `B × J`). Row `i` of the result is bitwise-equal to
+    /// `predict(states.row(i), actions.row(i))` — standardisation, the
+    /// de-standardisation and the zero clamp are elementwise, and the GEMM
+    /// core guarantees row-wise equivalence of the batched forward.
+    ///
+    /// All intermediates come from the pooled matrix buffers, so a
+    /// steady-state call performs no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is untrained, the two input batches disagree on
+    /// row count, or either has the wrong width.
+    pub fn predict_batch_into(&self, states: &Matrix, actions: &Matrix, out: &mut Matrix) {
+        let j = self.state_dim;
+        assert_eq!(states.cols(), j, "state dimension mismatch");
+        assert_eq!(actions.cols(), j, "action dimension mismatch");
+        assert_eq!(states.rows(), actions.rows(), "batch size mismatch");
+        let s_scaler = self.state_scaler.as_ref().expect("model not trained yet");
+        let a_scaler = self.action_scaler.as_ref().expect("model not trained yet");
+        let y_scaler = self.target_scaler.as_ref().expect("model not trained yet");
+        let b = states.rows();
+        let mut input = Matrix::zeros(b, 2 * j);
+        for r in 0..b {
+            let (zs, za) = input.row_mut(r).split_at_mut(j);
+            s_scaler.transform_into(states.row(r), zs);
+            a_scaler.transform_into(actions.row(r), za);
+        }
+        self.net.forward_into(&input, out);
+        for r in 0..b {
+            let row = out.row_mut(r);
+            y_scaler.inverse_in_place(row);
+            for v in row {
+                *v = v.max(0.0);
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`DynamicsModel::predict_batch_into`].
+    ///
+    /// # Panics
+    ///
+    /// See [`DynamicsModel::predict_batch_into`].
+    #[must_use]
+    pub fn predict_batch(&self, states: &Matrix, actions: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.predict_batch_into(states, actions, &mut out);
+        out
+    }
+
     /// Mean squared one-step prediction error on a held-out dataset, in raw
     /// (de-standardised) WIP units.
     ///

@@ -10,6 +10,7 @@
 //! extension; the `ablation_model_ensemble` benchmark measures how much it
 //! narrows the iterative-prediction gap of Fig. 5.
 
+use nn::Matrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -137,6 +138,42 @@ impl EnsembleDynamics {
         }
         let n = self.members.len() as f64;
         acc.into_iter().map(|v| v / n).collect()
+    }
+
+    /// Batched [`EnsembleDynamics::predict_mean`]: one forward per member
+    /// for a whole row-batch, accumulated in member order and scaled by
+    /// `1/n`, so row `i` is bitwise-equal to
+    /// `predict_mean(states.row(i), actions.row(i))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member is untrained or dimensions mismatch.
+    pub fn predict_mean_batch_into(&self, states: &Matrix, actions: &Matrix, out: &mut Matrix) {
+        out.resize(states.rows(), self.state_dim);
+        let mut member_out = Matrix::zeros(0, 0);
+        for m in &self.members {
+            m.predict_batch_into(states, actions, &mut member_out);
+            for (a, &v) in out.as_mut_slice().iter_mut().zip(member_out.as_slice()) {
+                *a += v;
+            }
+        }
+        let n = self.members.len() as f64;
+        for v in out.as_mut_slice() {
+            *v /= n;
+        }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`EnsembleDynamics::predict_mean_batch_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member is untrained or dimensions mismatch.
+    #[must_use]
+    pub fn predict_mean_batch(&self, states: &Matrix, actions: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.predict_mean_batch_into(states, actions, &mut out);
+        out
     }
 
     /// One member's prediction (e.g. for trajectory-sampling schemes that

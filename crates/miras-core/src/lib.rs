@@ -47,6 +47,7 @@
 
 mod adapter;
 mod agent;
+mod batch_env;
 mod checkpoint;
 mod config;
 mod dataset;
@@ -58,8 +59,9 @@ mod trainer;
 
 pub use adapter::{AdapterSnapshot, ClusterEnvAdapter};
 pub use agent::MirasAgent;
+pub use batch_env::BatchedSyntheticEnv;
 pub use checkpoint::{CheckpointError, CheckpointPayload, CHECKPOINT_VERSION};
-pub use config::MirasConfig;
+pub use config::{MirasConfig, RolloutMode};
 pub use dataset::{Standardizer, Transition, TransitionDataset};
 pub use dynamics::DynamicsModel;
 pub use ensemble_model::EnsembleDynamics;

@@ -1,5 +1,6 @@
 //! Model refinement: the Lend–Giveback procedure (paper §IV-C2, Alg. 1).
 
+use nn::Matrix;
 use rand::Rng;
 
 use crate::{DynamicsModel, TransitionDataset};
@@ -148,6 +149,71 @@ impl RefinedModel {
             }
         }
         out
+    }
+
+    /// Batched [`RefinedModel::predict`] over `B` lanes, each with its own
+    /// RNG stream: one base model forward for all lanes plus one forward for
+    /// *all* lend queries across all lanes (GEMM rows are independent, so
+    /// batching the queries cannot change any value).
+    ///
+    /// Row `i` of `out` is bitwise-equal to
+    /// `predict(states.row(i), actions.row(i), &mut rngs[i])`: the lend
+    /// draws for lane `i` are taken from `rngs[i]` in ascending-dimension
+    /// order, exactly as the sequential path draws them, and the model
+    /// itself never consumes randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wrapped model is untrained, dimensions mismatch, or
+    /// `rngs.len() != states.rows()`.
+    pub fn predict_batch_into<R: Rng>(
+        &self,
+        states: &Matrix,
+        actions: &Matrix,
+        rngs: &mut [R],
+        out: &mut Matrix,
+    ) {
+        assert_eq!(states.rows(), rngs.len(), "one RNG stream per lane");
+        self.model.predict_batch_into(states, actions, out);
+        if !self.enabled {
+            return;
+        }
+        let j_dim = self.tau.len();
+        // Lend: collect every below-threshold (lane, dimension) pair, with
+        // its ρ drawn lane-major / dimension-ascending so each lane consumes
+        // its stream in the sequential order.
+        let mut queries: Vec<(usize, usize, f64)> = Vec::new();
+        for (i, rng) in rngs.iter_mut().enumerate() {
+            let s = states.row(i);
+            for (j, &sj) in s.iter().enumerate().take(j_dim) {
+                if sj < self.tau[j] {
+                    let rho = if self.omega[j] > self.tau[j] {
+                        rng.gen_range(self.tau[j]..self.omega[j])
+                    } else {
+                        self.tau[j]
+                    };
+                    queries.push((i, j, rho));
+                }
+            }
+        }
+        if queries.is_empty() {
+            return;
+        }
+        let mut lent_states = Matrix::zeros(queries.len(), j_dim);
+        let mut lent_actions = Matrix::zeros(queries.len(), j_dim);
+        for (r, &(i, j, rho)) in queries.iter().enumerate() {
+            let row = lent_states.row_mut(r);
+            row.copy_from_slice(states.row(i));
+            row[j] += rho;
+            lent_actions.row_mut(r).copy_from_slice(actions.row(i));
+        }
+        let mut pred = Matrix::zeros(0, 0);
+        self.model
+            .predict_batch_into(&lent_states, &lent_actions, &mut pred);
+        // Giveback.
+        for (r, &(i, j, rho)) in queries.iter().enumerate() {
+            out.row_mut(i)[j] = (pred.row(r)[j] - rho).max(0.0);
+        }
     }
 }
 

@@ -54,6 +54,9 @@ pub struct SyntheticEnv {
     rng: SmallRng,
     telemetry: Telemetry,
     lend_triggers: u64,
+    /// Reused per-step buffer for the f64 view of the discretised
+    /// allocation, so stepping does not allocate it afresh each call.
+    action_buf: Vec<f64>,
 }
 
 impl SyntheticEnv {
@@ -101,6 +104,7 @@ impl SyntheticEnv {
             rng,
             telemetry: Telemetry::noop(),
             lend_triggers: 0,
+            action_buf: Vec::with_capacity(j),
         }
     }
 
@@ -161,7 +165,8 @@ impl Environment for SyntheticEnv {
 
     fn step(&mut self, action: &[f64]) -> RlTransition {
         let allocation = allocation_largest_remainder(action, self.consumer_budget);
-        let m: Vec<f64> = allocation.iter().map(|&v| v as f64).collect();
+        self.action_buf.clear();
+        self.action_buf.extend(allocation.iter().map(|&v| v as f64));
         // Mirror the `state[j] < τ_j` test RefinedModel::predict applies, so
         // the trigger count matches the lends actually performed.
         let triggers = self
@@ -171,12 +176,16 @@ impl Environment for SyntheticEnv {
             .filter(|(s, tau)| *s < tau)
             .count() as u64;
         self.lend_triggers += triggers;
-        let mut next = self.model.predict(&self.state, &m, &mut self.rng);
+        let mut next = self
+            .model
+            .predict(&self.state, &self.action_buf, &mut self.rng);
         for (v, &cap) in next.iter_mut().zip(&self.state_cap) {
             *v = v.min(cap);
         }
         let reward = microsim::reward_from_total_wip(next.iter().sum::<f64>());
-        self.state = next.clone();
+        // The prediction is the single materialisation: copy it into the
+        // stored state and hand the buffer itself to the caller.
+        self.state.copy_from_slice(&next);
         if self.telemetry.is_enabled() {
             self.telemetry.counter("synth.steps", 1);
             self.telemetry.counter("synth.lend_triggers", triggers);

@@ -10,9 +10,10 @@ use rl::{Ddpg, Environment, TrainError, TrainHealth};
 use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::{CheckpointError, CheckpointPayload, CHECKPOINT_VERSION};
+use crate::config::RolloutMode;
 use crate::{
-    ClusterEnvAdapter, DynamicsModel, MirasAgent, MirasConfig, RefinedModel, SyntheticEnv,
-    TransitionDataset,
+    BatchedSyntheticEnv, ClusterEnvAdapter, DynamicsModel, MirasAgent, MirasConfig, RefinedModel,
+    SyntheticEnv, TransitionDataset,
 };
 
 /// Why a self-healing training driver ultimately gave up.
@@ -270,44 +271,12 @@ impl MirasTrainer {
             .seed
             .wrapping_add(0xBEEF)
             .wrapping_add(self.iteration as u64);
-        let mut synth = SyntheticEnv::new(
-            refined,
-            self.dataset.clone(),
-            self.consumer_budget,
-            synth_seed,
-        );
-        synth.set_telemetry(self.telemetry.clone());
-        let mut returns = Vec::new();
-        let mut best = f64::NEG_INFINITY;
-        let mut stale = 0usize;
-        let mut rollouts_run = 0usize;
-        for _ in 0..self.config.rollouts_per_iter {
-            let mut s = synth.reset();
-            self.agent.resample_perturbation();
-            let mut total = 0.0;
-            for _ in 0..self.config.rollout_len {
-                let a = self.agent.act_exploratory(&s);
-                let t = synth.step(&a);
-                self.agent.observe(&s, &a, t.reward, &t.next_state);
-                let _ = self.agent.try_train_step(health)?;
-                total += t.reward;
-                s = t.next_state;
+        let (returns, rollouts_run, lend_triggers) = match self.config.rollout_mode {
+            RolloutMode::Sequential => self.inner_loop_sequential(refined, synth_seed, health)?,
+            RolloutMode::Lockstep(lanes) => {
+                self.inner_loop_lockstep(refined, synth_seed, lanes, health)?
             }
-            returns.push(total);
-            rollouts_run += 1;
-            // "until performance of the policy stops improving"
-            if self.config.inner_patience > 0 {
-                if total > best {
-                    best = total;
-                    stale = 0;
-                } else {
-                    stale += 1;
-                    if stale >= self.config.inner_patience {
-                        break;
-                    }
-                }
-            }
-        }
+        };
         let synthetic_return_mean = if returns.is_empty() {
             0.0
         } else {
@@ -329,7 +298,7 @@ impl MirasTrainer {
             eval_return,
             exploration_sigma: self.agent.param_noise_sigma(),
         };
-        self.lend_triggers_total += synth.lend_triggers();
+        self.lend_triggers_total += lend_triggers;
         if self.telemetry.is_enabled() {
             // Per-step reward means make the synthetic-vs-real gap
             // comparable across rollout/evaluation budgets.
@@ -346,7 +315,7 @@ impl MirasTrainer {
             if let Ok(serde::value::Value::Object(mut fields)) = serde::value::to_value(&report) {
                 fields.push((
                     "lend_triggers".to_string(),
-                    serde::value::Value::UInt(synth.lend_triggers()),
+                    serde::value::Value::UInt(lend_triggers),
                 ));
                 fields.push((
                     "reward_gap_per_step".to_string(),
@@ -520,6 +489,132 @@ impl MirasTrainer {
         }
     }
 
+    /// The original sequential inner loop: one synthetic rollout at a time,
+    /// one model forward per step. Returns the per-rollout returns, the
+    /// number of rollouts actually run, and the Lend-trigger count.
+    fn inner_loop_sequential(
+        &mut self,
+        refined: RefinedModel,
+        synth_seed: u64,
+        health: &mut TrainHealth,
+    ) -> Result<(Vec<f64>, usize, u64), TrainError> {
+        let mut synth = SyntheticEnv::new(
+            refined,
+            self.dataset.clone(),
+            self.consumer_budget,
+            synth_seed,
+        );
+        synth.set_telemetry(self.telemetry.clone());
+        let mut returns = Vec::new();
+        let mut best = f64::NEG_INFINITY;
+        let mut stale = 0usize;
+        let mut rollouts_run = 0usize;
+        for _ in 0..self.config.rollouts_per_iter {
+            let mut s = synth.reset();
+            self.agent.resample_perturbation();
+            let mut total = 0.0;
+            for _ in 0..self.config.rollout_len {
+                let a = self.agent.act_exploratory(&s);
+                let t = synth.step(&a);
+                self.agent.observe(&s, &a, t.reward, &t.next_state);
+                let _ = self.agent.try_train_step(health)?;
+                total += t.reward;
+                s = t.next_state;
+            }
+            returns.push(total);
+            rollouts_run += 1;
+            // "until performance of the policy stops improving"
+            if self.config.inner_patience > 0 {
+                if total > best {
+                    best = total;
+                    stale = 0;
+                } else {
+                    stale += 1;
+                    if stale >= self.config.inner_patience {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok((returns, rollouts_run, synth.lend_triggers()))
+    }
+
+    /// The lockstep inner loop: the rollout budget is consumed in waves of
+    /// up to `lanes` lanes stepped simultaneously, so each step runs ONE
+    /// batched dynamics forward and ONE batched actor forward for the whole
+    /// wave. Per environment step the agent still performs one train step
+    /// per active lane, preserving the sequential loop's data-to-update
+    /// ratio. Early-stop patience is applied to completed-lane returns in
+    /// lane order. With `lanes == 1` every RNG stream is consumed in the
+    /// sequential order, so the result is bit-identical to
+    /// [`MirasTrainer::inner_loop_sequential`].
+    fn inner_loop_lockstep(
+        &mut self,
+        refined: RefinedModel,
+        synth_seed: u64,
+        lanes: usize,
+        health: &mut TrainHealth,
+    ) -> Result<(Vec<f64>, usize, u64), TrainError> {
+        assert!(lanes > 0, "lockstep rollout mode needs at least one lane");
+        let mut env = BatchedSyntheticEnv::new(
+            refined,
+            self.dataset.clone(),
+            self.consumer_budget,
+            synth_seed,
+            lanes,
+        );
+        env.set_telemetry(self.telemetry.clone());
+        let mut returns = Vec::new();
+        let mut best = f64::NEG_INFINITY;
+        let mut stale = 0usize;
+        let mut rollouts_run = 0usize;
+        let mut remaining = self.config.rollouts_per_iter;
+        let mut prev_states = nn::Matrix::zeros(0, 0);
+        let mut totals: Vec<f64> = Vec::with_capacity(lanes);
+        'waves: while remaining > 0 {
+            let active = lanes.min(remaining);
+            env.reset(active);
+            self.agent.resample_perturbation();
+            totals.clear();
+            totals.resize(active, 0.0);
+            for _ in 0..self.config.rollout_len {
+                // The step swaps the env's state buffers, so keep a copy of
+                // the pre-step states for the replay transitions.
+                prev_states.resize(env.states().rows(), env.states().cols());
+                prev_states
+                    .as_mut_slice()
+                    .copy_from_slice(env.states().as_slice());
+                let actions = self.agent.act_exploratory_batch(&prev_states);
+                env.step(&actions);
+                self.agent
+                    .observe_batch(&prev_states, &actions, env.rewards(), env.states());
+                for (t, &r) in totals.iter_mut().zip(env.rewards()) {
+                    *t += r;
+                }
+                for _ in 0..active {
+                    let _ = self.agent.try_train_step(health)?;
+                }
+            }
+            for &total in &totals {
+                returns.push(total);
+                rollouts_run += 1;
+                remaining -= 1;
+                if self.config.inner_patience > 0 {
+                    if total > best {
+                        best = total;
+                        stale = 0;
+                    } else {
+                        stale += 1;
+                        if stale >= self.config.inner_patience {
+                            break 'waves;
+                        }
+                    }
+                }
+            }
+        }
+        Ok((returns, rollouts_run, env.lend_triggers()))
+    }
+
     /// Mutable access to the underlying DDPG learner. Exposed so
     /// fault-injection tests (and the resilience benchmark) can poison the
     /// replay buffer or inspect optimizer state; production drivers should
@@ -672,6 +767,41 @@ mod tests {
             r.eval_return
         };
         assert_eq!(run(10), run(10));
+    }
+
+    /// A one-lane lockstep inner loop consumes every RNG stream in the
+    /// sequential order, so whole iterations — reports, agent state, and
+    /// real-environment state — must match the sequential mode bit for bit.
+    #[test]
+    fn lockstep_one_lane_is_bit_identical_to_sequential() {
+        let mut seq_env = real_env(21);
+        let mut seq = MirasTrainer::new(&seq_env, MirasConfig::smoke_test(22));
+        let mut lock_env = real_env(21);
+        let mut lock = MirasTrainer::new(&lock_env, MirasConfig::smoke_test(22).with_lockstep(1));
+        for _ in 0..2 {
+            let r_seq = seq.run_iteration(&mut seq_env);
+            let r_lock = lock.run_iteration(&mut lock_env);
+            assert_eq!(r_seq, r_lock);
+        }
+        assert_eq!(seq.lend_triggers_total(), lock.lend_triggers_total());
+        assert_eq!(seq.agent_mut().snapshot(), lock.agent_mut().snapshot());
+        assert_eq!(seq_env.snapshot(), lock_env.snapshot());
+    }
+
+    /// Wide lockstep waves must run the full rollout budget and produce a
+    /// healthy report (values differ from sequential by design: exploration
+    /// randomness is consumed in lane order).
+    #[test]
+    fn lockstep_wide_runs_full_budget() {
+        let mut env = real_env(23);
+        let mut trainer = MirasTrainer::new(&env, MirasConfig::smoke_test(24).with_lockstep(3));
+        let report = trainer.run_iteration(&mut env);
+        // smoke_test has rollouts_per_iter = 4 and no patience: one full
+        // 3-lane wave plus one 1-lane remainder wave.
+        assert_eq!(report.rollouts_run, 4);
+        assert!(report.model_loss.is_finite());
+        assert!(report.eval_return.is_finite());
+        assert!(report.synthetic_return_mean.is_finite());
     }
 
     fn temp_checkpoint(name: &str) -> std::path::PathBuf {

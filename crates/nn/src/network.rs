@@ -147,20 +147,59 @@ impl Mlp {
     /// performs no steady-state allocation beyond the returned matrix.
     #[must_use]
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let (first, rest) = self.layers.split_first().expect("at least one layer");
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// Batched inference: one forward pass over a row-batch, one output row
+    /// per input row.
+    ///
+    /// This is the batched unification of [`Mlp::forward_one`]: because
+    /// every GEMM path accumulates each output element in ascending-k order
+    /// from `0.0`, row `i` of the result is bitwise-equal to
+    /// `forward_one(row_i)` regardless of the batch size or kernel dispatch.
+    #[must_use]
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        self.forward(x)
+    }
+
+    /// Inference forward pass into `out`, reusing its buffer. Intermediate
+    /// activations ping-pong between pooled buffers, so a steady-state call
+    /// performs no allocation at all.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        let (last, init) = self.layers.split_last().expect("at least one layer");
+        if init.is_empty() {
+            last.infer_into(x, out);
+            return;
+        }
+        let (first, mids) = init.split_first().expect("non-empty");
         let mut cur = first.infer(x);
         let mut next = Matrix::zeros(0, 0);
-        for layer in rest {
+        for layer in mids {
             layer.infer_into(&cur, &mut next);
             std::mem::swap(&mut cur, &mut next);
         }
-        cur
+        last.infer_into(&cur, out);
     }
 
     /// Forward pass for a single sample given as a slice.
     #[must_use]
     pub fn forward_one(&self, x: &[f64]) -> Vec<f64> {
-        self.forward(&Matrix::row_vector(x)).row(0).to_vec()
+        let mut out = Vec::new();
+        self.forward_one_into(x, &mut out);
+        out
+    }
+
+    /// Forward pass for a single sample, writing the output into `out`
+    /// (cleared and refilled). Routes through pooled matrix buffers, so a
+    /// steady-state call with a pre-sized `out` performs no allocation.
+    pub fn forward_one_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        let row = Matrix::row_vector(x);
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_into(&row, &mut y);
+        out.clear();
+        out.extend_from_slice(y.row(0));
     }
 
     /// Forward pass that records the per-layer value chain for

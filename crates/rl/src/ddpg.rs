@@ -584,6 +584,10 @@ pub struct Ddpg {
     rng: SmallRng,
     telemetry: Telemetry,
     train_steps_done: u64,
+    /// Reused buffer for the normalised state in [`Ddpg::act_exploratory`],
+    /// so single-lane rollouts stop allocating it every step. Pure scratch:
+    /// excluded from snapshots and never read across calls.
+    norm_buf: Vec<f64>,
 }
 
 /// How often (in train steps) the expensive target-network divergence
@@ -678,6 +682,7 @@ impl Ddpg {
             rng,
             telemetry: Telemetry::noop(),
             train_steps_done: 0,
+            norm_buf: Vec::new(),
         };
         agent.resample_perturbation();
         agent
@@ -695,8 +700,18 @@ impl Ddpg {
     /// result is always a valid distribution (action noise is projected back
     /// onto the simplex).
     pub fn act_exploratory(&mut self, state: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.act_exploratory_into(state, &mut out);
+        out
+    }
+
+    /// [`Ddpg::act_exploratory`] writing into a caller-owned buffer
+    /// (cleared and refilled), so tight rollout loops reuse one action
+    /// allocation. Bitwise-identical results and RNG consumption.
+    pub fn act_exploratory_into(&mut self, state: &[f64], out: &mut Vec<f64>) {
         self.remember_state(state);
-        let z = self.obs_norm.normalize(state);
+        let mut z = std::mem::take(&mut self.norm_buf);
+        self.obs_norm.normalize_into(state, &mut z);
         match &self.config.exploration {
             Exploration::ParamNoise { resample_every, .. } => {
                 let resample_every = *resample_every;
@@ -704,21 +719,89 @@ impl Ddpg {
                 if self.steps_since_resample >= resample_every {
                     self.adapt_and_resample();
                 }
-                self.perturbed_actor.forward_one(&z)
+                self.perturbed_actor.forward_one_into(&z, out);
             }
             Exploration::ActionNoise { .. } => {
-                let mut a = self.actor.forward_one(&z);
+                self.actor.forward_one_into(&z, out);
                 let noise = self
                     .action_noise
                     .as_mut()
                     .expect("action noise configured")
                     .sample(&mut self.rng);
-                for (ai, ni) in a.iter_mut().zip(&noise) {
+                for (ai, ni) in out.iter_mut().zip(&noise) {
                     *ai += ni;
                 }
-                project_to_simplex(&a)
+                let projected = project_to_simplex(out);
+                out.clear();
+                out.extend_from_slice(&projected);
             }
-            Exploration::Greedy => self.actor.forward_one(state),
+            Exploration::Greedy => self.actor.forward_one_into(state, out),
+        }
+        self.norm_buf = z;
+    }
+
+    /// Exploratory actions for a whole batch of lockstep rollout lanes: row
+    /// `i` of `states` is lane `i`'s state, row `i` of the result its action.
+    ///
+    /// The batch is processed with **one** actor forward instead of
+    /// `states.rows()` separate GEMV calls — the point of lockstep rollouts.
+    /// At batch size 1 this consumes RNG and mutates internal state exactly
+    /// like one [`Ddpg::act_exploratory`] call, so `Lockstep(1)` training is
+    /// bit-identical to sequential training. For larger batches the
+    /// parameter-noise resample clock ticks once per *batched* step (all
+    /// lanes share the same perturbation, resampled on the shared schedule)
+    /// and, under action noise, OU draws are consumed in lane order —
+    /// deterministic, but a different stream interleaving than B separate
+    /// sequential rollouts would produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` has no rows or a column count other than the
+    /// agent's state dimension.
+    pub fn act_exploratory_batch(&mut self, states: &Matrix) -> Matrix {
+        assert!(states.rows() > 0, "need at least one lane");
+        assert_eq!(
+            states.cols(),
+            self.obs_norm.dim(),
+            "state dimension mismatch"
+        );
+        for r in 0..states.rows() {
+            self.remember_state(states.row(r));
+        }
+        let mut z = Matrix::zeros(states.rows(), states.cols());
+        let mut buf = std::mem::take(&mut self.norm_buf);
+        for r in 0..states.rows() {
+            self.obs_norm.normalize_into(states.row(r), &mut buf);
+            z.row_mut(r).copy_from_slice(&buf);
+        }
+        self.norm_buf = buf;
+        match &self.config.exploration {
+            Exploration::ParamNoise { resample_every, .. } => {
+                let resample_every = *resample_every;
+                self.steps_since_resample += 1;
+                if self.steps_since_resample >= resample_every {
+                    self.adapt_and_resample();
+                }
+                self.perturbed_actor.forward(&z)
+            }
+            Exploration::ActionNoise { .. } => {
+                let mut a = self.actor.forward(&z);
+                for r in 0..a.rows() {
+                    let noise = self
+                        .action_noise
+                        .as_mut()
+                        .expect("action noise configured")
+                        .sample(&mut self.rng);
+                    let row = a.row_mut(r);
+                    for (ai, ni) in row.iter_mut().zip(&noise) {
+                        *ai += ni;
+                    }
+                    let projected = project_to_simplex(row);
+                    row.copy_from_slice(&projected);
+                }
+                a
+            }
+            Exploration::Greedy => self.actor.forward(states),
         }
     }
 
@@ -765,6 +848,29 @@ impl Ddpg {
             self.reward_norm.update(&[scaled]);
         } else {
             self.telemetry.counter("replay.rejected_nonfinite", 1);
+        }
+    }
+
+    /// Records one transition per lockstep lane, in lane order: row `i` of
+    /// each matrix and `rewards[i]` form lane `i`'s transition. Equivalent
+    /// to `rows` sequential [`Ddpg::observe`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row or reward counts disagree.
+    pub fn observe_batch(
+        &mut self,
+        states: &Matrix,
+        actions: &Matrix,
+        rewards: &[f64],
+        next_states: &Matrix,
+    ) {
+        let b = states.rows();
+        assert_eq!(actions.rows(), b, "action row count mismatch");
+        assert_eq!(next_states.rows(), b, "next-state row count mismatch");
+        assert_eq!(rewards.len(), b, "reward count mismatch");
+        for (r, &reward) in rewards.iter().enumerate() {
+            self.observe(states.row(r), actions.row(r), reward, next_states.row(r));
         }
     }
 
@@ -1031,6 +1137,7 @@ impl Ddpg {
             rng: SmallRng::from_state(s.rng_state),
             telemetry: Telemetry::noop(),
             train_steps_done: s.train_steps_done,
+            norm_buf: Vec::new(),
         }
     }
 

@@ -98,6 +98,27 @@ impl RunningNorm {
             })
             .collect()
     }
+
+    /// Allocation-free [`RunningNorm::normalize`] into a caller buffer
+    /// (cleared and refilled). Bitwise-identical to `normalize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn normalize_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        out.clear();
+        if self.count < 2 {
+            out.extend_from_slice(x);
+            return;
+        }
+        let n = self.count as f64;
+        out.extend(x.iter().enumerate().map(|(i, &v)| {
+            let var = self.m2[i] / n;
+            let std = var.sqrt().max(1e-6);
+            ((v - self.mean[i]) / std).clamp(-self.clip, self.clip)
+        }));
+    }
 }
 
 #[cfg(test)]

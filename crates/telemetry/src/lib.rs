@@ -30,9 +30,11 @@
 
 #![warn(missing_docs)]
 
+mod buffer;
 mod histogram;
 mod sink;
 
+pub use buffer::BufferedRecorder;
 pub use histogram::Histogram;
 pub use sink::JsonlSink;
 
@@ -168,6 +170,16 @@ impl Telemetry {
                     .map(|(k, v)| ((*k).to_string(), v.clone()))
                     .collect(),
             );
+            r.event(name, data);
+        }
+    }
+
+    /// Records a structured event from an already-built [`Value`] payload
+    /// (the replay path of [`BufferedRecorder`]; prefer
+    /// [`Telemetry::event`] / [`Telemetry::event_struct`] at call sites).
+    #[inline]
+    pub fn event_value(&self, name: &str, data: Value) {
+        if let Some(r) = &self.inner {
             r.event(name, data);
         }
     }
