@@ -93,29 +93,14 @@ impl DrsAllocator {
     }
 
     /// Expected M/M/m response time (Erlang-C): `W_q + 1/μ`, or infinity
-    /// when the queue is unstable (`λ ≥ m·μ`).
+    /// when the queue is unstable (`λ ≥ m·μ`). Delegates to
+    /// [`crate::queueing`], which the differential validation harness also
+    /// checks the simulator against.
     fn expected_response(lambda: f64, mu: f64, m: usize) -> f64 {
         if lambda <= 0.0 {
             return 1.0 / mu;
         }
-        if m == 0 {
-            return f64::INFINITY;
-        }
-        let a = lambda / mu; // offered load in Erlangs
-        let rho = a / m as f64;
-        if rho >= 1.0 {
-            return f64::INFINITY;
-        }
-        // Erlang-C probability of queueing, computed with a numerically
-        // stable iterative Erlang-B recursion: B(0) = 1,
-        // B(k) = a·B(k−1) / (k + a·B(k−1)); C = B / (1 − ρ(1 − B)).
-        let mut b = 1.0;
-        for k in 1..=m {
-            b = a * b / (k as f64 + a * b);
-        }
-        let c = b / (1.0 - rho * (1.0 - b));
-        let wq = c / (m as f64 * mu - lambda);
-        wq + 1.0 / mu
+        crate::queueing::mmc_mean_response(lambda, mu, m)
     }
 
     /// Total weighted sojourn-time objective for an allocation.

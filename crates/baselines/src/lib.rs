@@ -38,6 +38,7 @@ mod drs;
 mod heft;
 mod model_free;
 mod monad;
+pub mod queueing;
 mod statics;
 mod traits;
 

@@ -111,9 +111,18 @@ impl<E> Engine<E> {
     }
 
     /// Pops the earliest event, advancing the clock to its timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue yields an event timestamped before the current
+    /// clock. [`Engine::schedule`] clamps past times to `now`, so this can
+    /// only happen through queue corruption (e.g. restoring a tampered
+    /// snapshot); the clock going backwards would silently corrupt every
+    /// time-based measurement downstream, so it is fatal even in release
+    /// builds.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let ev = self.queue.pop()?;
-        debug_assert!(ev.time >= self.now, "event queue went back in time");
+        assert!(ev.time >= self.now, "event queue went back in time");
         self.now = ev.time;
         self.processed += 1;
         Some((ev.time, ev.event))

@@ -15,6 +15,7 @@ use rand_distr::{Distribution, LogNormal};
 use serde::{Deserialize, Serialize};
 use workflow::{Ensemble, TaskTypeId, WorkflowTypeId};
 
+use crate::audit::{audit_env_enabled, AuditViolation, SimAuditor};
 use crate::pool::ConsumerPool;
 use crate::SimConfig;
 
@@ -129,12 +130,24 @@ pub struct Cluster {
     completions: Vec<CompletionRecord>,
     tasks_completed: Vec<u64>,
     workflows_submitted: Vec<u64>,
+    /// Workflow requests completed so far, per workflow type (cumulative —
+    /// unlike `completions`, never drained; the audit layer's conservation
+    /// checks depend on it).
+    workflows_completed: Vec<u64>,
+    /// Task requests released into the delivery system so far, per task
+    /// type (cumulative; counts each DAG-node release exactly once —
+    /// redeliveries after a consumer crash are not new releases).
+    tasks_released: Vec<u64>,
+    /// Task requests currently held up by a delivery-delay spike, per task
+    /// type (released but neither queued nor in service yet).
+    tasks_in_delivery: Vec<usize>,
     consumer_failures: u64,
     /// Absolute time of each node's next correlated outage (empty when the
     /// node fault model is disabled). Dispatch consults this so requests
     /// whose service would outlive the node fail at the outage instant.
     node_next_outage: Vec<SimTime>,
     node_outages: u64,
+    auditor: SimAuditor,
 }
 
 impl Cluster {
@@ -161,6 +174,7 @@ impl Cluster {
             })
             .collect();
         let n = ensemble.num_workflow_types();
+        let audit = config.audit || audit_env_enabled();
         let mut cluster = Cluster {
             ensemble,
             engine: Engine::new(),
@@ -174,9 +188,13 @@ impl Cluster {
             completions: Vec::new(),
             tasks_completed: vec![0; j],
             workflows_submitted: vec![0; n],
+            workflows_completed: vec![0; n],
+            tasks_released: vec![0; j],
+            tasks_in_delivery: vec![0; j],
             consumer_failures: 0,
             node_next_outage: Vec::new(),
             node_outages: 0,
+            auditor: SimAuditor::new(audit),
         };
         if cluster.config.node_outage_rate_per_hour > 0.0 {
             for node in 0..cluster.config.node_count {
@@ -259,9 +277,21 @@ impl Cluster {
     }
 
     /// Advances simulated time to `horizon`, processing all events up to it.
+    ///
+    /// In debug builds, and in release builds with auditing enabled (see
+    /// [`SimConfig::with_audit`]), the audit layer checks event-time
+    /// monotonicity plus the pool and task-conservation invariants after
+    /// every event.
     pub fn run_until(&mut self, horizon: SimTime) {
-        while let Some((_, event)) = self.engine.pop_until(horizon) {
+        let audit = cfg!(debug_assertions) || self.auditor.is_enabled();
+        while let Some((at, event)) = self.engine.pop_until(horizon) {
+            if audit {
+                self.auditor.check_event_time(at);
+            }
             self.handle(event);
+            if audit {
+                self.audit_event_invariants();
+            }
         }
     }
 
@@ -304,8 +334,10 @@ impl Cluster {
         std::mem::take(&mut self.completions)
     }
 
-    /// Attaches a telemetry handle to the underlying event engine.
+    /// Attaches a telemetry handle to the underlying event engine and the
+    /// audit layer (violations emit structured `audit` events).
     pub fn set_telemetry(&mut self, telemetry: telemetry::Telemetry) {
+        self.auditor.set_telemetry(telemetry.clone());
         self.engine.set_telemetry(telemetry);
     }
 
@@ -344,6 +376,124 @@ impl Cluster {
     #[must_use]
     pub fn node_outages(&self) -> u64 {
         self.node_outages
+    }
+
+    /// Number of workflow requests completed so far, per type (cumulative;
+    /// unaffected by [`Cluster::drain_completions`]).
+    #[must_use]
+    pub fn workflows_completed(&self) -> &[u64] {
+        &self.workflows_completed
+    }
+
+    /// Whether runtime (release-mode) invariant auditing is on for this
+    /// cluster (via [`SimConfig::with_audit`] or `MIRAS_AUDIT=1`).
+    #[must_use]
+    pub fn audit_enabled(&self) -> bool {
+        self.auditor.is_enabled()
+    }
+
+    /// Invariant violations recorded so far (always empty unless runtime
+    /// auditing is enabled — debug builds panic at the violation site
+    /// instead).
+    #[must_use]
+    pub fn audit_violations(&self) -> &[AuditViolation] {
+        self.auditor.violations()
+    }
+
+    /// Removes and returns the invariant violations recorded so far.
+    pub fn take_audit_violations(&mut self) -> Vec<AuditViolation> {
+        self.auditor.take_violations()
+    }
+
+    /// Records a violation: panics in debug builds (the test suite must
+    /// stop at the first broken invariant), accumulates the typed report in
+    /// runtime-audit mode.
+    fn flag(&mut self, violation: AuditViolation) {
+        debug_assert!(false, "audit violation: {violation}");
+        self.auditor.record(violation);
+    }
+
+    /// Per-event invariants: every pool's population algebra plus per-task
+    /// request conservation (released = completed + queued + in service +
+    /// in delayed delivery). `O(J)` per event with `J` the task-type count.
+    fn audit_event_invariants(&mut self) {
+        let mut found: Vec<AuditViolation> = Vec::new();
+        for (j, pool) in self.pools.iter().enumerate() {
+            if let Err(desync) = pool.check_invariants() {
+                found.push(AuditViolation::Pool {
+                    task: j,
+                    task_name: self.ensemble.task_types()[j].name.clone(),
+                    desync,
+                });
+            }
+            let balance = self.tasks_completed[j]
+                + self.queues[j].len() as u64
+                + pool.busy() as u64
+                + self.tasks_in_delivery[j] as u64;
+            if self.tasks_released[j] != balance {
+                found.push(AuditViolation::TaskConservation {
+                    task: j,
+                    released: self.tasks_released[j],
+                    completed: self.tasks_completed[j],
+                    queued: self.queues[j].len(),
+                    in_service: pool.busy(),
+                    in_delivery: self.tasks_in_delivery[j],
+                });
+            }
+        }
+        for violation in found {
+            self.flag(violation);
+        }
+    }
+
+    /// Window-boundary audit: the per-event invariants plus per-workflow
+    /// request conservation (submitted = completed + in flight), which
+    /// needs an `O(instances)` sweep and therefore only runs at decision
+    /// boundaries. Called by
+    /// [`MicroserviceEnv::step`](crate::MicroserviceEnv::step) after every
+    /// window; external harnesses driving a bare cluster can call it at
+    /// their own boundaries. A no-op in release builds unless runtime
+    /// auditing is enabled.
+    pub fn audit_window(&mut self) {
+        if !(cfg!(debug_assertions) || self.auditor.is_enabled()) {
+            return;
+        }
+        self.audit_event_invariants();
+        let mut in_flight = vec![0usize; self.ensemble.num_workflow_types()];
+        for inst in self.instances.values() {
+            in_flight[inst.workflow_type.index()] += 1;
+        }
+        let mut found: Vec<AuditViolation> = Vec::new();
+        for (i, &submitted) in self.workflows_submitted.iter().enumerate() {
+            if submitted != self.workflows_completed[i] + in_flight[i] as u64 {
+                found.push(AuditViolation::WorkflowConservation {
+                    workflow: i,
+                    submitted,
+                    completed: self.workflows_completed[i],
+                    in_flight: in_flight[i],
+                });
+            }
+        }
+        for violation in found {
+            self.flag(violation);
+        }
+    }
+
+    /// Records a metric-shape violation detected by the environment layer
+    /// (vector-length disagreement in a [`crate::WindowMetrics`]).
+    pub(crate) fn flag_metric_shape(
+        &mut self,
+        window_index: usize,
+        field: &'static str,
+        expected: usize,
+        actual: usize,
+    ) {
+        self.flag(AuditViolation::MetricShape {
+            window_index,
+            field,
+            expected,
+            actual,
+        });
     }
 
     fn sample_startup_delay(&mut self) -> SimTime {
@@ -402,7 +552,24 @@ impl Cluster {
                 instance,
                 node,
             } => {
-                self.queues[task.index()].push_back(PendingTask { instance, node });
+                let j = task.index();
+                // The request leaves the delayed-delivery limbo and becomes
+                // visible in its queue. A zero in-delivery count here is a
+                // conservation desync (a Deliver event with no matching
+                // deferred release).
+                if let Some(n) = self.tasks_in_delivery[j].checked_sub(1) {
+                    self.tasks_in_delivery[j] = n;
+                } else {
+                    self.flag(AuditViolation::TaskConservation {
+                        task: j,
+                        released: self.tasks_released[j],
+                        completed: self.tasks_completed[j],
+                        queued: self.queues[j].len(),
+                        in_service: self.pools[j].busy(),
+                        in_delivery: 0,
+                    });
+                }
+                self.queues[j].push_back(PendingTask { instance, node });
                 self.dispatch(task);
             }
         }
@@ -431,12 +598,14 @@ impl Cluster {
     }
 
     fn enqueue_task(&mut self, task: TaskTypeId, instance: InstanceId, node: usize) {
+        self.tasks_released[task.index()] += 1;
         // Delivery-delay spikes: with configured probability the broker
         // delivers the request only after a uniform delay in (0, max].
         let p = self.config.delivery_delay_prob;
         if p > 0.0 && self.rng.gen_bool(p) {
             let max = self.config.delivery_delay_max.as_micros();
             let delay = SimTime::from_micros(self.rng.gen_range(1..=max));
+            self.tasks_in_delivery[task.index()] += 1;
             self.engine.schedule_after(
                 delay,
                 Event::Deliver {
@@ -598,6 +767,7 @@ impl Cluster {
 
         if let Some((wf, arrival)) = finished_workflow {
             self.instances.remove(&instance);
+            self.workflows_completed[wf.index()] += 1;
             self.completions.push(CompletionRecord {
                 workflow_type: wf,
                 arrival,
@@ -643,6 +813,9 @@ impl Cluster {
             completions: self.completions.clone(),
             tasks_completed: self.tasks_completed.clone(),
             workflows_submitted: self.workflows_submitted.clone(),
+            workflows_completed: self.workflows_completed.clone(),
+            tasks_released: self.tasks_released.clone(),
+            tasks_in_delivery: self.tasks_in_delivery.clone(),
             consumer_failures: self.consumer_failures,
             node_next_outage: self.node_next_outage.clone(),
             node_outages: self.node_outages,
@@ -687,6 +860,9 @@ impl Cluster {
         fresh.completions = snapshot.completions;
         fresh.tasks_completed = snapshot.tasks_completed;
         fresh.workflows_submitted = snapshot.workflows_submitted;
+        fresh.workflows_completed = snapshot.workflows_completed;
+        fresh.tasks_released = snapshot.tasks_released;
+        fresh.tasks_in_delivery = snapshot.tasks_in_delivery;
         fresh.consumer_failures = snapshot.consumer_failures;
         fresh.node_next_outage = snapshot.node_next_outage;
         fresh.node_outages = snapshot.node_outages;
@@ -718,6 +894,9 @@ pub struct ClusterSnapshot {
     completions: Vec<CompletionRecord>,
     tasks_completed: Vec<u64>,
     workflows_submitted: Vec<u64>,
+    workflows_completed: Vec<u64>,
+    tasks_released: Vec<u64>,
+    tasks_in_delivery: Vec<usize>,
     consumer_failures: u64,
     node_next_outage: Vec<SimTime>,
     node_outages: u64,

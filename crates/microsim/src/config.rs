@@ -55,6 +55,14 @@ pub struct SimConfig {
     /// Maximum delivery delay; delayed deliveries are postponed by a
     /// uniform draw from `(0, delivery_delay_max]`.
     pub delivery_delay_max: SimTime,
+    /// Runtime invariant auditing (default off). Debug builds always check
+    /// the simulator's invariants via `debug_assert!`; setting this (or
+    /// exporting `MIRAS_AUDIT=1`) keeps the checks on in release builds,
+    /// where violations surface as typed
+    /// [`AuditViolation`](crate::AuditViolation)s and `audit` telemetry
+    /// events instead of panics. Auditing is observation-only: results are
+    /// bit-identical with it on or off.
+    pub audit: bool,
 }
 
 impl SimConfig {
@@ -73,7 +81,19 @@ impl SimConfig {
             straggler_factor: 1.0,
             delivery_delay_prob: 0.0,
             delivery_delay_max: SimTime::ZERO,
+            audit: false,
         }
+    }
+
+    /// Enables runtime invariant auditing: the checks debug builds run via
+    /// `debug_assert!` stay on in release builds, and violations surface as
+    /// typed [`AuditViolation`](crate::AuditViolation)s (collected through
+    /// [`Cluster::take_audit_violations`](crate::Cluster::take_audit_violations)
+    /// and mirrored as `audit` telemetry events) instead of panicking.
+    #[must_use]
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
+        self
     }
 
     /// Enables CPU-contention modelling with the given cluster-wide core

@@ -273,6 +273,8 @@ impl MicroserviceEnv {
             completions,
             mean_response_secs,
         };
+        self.audit_metrics(&metrics);
+        self.cluster.audit_window();
         self.window_index += 1;
         if self.telemetry.is_enabled() {
             self.cluster.telemetry_checkpoint();
@@ -326,6 +328,44 @@ impl MicroserviceEnv {
             self.injected_schedule.pop_front();
         }
         self.state()
+    }
+
+    /// Checks the per-window metric vectors for length agreement: the
+    /// task-type–indexed vectors must have `J` entries and the
+    /// workflow-type–indexed ones `N`. A disagreement would make
+    /// [`WindowMetrics::overall_mean_response_secs`] silently drop workflow
+    /// types from its weighted mean, so it is flagged here at the source.
+    fn audit_metrics(&mut self, metrics: &WindowMetrics) {
+        if !(cfg!(debug_assertions) || self.cluster.audit_enabled()) {
+            return;
+        }
+        let j = self.num_task_types();
+        let n = self.num_workflow_types();
+        let checks: [(&'static str, usize, usize); 5] = [
+            ("wip", j, metrics.wip.len()),
+            ("action_applied", j, metrics.action_applied.len()),
+            ("arrivals", n, metrics.arrivals.len()),
+            ("completions", n, metrics.completions.len()),
+            ("mean_response_secs", n, metrics.mean_response_secs.len()),
+        ];
+        for (field, expected, actual) in checks {
+            if expected != actual {
+                self.cluster
+                    .flag_metric_shape(metrics.window_index, field, expected, actual);
+            }
+        }
+    }
+
+    /// Invariant violations recorded so far by the audit layer (see
+    /// [`Cluster::audit_violations`](crate::Cluster::audit_violations)).
+    #[must_use]
+    pub fn audit_violations(&self) -> &[crate::AuditViolation] {
+        self.cluster.audit_violations()
+    }
+
+    /// Removes and returns the invariant violations recorded so far.
+    pub fn take_audit_violations(&mut self) -> Vec<crate::AuditViolation> {
+        self.cluster.take_audit_violations()
     }
 
     fn enforce_budget(&self, action: &[usize]) -> (Vec<usize>, bool) {

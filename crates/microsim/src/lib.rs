@@ -43,14 +43,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod cluster;
 mod config;
 mod env;
 mod metrics;
 mod pool;
 
+pub use audit::{audit_env_enabled, AuditViolation, SimAuditor};
 pub use cluster::{Cluster, ClusterSnapshot, CompletionRecord};
 pub use config::{EnvConfig, SimConfig};
 pub use env::{reward_from_total_wip, EnvSnapshot, MicroserviceEnv, StepOutcome};
 pub use metrics::{LatencySummary, WindowMetrics};
-pub use pool::ConsumerPool;
+pub use pool::{ConsumerPool, PoolCounters, PoolDesync};

@@ -42,8 +42,18 @@ impl WindowMetrics {
     /// Mean response time over all workflow types that completed requests in
     /// this window, weighted by completion counts. `None` if nothing
     /// completed.
+    ///
+    /// `completions` and `mean_response_secs` must have one entry per
+    /// workflow type each; a length mismatch would silently drop the excess
+    /// types from the weighted mean, so it is rejected in debug builds (and
+    /// flagged by the [`crate::SimAuditor`] when auditing is enabled).
     #[must_use]
     pub fn overall_mean_response_secs(&self) -> Option<f64> {
+        debug_assert_eq!(
+            self.completions.len(),
+            self.mean_response_secs.len(),
+            "completions and mean_response_secs must cover the same workflow types"
+        );
         let mut total = 0.0;
         let mut count = 0usize;
         for (c, r) in self.completions.iter().zip(&self.mean_response_secs) {
@@ -71,8 +81,12 @@ impl WindowMetrics {
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LatencySummary {
-    /// Number of samples.
+    /// Number of (finite) samples summarised.
     pub count: usize,
+    /// Number of non-finite samples (NaN or infinite) dropped from the
+    /// input before summarising.
+    #[serde(default)]
+    pub dropped_non_finite: usize,
     /// Arithmetic mean (seconds).
     pub mean: f64,
     /// Minimum (seconds).
@@ -88,24 +102,34 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    /// Summarises response times in seconds; `None` for an empty input.
+    /// Summarises response times in seconds; `None` when no finite samples
+    /// are present.
     ///
-    /// # Panics
-    ///
-    /// Panics if any latency is NaN.
+    /// Non-finite samples (NaN or infinite) are dropped rather than
+    /// panicking; the number dropped is reported in
+    /// [`dropped_non_finite`](Self::dropped_non_finite). Percentiles use the
+    /// nearest-rank method over `count - 1` intervals, so at tiny sample
+    /// counts high percentiles collapse to the maximum (e.g. `p99` of two
+    /// samples is the larger one).
     #[must_use]
     pub fn from_secs(latencies: &[f64]) -> Option<Self> {
-        if latencies.is_empty() {
+        let mut sorted: Vec<f64> = latencies
+            .iter()
+            .copied()
+            .filter(|s| s.is_finite())
+            .collect();
+        let dropped_non_finite = latencies.len() - sorted.len();
+        if sorted.is_empty() {
             return None;
         }
-        let mut sorted = latencies.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies must not be NaN"));
+        sorted.sort_by(f64::total_cmp);
         let nearest = |p: f64| {
             let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
             sorted[rank]
         };
         Some(LatencySummary {
             count: sorted.len(),
+            dropped_non_finite,
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
             min: sorted[0],
             p50: nearest(50.0),
@@ -185,6 +209,57 @@ mod tests {
         assert_eq!(s.p50, 7.0);
         assert_eq!(s.p99, 7.0);
         assert_eq!(s.mean, 7.0);
+    }
+
+    /// Regression: a length mismatch between `completions` and
+    /// `mean_response_secs` used to be silently truncated by `zip`, dropping
+    /// workflow types from the weighted mean.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "same workflow types")]
+    fn overall_mean_rejects_mismatched_lengths() {
+        let mut m = sample();
+        m.mean_response_secs.pop();
+        let _ = m.overall_mean_response_secs();
+    }
+
+    /// Regression: `from_secs` used to panic (`expect` inside `sort_by`) on
+    /// any NaN sample. It now drops non-finite samples and reports the count.
+    #[test]
+    fn latency_summary_drops_non_finite() {
+        let s =
+            LatencySummary::from_secs(&[3.0, f64::NAN, 1.0, f64::INFINITY, 2.0, f64::NEG_INFINITY])
+                .unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.dropped_non_finite, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn latency_summary_all_non_finite_is_none() {
+        assert!(LatencySummary::from_secs(&[f64::NAN, f64::INFINITY]).is_none());
+    }
+
+    /// Nearest-rank behaviour at tiny sample counts: with two samples the
+    /// only ranks are 0 and 1, so `p99` (rank round(0.99) = 1) is the max
+    /// and `p50` (rank round(0.5) = 1) rounds up to the max as well.
+    #[test]
+    fn latency_summary_percentiles_of_two_samples() {
+        let s = LatencySummary::from_secs(&[10.0, 20.0]).unwrap();
+        assert_eq!(s.p99, 20.0);
+        assert_eq!(s.p95, 20.0);
+        assert_eq!(s.p50, 20.0);
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.mean, 15.0);
+    }
+
+    #[test]
+    fn latency_summary_deserialises_without_dropped_field() {
+        let json = r#"{"count":1,"mean":1.0,"min":1.0,"p50":1.0,"p95":1.0,"p99":1.0,"max":1.0}"#;
+        let s: LatencySummary = serde_json::from_str(json).unwrap();
+        assert_eq!(s.dropped_non_finite, 0);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Consumer pools: the per-microservice set of identical workers.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 /// The consumer pool of one microservice.
@@ -34,6 +36,57 @@ pub struct Retarget {
     pub to_start: usize,
 }
 
+/// Raw dump of a pool's five population counters, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PoolCounters {
+    /// Consumers up (busy or idle).
+    pub active: usize,
+    /// Consumers processing a request.
+    pub busy: usize,
+    /// Containers scheduled to come up (gross, including cancelled).
+    pub starting: usize,
+    /// Starting containers that have been cancelled.
+    pub cancel_starting: usize,
+    /// Busy consumers marked to retire on completion.
+    pub pending_retire: usize,
+}
+
+impl fmt::Display for PoolCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "active: {}, busy: {}, starting: {}, cancel_starting: {}, pending_retire: {}",
+            self.active, self.busy, self.starting, self.cancel_starting, self.pending_retire
+        )
+    }
+}
+
+/// A consumer pool's counters broke their population algebra.
+///
+/// Carries the violated relation plus the full counter dump so a
+/// fault-injection run that desyncs a pool produces a diagnosable report
+/// (which pool, which relation, all five raw counts) instead of an opaque
+/// `usize`-underflow panic deep inside an accessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PoolDesync {
+    /// The population relation that no longer holds.
+    pub relation: &'static str,
+    /// The raw counters at the moment of detection.
+    pub counters: PoolCounters,
+}
+
+impl fmt::Display for PoolDesync {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "counter desync: `{}` violated ({})",
+            self.relation, self.counters
+        )
+    }
+}
+
+impl std::error::Error for PoolDesync {}
+
 impl ConsumerPool {
     /// Creates an empty pool.
     #[must_use]
@@ -54,22 +107,105 @@ impl ConsumerPool {
     }
 
     /// Consumers up and waiting for work.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a full counter dump when the counters have desynced
+    /// (`busy > active`); see [`ConsumerPool::checked_idle`] for the
+    /// non-panicking form.
     #[must_use]
     pub fn idle(&self) -> usize {
-        self.active - self.busy
+        self.checked_idle()
+            .unwrap_or_else(|e| panic!("consumer pool {e}"))
     }
 
     /// Containers still starting (net of cancellations).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a full counter dump when the counters have desynced
+    /// (`cancel_starting > starting`); see
+    /// [`ConsumerPool::checked_starting`] for the non-panicking form.
     #[must_use]
     pub fn starting(&self) -> usize {
-        self.starting - self.cancel_starting
+        self.checked_starting()
+            .unwrap_or_else(|e| panic!("consumer pool {e}"))
     }
 
     /// The pool size the system is converging to: active consumers not
     /// marked for retirement, plus net starting containers.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a full counter dump when the counters have desynced
+    /// (`pending_retire > active` or `cancel_starting > starting`); see
+    /// [`ConsumerPool::checked_effective_target`] for the non-panicking
+    /// form.
     #[must_use]
     pub fn effective_target(&self) -> usize {
-        self.active - self.pending_retire + self.starting()
+        self.checked_effective_target()
+            .unwrap_or_else(|e| panic!("consumer pool {e}"))
+    }
+
+    /// [`ConsumerPool::idle`] through checked subtraction: a typed
+    /// [`PoolDesync`] (naming the violated relation and dumping every
+    /// counter) instead of a `usize`-underflow panic when `busy > active`.
+    pub fn checked_idle(&self) -> Result<usize, PoolDesync> {
+        self.active
+            .checked_sub(self.busy)
+            .ok_or_else(|| self.desync("busy <= active"))
+    }
+
+    /// [`ConsumerPool::starting`] through checked subtraction.
+    pub fn checked_starting(&self) -> Result<usize, PoolDesync> {
+        self.starting
+            .checked_sub(self.cancel_starting)
+            .ok_or_else(|| self.desync("cancel_starting <= starting"))
+    }
+
+    /// [`ConsumerPool::effective_target`] through checked subtraction.
+    pub fn checked_effective_target(&self) -> Result<usize, PoolDesync> {
+        let unretired = self
+            .active
+            .checked_sub(self.pending_retire)
+            .ok_or_else(|| self.desync("pending_retire <= active"))?;
+        Ok(unretired + self.checked_starting()?)
+    }
+
+    /// The raw population counters, for diagnostics and audits.
+    #[must_use]
+    pub fn counters(&self) -> PoolCounters {
+        PoolCounters {
+            active: self.active,
+            busy: self.busy,
+            starting: self.starting,
+            cancel_starting: self.cancel_starting,
+            pending_retire: self.pending_retire,
+        }
+    }
+
+    /// Checks the pool's full population algebra: `busy ≤ active`,
+    /// `pending_retire ≤ busy`, and `cancel_starting ≤ starting`. (The
+    /// counters are unsigned, so non-negativity is structural; what can
+    /// break are the orderings.)
+    pub fn check_invariants(&self) -> Result<(), PoolDesync> {
+        if self.busy > self.active {
+            return Err(self.desync("busy <= active"));
+        }
+        if self.pending_retire > self.busy {
+            return Err(self.desync("pending_retire <= busy"));
+        }
+        if self.cancel_starting > self.starting {
+            return Err(self.desync("cancel_starting <= starting"));
+        }
+        Ok(())
+    }
+
+    fn desync(&self, relation: &'static str) -> PoolDesync {
+        PoolDesync {
+            relation,
+            counters: self.counters(),
+        }
     }
 
     /// Retargets the pool to `target` consumers.
@@ -342,5 +478,76 @@ mod tests {
         assert_eq!(p.idle(), 2);
         let _ = p.finish_work();
         assert_eq!(p.idle(), 3);
+    }
+
+    /// Builds a pool with raw (possibly inconsistent) counters through the
+    /// serde surface — the only way to desync one from the outside, which is
+    /// exactly what makes it the right tool for testing the desync paths.
+    fn raw_pool(
+        active: usize,
+        busy: usize,
+        starting: usize,
+        cancel_starting: usize,
+        pending_retire: usize,
+    ) -> ConsumerPool {
+        serde_json::from_str(&format!(
+            r#"{{"active":{active},"busy":{busy},"starting":{starting},
+                 "cancel_starting":{cancel_starting},"pending_retire":{pending_retire}}}"#
+        ))
+        .expect("raw pool JSON")
+    }
+
+    #[test]
+    fn healthy_pool_passes_invariant_check() {
+        let mut p = pool_with_active(3);
+        p.begin_work();
+        let _ = p.retarget(1);
+        assert!(p.check_invariants().is_ok());
+        assert_eq!(p.checked_idle().unwrap(), p.idle());
+        assert_eq!(p.checked_starting().unwrap(), p.starting());
+        assert_eq!(p.checked_effective_target().unwrap(), p.effective_target());
+    }
+
+    #[test]
+    fn desynced_busy_surfaces_typed_error_not_underflow() {
+        let p = raw_pool(1, 3, 0, 0, 0);
+        let err = p.checked_idle().unwrap_err();
+        assert_eq!(err.relation, "busy <= active");
+        assert_eq!(err.counters.active, 1);
+        assert_eq!(err.counters.busy, 3);
+        assert_eq!(p.check_invariants().unwrap_err().relation, "busy <= active");
+    }
+
+    #[test]
+    fn desynced_cancellations_surface_typed_error() {
+        let p = raw_pool(0, 0, 1, 2, 0);
+        assert_eq!(
+            p.checked_starting().unwrap_err().relation,
+            "cancel_starting <= starting"
+        );
+        assert_eq!(
+            p.checked_effective_target().unwrap_err().relation,
+            "cancel_starting <= starting"
+        );
+    }
+
+    #[test]
+    fn desynced_retirement_surfaces_typed_error() {
+        let p = raw_pool(1, 1, 0, 0, 2);
+        assert_eq!(
+            p.checked_effective_target().unwrap_err().relation,
+            "pending_retire <= active"
+        );
+        assert_eq!(
+            p.check_invariants().unwrap_err().relation,
+            "pending_retire <= busy"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "busy <= active")]
+    fn accessor_panic_names_the_counters() {
+        let p = raw_pool(1, 3, 0, 0, 0);
+        let _ = p.idle();
     }
 }

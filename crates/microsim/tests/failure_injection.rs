@@ -105,6 +105,42 @@ fn failures_slow_processing_down() {
     );
 }
 
+/// Every fault class must leave the simulator's invariants intact: runs
+/// with runtime auditing enabled record zero violations under consumer
+/// crashes, correlated node outages, stragglers, and delivery-delay spikes
+/// (the resilience benchmark's scenario rates). This is the in-tree
+/// counterpart of the `sim_audit` binary's scenario sweep.
+#[test]
+fn fault_scenarios_run_audit_clean() {
+    let scenarios: [(&str, SimConfig); 5] = [
+        ("healthy", SimConfig::new(9)),
+        ("crashes", SimConfig::new(9).with_failure_rate(20.0)),
+        ("outages", SimConfig::new(9).with_node_model(3, 2.0)),
+        ("stragglers", SimConfig::new(9).with_stragglers(0.05, 10.0)),
+        (
+            "delays",
+            SimConfig::new(9).with_delivery_delay_spikes(0.10, SimTime::from_secs(10)),
+        ),
+    ];
+    for (name, sim) in scenarios {
+        let mut c = Cluster::new(Ensemble::msd(), sim.with_audit());
+        c.set_consumers(&[4, 4, 4, 2]);
+        for i in 0..200 {
+            c.submit(
+                SimTime::from_secs(i / 2),
+                WorkflowTypeId::new((i % 3) as usize),
+            );
+        }
+        c.run_until(SimTime::from_secs(4_000));
+        assert!(c.audit_enabled());
+        assert_eq!(
+            c.audit_violations(),
+            &[],
+            "scenario `{name}` violated simulator invariants"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

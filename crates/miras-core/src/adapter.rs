@@ -84,6 +84,20 @@ impl ClusterEnvAdapter {
         self.last_metrics.as_ref()
     }
 
+    /// Invariant violations recorded by the wrapped environment's
+    /// [`microsim::SimAuditor`] so far. Empty unless auditing was enabled
+    /// via [`microsim::SimConfig::with_audit`] or `MIRAS_AUDIT=1`.
+    #[must_use]
+    pub fn audit_violations(&self) -> &[microsim::AuditViolation] {
+        self.env.audit_violations()
+    }
+
+    /// Removes and returns the recorded invariant violations, so training
+    /// loops can surface them once per epoch without re-reporting.
+    pub fn take_audit_violations(&mut self) -> Vec<microsim::AuditViolation> {
+        self.env.take_audit_violations()
+    }
+
     /// Removes and returns the `(s, m, s')` tuples recorded since the last
     /// call — the raw material for [`TransitionDataset`].
     pub fn take_transitions(&mut self) -> Vec<Transition> {
