@@ -1,0 +1,449 @@
+//! Simulation-core throughput: binary-heap vs timing-wheel event queue.
+//!
+//! Sweeps the emulator from the paper's 14-consumer MSD system up to
+//! synthetic 1024-consumer, 128-task-type ensembles with near-million-event
+//! decision windows, once per event-queue backend. Both backends deliver
+//! bit-identical event sequences (see the `queue_equivalence` differential
+//! suite), so every heap/wheel pair simulates the exact same trajectory —
+//! the comparison isolates queue cost.
+//!
+//! Two measurements per sweep point:
+//!
+//! * **`sim`** — end-to-end [`MicroserviceEnv::step`] throughput under a
+//!   fixed uniform allocation: events/sec as the cluster sees them, with
+//!   all handler work (RNG draws, pool bookkeeping, dependency release)
+//!   included. At paper scale the queue holds a handful of events and the
+//!   backends tie; at the million-event points the wheel removes the queue
+//!   from the critical path and the residual gap is handler-bound.
+//! * **`queue-replay`** — the same event *profile* (bulk-scheduled window
+//!   arrivals fanning out into near-term completions, volumes taken from
+//!   the measured `sim` run) pushed through the bare [`EventQueue`], no
+//!   handlers. This isolates what the backend itself costs and is where
+//!   the wheel's O(1) scheduling shows directly.
+//!
+//! Writes `BENCH_sim.json` at the repository root and a telemetry stream
+//! to `results/sim_throughput.jsonl`.
+//!
+//! Usage: `sim_throughput [--seed N] [--smoke]`
+//! (`--smoke` shrinks the window counts so the whole sweep runs in seconds).
+
+use std::time::Instant;
+
+use desim::{EventQueue, QueueKind, SimTime};
+use microsim::{EnvConfig, MicroserviceEnv, SimConfig};
+use miras_bench::init_telemetry;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use telemetry::Value;
+use workflow::{Dag, Ensemble, TaskTypeDef, TaskTypeId, WorkflowDef};
+
+/// One sweep point: an ensemble scale plus an arrival-rate multiplier.
+struct Scenario {
+    name: &'static str,
+    /// Builds the ensemble (deterministic; no RNG involved).
+    build: fn() -> Ensemble,
+    /// Multiplier on the ensemble's default arrival rates.
+    rate_scale: f64,
+    /// Timed decision windows in the full run.
+    windows: usize,
+    /// Timed decision windows under `--smoke`.
+    smoke_windows: usize,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    // The paper's testbed scale: 4 task types, 14 consumers, a few dozen
+    // arrivals per window. Thousands of windows so the measurement is not
+    // dominated by cold caches.
+    Scenario {
+        name: "msd-paper",
+        build: Ensemble::msd,
+        rate_scale: 1.0,
+        windows: 2000,
+        smoke_windows: 20,
+    },
+    Scenario {
+        name: "syn-mid-256",
+        build: || Ensemble::synthetic(32, 16, 256, 0.05),
+        rate_scale: 1.0,
+        windows: 16,
+        smoke_windows: 2,
+    },
+    // ~128k arrivals (~640k events) per 30 s window, stable at load 0.5.
+    Scenario {
+        name: "syn-large-1k",
+        build: || Ensemble::synthetic(128, 64, 1024, 0.03),
+        rate_scale: 1.0,
+        windows: 6,
+        smoke_windows: 1,
+    },
+    // Short tasks, same 1024 consumers: ~1.9M arrivals (~9.6M events) per
+    // window, still stable at load 0.5 — the million-event regime the
+    // timing wheel exists for.
+    Scenario {
+        name: "syn-large-1k-fast",
+        build: || Ensemble::synthetic(128, 64, 1024, 0.002),
+        rate_scale: 1.0,
+        windows: 3,
+        smoke_windows: 1,
+    },
+    // Single-task requests (no DAG fan-out): every second event is a
+    // window-scheduled arrival sitting deep in the queue, the worst case
+    // for a comparison-based heap and the profile of a plain microservice
+    // request stream. ~3.8M arrivals (~7.7M events) per window at load 0.5.
+    Scenario {
+        name: "syn-1k-micro",
+        build: micro_ensemble,
+        rate_scale: 1.0,
+        windows: 2,
+        smoke_windows: 1,
+    },
+];
+
+/// 128 single-task workflow types over 128 task types, 1024 consumers,
+/// ~4 ms mean service: each request is one task, so the event stream is
+/// half bulk-scheduled arrivals and half near-term completions.
+/// Deterministic, mirroring [`Ensemble::synthetic`]'s jitter scheme.
+fn micro_ensemble() -> Ensemble {
+    let (j_types, budget, mean_service) = (128usize, 1024usize, 0.004f64);
+    let task_types: Vec<TaskTypeDef> = (0..j_types)
+        .map(|j| {
+            let jitter = 0.5 + (j.wrapping_mul(2_654_435_761) % 1024) as f64 / 1024.0;
+            TaskTypeDef::new(format!("S{j}"), mean_service * jitter, 0.5)
+        })
+        .collect();
+    let workflows: Vec<WorkflowDef> = (0..j_types)
+        .map(|i| WorkflowDef {
+            name: format!("R{i}"),
+            dag: Dag::chain(vec![TaskTypeId::new(i)]).expect("single-node chain is well-formed"),
+        })
+        .collect();
+    let target_load = 0.5 * budget as f64;
+    let rates: Vec<f64> = (0..j_types)
+        .map(|i| target_load / (j_types as f64 * task_types[i].mean_service_secs))
+        .collect();
+    Ensemble::new("SYN-1024-micro", task_types, workflows, budget, rates)
+}
+
+#[derive(Debug, Serialize)]
+struct PointResult {
+    scenario: String,
+    mode: String,
+    queue: String,
+    task_types: usize,
+    consumers: usize,
+    rate_scale: f64,
+    windows: usize,
+    events: u64,
+    secs: f64,
+    events_per_sec: f64,
+    requests: u64,
+    requests_per_sec: f64,
+    peak_pending: usize,
+    wheel_cascades: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct Speedup {
+    scenario: String,
+    mode: String,
+    events_per_sec_wheel_over_heap: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    bench: String,
+    seed: u64,
+    smoke: bool,
+    results: Vec<PointResult>,
+    speedups: Vec<Speedup>,
+}
+
+fn queue_name(kind: QueueKind) -> &'static str {
+    match kind {
+        QueueKind::Heap => "heap",
+        QueueKind::Wheel => "wheel",
+    }
+}
+
+/// Runs one end-to-end sweep point: builds the environment on `kind`,
+/// applies a uniform allocation, and times `windows` decision windows
+/// (after one untimed warm-up window so both backends start from a
+/// populated steady state). Returns the result plus the measured arrival
+/// count, which sizes the queue replay.
+fn run_sim(scenario: &Scenario, kind: QueueKind, windows: usize, seed: u64) -> (PointResult, u64) {
+    let ensemble = (scenario.build)();
+    let budget = ensemble.default_consumer_budget();
+    let j = ensemble.num_task_types();
+    let rates: Vec<f64> = ensemble
+        .default_arrival_rates()
+        .iter()
+        .map(|r| r * scenario.rate_scale)
+        .collect();
+    let config = EnvConfig::for_ensemble(&ensemble)
+        .with_arrival_rates(rates)
+        .with_seed(seed)
+        .with_sim(SimConfig::new(seed).with_queue_kind(kind));
+    let mut env = MicroserviceEnv::new(ensemble, config);
+    // Uniform allocation: the whole budget spread evenly over task types.
+    let action = vec![(budget / j).max(1); j];
+
+    env.step(&action); // warm-up: populate queues, spin consumers up
+    let events_before = env.cluster().events_processed();
+    let mut requests = 0u64;
+    let mut arrivals = 0u64;
+    let mut peak_pending = env.cluster().pending_events();
+    let start = Instant::now();
+    for _ in 0..windows {
+        let out = env.step(&action);
+        requests += out
+            .metrics
+            .completions
+            .iter()
+            .map(|&c| c as u64)
+            .sum::<u64>();
+        arrivals += out.metrics.arrivals.iter().map(|&a| a as u64).sum::<u64>();
+        peak_pending = peak_pending.max(env.cluster().pending_events());
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let events = env.cluster().events_processed() - events_before;
+    let result = PointResult {
+        scenario: scenario.name.to_string(),
+        mode: "sim".to_string(),
+        queue: queue_name(kind).to_string(),
+        task_types: j,
+        consumers: budget,
+        rate_scale: scenario.rate_scale,
+        windows,
+        events,
+        secs,
+        events_per_sec: events as f64 / secs,
+        requests,
+        requests_per_sec: requests as f64 / secs,
+        peak_pending,
+        wheel_cascades: env.cluster().wheel_cascades(),
+    };
+    (result, arrivals)
+}
+
+/// Replays the sweep point's event profile through the bare queue: per
+/// window, bulk-push `arrivals` events uniform over the 30 s window (the
+/// environment schedules a whole window's Poisson arrivals up front), then
+/// drain the window; each popped arrival pushes `children` near-term
+/// follow-ups at chain-like service offsets, mirroring how one workflow
+/// request fans out into task-completion events. No handler work — this
+/// measures the queue alone, on the same depth profile the simulation
+/// produces.
+fn run_replay(
+    scenario: &Scenario,
+    kind: QueueKind,
+    arrivals_per_window: u64,
+    children: u64,
+    service_secs: f64,
+    windows: usize,
+    seed: u64,
+) -> PointResult {
+    let ensemble = (scenario.build)();
+    let (j, budget) = (
+        ensemble.num_task_types(),
+        ensemble.default_consumer_budget(),
+    );
+    let mut q: EventQueue<u64> = EventQueue::with_kind(kind);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let window_secs = 30.0f64;
+    let mut pops = 0u64;
+    let mut arrival_pops = 0u64;
+    let mut peak_pending = 0usize;
+    let mut drain = |q: &mut EventQueue<u64>, horizon: Option<SimTime>| {
+        while let Some(t) = q.peek_time() {
+            if horizon.is_some_and(|h| t >= h) {
+                break;
+            }
+            let ev = q.pop().expect("peeked non-empty");
+            pops += 1;
+            if ev.event < arrivals_per_window {
+                arrival_pops += 1;
+                for c in 0..children {
+                    // Chain-like fan-out: successor task c completes about
+                    // (c+1) service times after the request arrives.
+                    let at = ev.time + SimTime::from_secs_f64(service_secs * (c + 1) as f64);
+                    q.push(at, arrivals_per_window + c);
+                }
+            }
+        }
+    };
+    let start = Instant::now();
+    for w in 0..windows {
+        let base = w as f64 * window_secs;
+        for i in 0..arrivals_per_window {
+            let at = SimTime::from_secs_f64(base + rng.gen_range(0.0..window_secs));
+            q.push(at, i);
+        }
+        peak_pending = peak_pending.max(q.len());
+        drain(&mut q, Some(SimTime::from_secs_f64(base + window_secs)));
+    }
+    drain(&mut q, None);
+    let secs = start.elapsed().as_secs_f64();
+    PointResult {
+        scenario: scenario.name.to_string(),
+        mode: "queue-replay".to_string(),
+        queue: queue_name(kind).to_string(),
+        task_types: j,
+        consumers: budget,
+        rate_scale: scenario.rate_scale,
+        windows,
+        events: pops,
+        secs,
+        events_per_sec: pops as f64 / secs,
+        requests: arrival_pops,
+        requests_per_sec: arrival_pops as f64 / secs,
+        peak_pending,
+        wheel_cascades: q.cascades(),
+    }
+}
+
+fn main() {
+    let mut seed = 42u64;
+    let mut smoke = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed must be an integer");
+            }
+            "--smoke" => smoke = true,
+            other => panic!("unknown flag {other}; usage: [--seed N] [--smoke]"),
+        }
+    }
+
+    let (telemetry, sink) = init_telemetry("sim_throughput");
+    let mut results = Vec::new();
+    let mut speedups = Vec::new();
+    for scenario in SCENARIOS {
+        let windows = if smoke {
+            scenario.smoke_windows
+        } else {
+            scenario.windows
+        };
+        let mut sim_pair = [0.0f64; 2];
+        let mut arrivals_total = 0u64;
+        let mut events_total = 0u64;
+        for (i, kind) in [QueueKind::Heap, QueueKind::Wheel].into_iter().enumerate() {
+            let (r, arrivals) = run_sim(scenario, kind, windows, seed);
+            eprintln!(
+                "[sim] {:>17} {:>12} {:>5}: {:>11.0} events/s  {:>9.0} req/s  \
+                 peak {:>8} pending  {} cascades",
+                r.scenario,
+                r.mode,
+                r.queue,
+                r.events_per_sec,
+                r.requests_per_sec,
+                r.peak_pending,
+                r.wheel_cascades
+            );
+            sim_pair[i] = r.events_per_sec;
+            arrivals_total = arrivals;
+            events_total = r.events;
+            results.push(r);
+        }
+        speedups.push(Speedup {
+            scenario: scenario.name.to_string(),
+            mode: "sim".to_string(),
+            events_per_sec_wheel_over_heap: sim_pair[1] / sim_pair[0],
+        });
+
+        // Size the replay from the measured run: same arrivals per window,
+        // same events-per-arrival fan-out. Smoke runs cap the volume (and
+        // therefore the depth) so CI stays fast; checked-in numbers come
+        // from the full run.
+        let mut arrivals_per_window = (arrivals_total / windows as u64).max(1);
+        if smoke {
+            arrivals_per_window = arrivals_per_window.min(500_000);
+        }
+        let children = if arrivals_total > 0 {
+            (events_total / arrivals_total).saturating_sub(1).max(1)
+        } else {
+            1
+        };
+        let mean_service: f64 = {
+            let ensemble = (scenario.build)();
+            let types = ensemble.task_types();
+            types.iter().map(|t| t.mean_service_secs).sum::<f64>() / types.len() as f64
+        };
+        // Enough replay windows for a stable timing, bounded for smoke.
+        let target_events: u64 = if smoke { 200_000 } else { 4_000_000 };
+        let per_window = arrivals_per_window * (children + 1);
+        let replay_windows = (target_events / per_window.max(1)).clamp(2, 2000) as usize;
+        let mut replay_pair = [0.0f64; 2];
+        for (i, kind) in [QueueKind::Heap, QueueKind::Wheel].into_iter().enumerate() {
+            let r = run_replay(
+                scenario,
+                kind,
+                arrivals_per_window,
+                children,
+                mean_service,
+                replay_windows,
+                seed,
+            );
+            eprintln!(
+                "[sim] {:>17} {:>12} {:>5}: {:>11.0} events/s  peak {:>8} pending  {} cascades",
+                r.scenario, r.mode, r.queue, r.events_per_sec, r.peak_pending, r.wheel_cascades
+            );
+            replay_pair[i] = r.events_per_sec;
+            results.push(r);
+        }
+        speedups.push(Speedup {
+            scenario: scenario.name.to_string(),
+            mode: "queue-replay".to_string(),
+            events_per_sec_wheel_over_heap: replay_pair[1] / replay_pair[0],
+        });
+    }
+
+    println!("\nsim throughput, wheel vs heap (events/sec ratio):");
+    for s in &speedups {
+        println!(
+            "  {:>17} {:>12}: {:.2}x",
+            s.scenario, s.mode, s.events_per_sec_wheel_over_heap
+        );
+    }
+
+    for r in &results {
+        telemetry.event(
+            "sim.bench",
+            &[
+                ("scenario", Value::String(r.scenario.clone())),
+                ("mode", Value::String(r.mode.clone())),
+                ("queue", Value::String(r.queue.clone())),
+                ("events", Value::UInt(r.events)),
+                ("events_per_sec", Value::Float(r.events_per_sec)),
+                ("requests_per_sec", Value::Float(r.requests_per_sec)),
+                ("peak_pending", Value::UInt(r.peak_pending as u64)),
+                ("wheel_cascades", Value::UInt(r.wheel_cascades)),
+            ],
+        );
+    }
+
+    let report = BenchReport {
+        bench: "sim_throughput".to_string(),
+        seed,
+        smoke,
+        results,
+        speedups,
+    };
+    match serde_json::to_string(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write("BENCH_sim.json", json + "\n") {
+                eprintln!("[sim] could not write BENCH_sim.json: {e}");
+            } else {
+                eprintln!("[sim] wrote BENCH_sim.json");
+            }
+        }
+        Err(e) => eprintln!("[sim] could not serialise report: {e}"),
+    }
+    telemetry.flush();
+    drop(sink);
+}

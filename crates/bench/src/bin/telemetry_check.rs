@@ -55,6 +55,8 @@ fn check(text: &str, require_training: bool, require_rollout: bool) -> Result<St
     let mut iterations = 0usize;
     let mut summaries = 0usize;
     let mut rollouts = 0usize;
+    let mut desim_pending = 0usize;
+    let mut desim_cascades = 0usize;
     let mut last_seq: Option<u64> = None;
     for (idx, line) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -141,8 +143,13 @@ fn check(text: &str, require_training: bool, require_rollout: bool) -> Result<St
                 }
             }
             "counter" | "gauge" => {
-                if get(&value, "name").and_then(as_str).is_none() {
+                let Some(name) = get(&value, "name").and_then(as_str) else {
                     return Err(Problem(lineno, format!("{t} record has no `name`")));
+                };
+                match (t, name) {
+                    ("gauge", "desim.pending") => desim_pending += 1,
+                    ("counter", "desim.wheel_cascades") => desim_cascades += 1,
+                    _ => {}
                 }
                 let v = get(&value, "value")
                     .ok_or_else(|| Problem(lineno, format!("{t} record has no `value`")))?;
@@ -186,6 +193,21 @@ fn check(text: &str, require_training: bool, require_rollout: bool) -> Result<St
     }
     if require_training && iterations == 0 {
         return Err(Problem(0, "stream contains no `iteration` events".into()));
+    }
+    // Any run with decision windows drove the cluster's event engine, whose
+    // per-window checkpoint must report queue depth and wheel-cascade
+    // counts (zero-delta counters are still emitted).
+    if windows > 0 && desim_pending == 0 {
+        return Err(Problem(
+            0,
+            "stream has `window` events but no `desim.pending` gauge".into(),
+        ));
+    }
+    if windows > 0 && desim_cascades == 0 {
+        return Err(Problem(
+            0,
+            "stream has `window` events but no `desim.wheel_cascades` counter".into(),
+        ));
     }
     Ok(format!(
         "{events} events ({windows} window, {iterations} iteration, {summaries} summary, \

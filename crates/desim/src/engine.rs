@@ -1,6 +1,6 @@
 //! The simulation engine: a clock plus an event queue.
 
-use crate::{EventQueue, SimTime};
+use crate::{EventQueue, QueueKind, SimTime};
 use telemetry::Telemetry;
 
 /// A discrete-event simulation engine.
@@ -36,20 +36,42 @@ pub struct Engine<E> {
     processed: u64,
     telemetry: Telemetry,
     checkpoint_processed: u64,
+    checkpoint_cascades: u64,
 }
 
 impl<E> Engine<E> {
-    /// Creates an engine with an empty queue and the clock at
+    /// Creates an engine with an empty binary-heap queue and the clock at
     /// [`SimTime::ZERO`].
     #[must_use]
     pub fn new() -> Self {
+        Engine::with_queue_kind(QueueKind::Heap)
+    }
+
+    /// Creates an engine whose event queue runs on the given backend. Both
+    /// backends deliver the exact same event sequence; see [`QueueKind`].
+    #[must_use]
+    pub fn with_queue_kind(kind: QueueKind) -> Self {
         Engine {
-            queue: EventQueue::new(),
+            queue: EventQueue::with_kind(kind),
             now: SimTime::ZERO,
             processed: 0,
             telemetry: Telemetry::noop(),
             checkpoint_processed: 0,
+            checkpoint_cascades: 0,
         }
+    }
+
+    /// Which backend the event queue runs on.
+    #[must_use]
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
+    }
+
+    /// Events cascaded from the wheel's far-future overflow heap so far
+    /// (always 0 on the heap backend).
+    #[must_use]
+    pub fn wheel_cascades(&self) -> u64 {
+        self.queue.cascades()
     }
 
     /// Attaches a telemetry handle. The engine records nothing in the event
@@ -60,20 +82,25 @@ impl<E> Engine<E> {
     }
 
     /// Publishes engine progress since the last checkpoint: the
-    /// `desim.events_processed` counter delta plus `desim.pending` and
-    /// `desim.now_secs` gauges. A no-op without an attached recorder.
+    /// `desim.events_processed` and `desim.wheel_cascades` counter deltas
+    /// plus `desim.pending` and `desim.now_secs` gauges. A no-op without an
+    /// attached recorder.
     pub fn telemetry_checkpoint(&mut self) {
+        let cascades = self.queue.cascades();
         if self.telemetry.is_enabled() {
             self.telemetry.counter(
                 "desim.events_processed",
                 self.processed - self.checkpoint_processed,
             );
+            self.telemetry
+                .counter("desim.wheel_cascades", cascades - self.checkpoint_cascades);
             #[allow(clippy::cast_precision_loss)]
             self.telemetry.gauge("desim.pending", self.pending() as f64);
             self.telemetry
                 .gauge("desim.now_secs", self.now.as_secs_f64());
         }
         self.checkpoint_processed = self.processed;
+        self.checkpoint_cascades = cascades;
     }
 
     /// The current simulated time (the timestamp of the most recently popped
@@ -184,21 +211,42 @@ impl<E> Engine<E> {
             processed: self.processed,
             events: self.queue.snapshot_events(),
             next_seq: self.queue.next_seq(),
+            kind: self.queue.kind(),
+        }
+    }
+
+    /// Consuming variant of [`Engine::snapshot`]: moves the pending events
+    /// out instead of cloning them. Use on snapshot-then-drop paths where
+    /// the engine is being discarded anyway.
+    #[must_use]
+    pub fn into_snapshot(self) -> EngineSnapshot<E> {
+        EngineSnapshot {
+            now: self.now,
+            processed: self.processed,
+            next_seq: self.queue.next_seq(),
+            kind: self.queue.kind(),
+            events: self.queue.into_snapshot_events(),
         }
     }
 
     /// Rebuilds an engine from an [`Engine::snapshot`] capture. The restored
     /// engine delivers the exact same event sequence as the original,
-    /// including FIFO ordering of simultaneous events. Telemetry is detached
-    /// (re-attach with [`Engine::set_telemetry`]).
+    /// including FIFO ordering of simultaneous events, and runs on the queue
+    /// backend recorded in the snapshot. Telemetry is detached (re-attach
+    /// with [`Engine::set_telemetry`]).
     #[must_use]
     pub fn from_snapshot(snapshot: EngineSnapshot<E>) -> Self {
         Engine {
-            queue: EventQueue::from_snapshot(snapshot.events, snapshot.next_seq),
+            queue: EventQueue::from_snapshot_with(
+                snapshot.kind,
+                snapshot.events,
+                snapshot.next_seq,
+            ),
             now: snapshot.now,
             processed: snapshot.processed,
             telemetry: Telemetry::noop(),
             checkpoint_processed: snapshot.processed,
+            checkpoint_cascades: 0,
         }
     }
 }
@@ -218,6 +266,9 @@ pub struct EngineSnapshot<E> {
     pub events: Vec<(SimTime, u64, E)>,
     /// The queue's next FIFO tie-breaking sequence number.
     pub next_seq: u64,
+    /// The queue backend to restore onto. Snapshots are backend-agnostic, so
+    /// restoring onto a different kind still replays the identical sequence.
+    pub kind: QueueKind,
 }
 
 impl<E> Default for Engine<E> {

@@ -36,7 +36,8 @@
 mod engine;
 mod queue;
 mod time;
+mod wheel;
 
 pub use engine::{Engine, EngineSnapshot};
-pub use queue::{EventQueue, ScheduledEvent};
+pub use queue::{EventQueue, QueueKind, ScheduledEvent};
 pub use time::SimTime;

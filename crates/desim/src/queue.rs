@@ -3,6 +3,9 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use serde::{Deserialize, Serialize};
+
+use crate::wheel::TimingWheel;
 use crate::SimTime;
 
 /// An event together with its delivery time and a FIFO tie-breaking sequence
@@ -44,6 +47,34 @@ impl<E> Ord for ScheduledEvent<E> {
     }
 }
 
+/// Which scheduler backs an [`EventQueue`] (or an
+/// [`Engine`](crate::Engine)).
+///
+/// Both backends pop the exact same `(time, seq, event)` sequence — the
+/// choice is purely a performance trade-off. The binary heap costs
+/// `O(log n)` per operation in the total number of pending events; the
+/// timing wheel buckets near-future events by coarse time tick so its cost
+/// scales with the handful of events sharing a tick instead (see
+/// [`crate::wheel`] internals and `DESIGN.md` §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QueueKind {
+    /// A single global binary heap over all pending events.
+    Heap,
+    /// A calendar-queue timing wheel with a far-future overflow heap.
+    #[default]
+    Wheel,
+}
+
+// The wheel variant is large (inline slot headers + occupancy bitmap), but
+// every `EventQueue` holds exactly one backend for its whole lifetime, so
+// boxing would buy nothing except a pointer hop on every push/pop.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum Backend<E> {
+    Heap(BinaryHeap<ScheduledEvent<E>>),
+    Wheel(TimingWheel<E>),
+}
+
 /// A min-priority queue of events keyed by [`SimTime`], with stable FIFO
 /// ordering for simultaneous events.
 ///
@@ -61,17 +92,46 @@ impl<E> Ord for ScheduledEvent<E> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
+    backend: Backend<E>,
     next_seq: u64,
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty binary-heap queue.
     #[must_use]
     pub fn new() -> Self {
+        EventQueue::with_kind(QueueKind::Heap)
+    }
+
+    /// Creates an empty queue on the given backend.
+    #[must_use]
+    pub fn with_kind(kind: QueueKind) -> Self {
+        let backend = match kind {
+            QueueKind::Heap => Backend::Heap(BinaryHeap::new()),
+            QueueKind::Wheel => Backend::Wheel(TimingWheel::new()),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend,
             next_seq: 0,
+        }
+    }
+
+    /// Which backend this queue runs on.
+    #[must_use]
+    pub fn kind(&self) -> QueueKind {
+        match &self.backend {
+            Backend::Heap(_) => QueueKind::Heap,
+            Backend::Wheel(_) => QueueKind::Wheel,
+        }
+    }
+
+    /// Events moved from the far-future overflow heap into the wheel frame
+    /// so far. Always 0 on the heap backend.
+    #[must_use]
+    pub fn cascades(&self) -> u64 {
+        match &self.backend {
+            Backend::Heap(_) => 0,
+            Backend::Wheel(w) => w.cascades(),
         }
     }
 
@@ -79,36 +139,52 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { time, seq, event });
+        let ev = ScheduledEvent { time, seq, event };
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.push(ev),
+            Backend::Wheel(wheel) => wheel.insert(ev),
+        }
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        self.heap.pop()
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.pop(),
+            Backend::Wheel(wheel) => wheel.pop(),
+        }
     }
 
     /// Returns the delivery time of the earliest pending event.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match &self.backend {
+            Backend::Heap(heap) => heap.peek().map(|e| e.time),
+            Backend::Wheel(wheel) => wheel.peek_time(),
+        }
     }
 
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Heap(heap) => heap.len(),
+            Backend::Wheel(wheel) => wheel.len(),
+        }
     }
 
     /// Returns true when no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Drops all pending events, keeping the sequence counter so ordering
     /// stays stable across a clear.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.clear(),
+            Backend::Wheel(wheel) => wheel.clear(),
+        }
     }
 
     /// The next sequence number that [`EventQueue::push`] would assign.
@@ -125,26 +201,70 @@ impl<E> EventQueue<E> {
     where
         E: Clone,
     {
-        let mut events: Vec<(SimTime, u64, E)> = self
-            .heap
-            .iter()
-            .map(|e| (e.time, e.seq, e.event.clone()))
-            .collect();
-        events.sort_by_key(|(time, seq, _)| (*time, *seq));
-        events
+        match &self.backend {
+            Backend::Heap(heap) => {
+                let mut events: Vec<(SimTime, u64, E)> = heap
+                    .iter()
+                    .map(|e| (e.time, e.seq, e.event.clone()))
+                    .collect();
+                events.sort_by_key(|(time, seq, _)| (*time, *seq));
+                events
+            }
+            Backend::Wheel(wheel) => wheel.snapshot_events(),
+        }
     }
 
-    /// Rebuilds a queue from a [`EventQueue::snapshot_events`] capture and
-    /// the matching [`EventQueue::next_seq`], preserving the original
-    /// sequence numbers so simultaneous events still pop in their original
-    /// FIFO order.
+    /// Consuming variant of [`EventQueue::snapshot_events`]: moves the
+    /// pending events out instead of cloning them. Use on snapshot-then-drop
+    /// paths where the queue is being discarded anyway.
+    #[must_use]
+    pub fn into_snapshot_events(self) -> Vec<(SimTime, u64, E)> {
+        match self.backend {
+            Backend::Heap(heap) => {
+                let mut events: Vec<(SimTime, u64, E)> =
+                    heap.into_iter().map(|e| (e.time, e.seq, e.event)).collect();
+                events.sort_by_key(|(time, seq, _)| (*time, *seq));
+                events
+            }
+            Backend::Wheel(wheel) => wheel.into_snapshot_events(),
+        }
+    }
+
+    /// Rebuilds a binary-heap queue from a [`EventQueue::snapshot_events`]
+    /// capture and the matching [`EventQueue::next_seq`], preserving the
+    /// original sequence numbers so simultaneous events still pop in their
+    /// original FIFO order.
     #[must_use]
     pub fn from_snapshot(events: Vec<(SimTime, u64, E)>, next_seq: u64) -> Self {
-        let heap = events
-            .into_iter()
-            .map(|(time, seq, event)| ScheduledEvent { time, seq, event })
-            .collect();
-        EventQueue { heap, next_seq }
+        EventQueue::from_snapshot_with(QueueKind::Heap, events, next_seq)
+    }
+
+    /// [`EventQueue::from_snapshot`] onto an explicit backend. Snapshots are
+    /// backend-agnostic: both backends restore the exact same pop sequence,
+    /// so a heap-era checkpoint can resume on the wheel and vice versa.
+    #[must_use]
+    pub fn from_snapshot_with(
+        kind: QueueKind,
+        events: Vec<(SimTime, u64, E)>,
+        next_seq: u64,
+    ) -> Self {
+        let mut queue = EventQueue::with_kind(kind);
+        queue.next_seq = next_seq;
+        match &mut queue.backend {
+            Backend::Heap(heap) => {
+                heap.extend(events.into_iter().map(|(time, seq, event)| ScheduledEvent {
+                    time,
+                    seq,
+                    event,
+                }));
+            }
+            Backend::Wheel(wheel) => {
+                for (time, seq, event) in events {
+                    wheel.insert(ScheduledEvent { time, seq, event });
+                }
+            }
+        }
+        queue
     }
 }
 
@@ -158,80 +278,150 @@ impl<E> Default for EventQueue<E> {
 mod tests {
     use super::*;
 
+    /// Runs every queue test against both backends.
+    fn for_both(test: impl Fn(EventQueue<i32>)) {
+        test(EventQueue::with_kind(QueueKind::Heap));
+        test(EventQueue::with_kind(QueueKind::Wheel));
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(3), 3);
-        q.push(SimTime::from_secs(1), 1);
-        q.push(SimTime::from_secs(2), 2);
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        for_both(|mut q| {
+            q.push(SimTime::from_secs(3), 3);
+            q.push(SimTime::from_secs(1), 1);
+            q.push(SimTime::from_secs(2), 2);
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+            assert_eq!(order, vec![1, 2, 3]);
+        });
     }
 
     #[test]
     fn simultaneous_events_are_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_secs(5);
-        for i in 0..100 {
-            q.push(t, i);
-        }
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
+        for_both(|mut q| {
+            let t = SimTime::from_secs(5);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>());
+        });
     }
 
     #[test]
     fn peek_time_reports_earliest() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.push(SimTime::from_secs(7), ());
-        q.push(SimTime::from_secs(4), ());
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
+        for_both(|mut q| {
+            assert_eq!(q.peek_time(), None);
+            q.push(SimTime::from_secs(7), 0);
+            q.push(SimTime::from_secs(4), 0);
+            assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
+        });
     }
 
     #[test]
     fn clear_empties_but_keeps_fifo_stability() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::ZERO, 1);
-        q.clear();
-        assert!(q.is_empty());
-        let t = SimTime::from_secs(1);
-        q.push(t, 10);
-        q.push(t, 11);
-        assert_eq!(q.pop().unwrap().event, 10);
-        assert_eq!(q.pop().unwrap().event, 11);
+        for_both(|mut q| {
+            q.push(SimTime::ZERO, 1);
+            q.clear();
+            assert!(q.is_empty());
+            let t = SimTime::from_secs(1);
+            q.push(t, 10);
+            q.push(t, 11);
+            assert_eq!(q.pop().unwrap().event, 10);
+            assert_eq!(q.pop().unwrap().event, 11);
+        });
     }
 
     #[test]
     fn snapshot_round_trip_preserves_fifo_ties() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_secs(2);
-        q.push(SimTime::from_secs(3), 30);
-        for i in 0..10 {
-            q.push(t, i);
+        for kind in [QueueKind::Heap, QueueKind::Wheel] {
+            let mut q = EventQueue::with_kind(kind);
+            let t = SimTime::from_secs(2);
+            q.push(SimTime::from_secs(3), 30);
+            for i in 0..10 {
+                q.push(t, i);
+            }
+            let restored = EventQueue::from_snapshot_with(kind, q.snapshot_events(), q.next_seq());
+            let mut a = q;
+            let mut b = restored;
+            loop {
+                match (a.pop(), b.pop()) {
+                    (None, None) => break,
+                    (x, y) => {
+                        let x = x.expect("restored queue too long");
+                        let y = y.expect("restored queue too short");
+                        assert_eq!((x.time, x.seq, x.event), (y.time, y.seq, y.event));
+                    }
+                }
+            }
+            assert_eq!(a.next_seq(), b.next_seq());
         }
-        let restored = EventQueue::from_snapshot(q.snapshot_events(), q.next_seq());
-        let mut a = q;
-        let mut b = restored;
+    }
+
+    #[test]
+    fn snapshots_are_backend_agnostic() {
+        // A heap snapshot restored onto the wheel (and vice versa) pops the
+        // identical sequence.
+        let mut heap = EventQueue::with_kind(QueueKind::Heap);
+        for i in 0..50u32 {
+            heap.push(SimTime::from_millis(u64::from(i % 7) * 9000), i as i32);
+        }
+        let mut wheel = EventQueue::from_snapshot_with(
+            QueueKind::Wheel,
+            heap.snapshot_events(),
+            heap.next_seq(),
+        );
+        assert_eq!(wheel.kind(), QueueKind::Wheel);
         loop {
-            match (a.pop(), b.pop()) {
+            match (heap.pop(), wheel.pop()) {
                 (None, None) => break,
-                (x, y) => {
-                    let x = x.expect("restored queue too long");
-                    let y = y.expect("restored queue too short");
-                    assert_eq!((x.time, x.seq, x.event), (y.time, y.seq, y.event));
+                (a, b) => {
+                    let a = a.expect("heap ended early");
+                    let b = b.expect("wheel ended early");
+                    assert_eq!((a.time, a.seq, a.event), (b.time, b.seq, b.event));
                 }
             }
         }
-        assert_eq!(a.next_seq(), b.next_seq());
+    }
+
+    #[test]
+    fn into_snapshot_events_matches_cloning_snapshot() {
+        for kind in [QueueKind::Heap, QueueKind::Wheel] {
+            let mut q = EventQueue::with_kind(kind);
+            for i in 0..20 {
+                q.push(SimTime::from_millis((i * 37) % 11), i as i32);
+            }
+            let cloned = q.snapshot_events();
+            let consumed = q.into_snapshot_events();
+            assert_eq!(
+                cloned.len(),
+                consumed.len(),
+                "consuming snapshot dropped events"
+            );
+            for (a, b) in cloned.iter().zip(&consumed) {
+                assert_eq!(a, b);
+            }
+        }
     }
 
     #[test]
     fn len_tracks_push_pop() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::ZERO, ());
-        q.push(SimTime::ZERO, ());
-        assert_eq!(q.len(), 2);
-        q.pop();
-        assert_eq!(q.len(), 1);
+        for_both(|mut q| {
+            q.push(SimTime::ZERO, 0);
+            q.push(SimTime::ZERO, 0);
+            assert_eq!(q.len(), 2);
+            q.pop();
+            assert_eq!(q.len(), 1);
+        });
+    }
+
+    #[test]
+    fn wheel_reports_cascades_for_far_future_events() {
+        let mut q: EventQueue<i32> = EventQueue::with_kind(QueueKind::Wheel);
+        q.push(SimTime::from_secs(3600), 1); // far beyond the wheel horizon
+        assert_eq!(q.cascades(), 0);
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert_eq!(q.cascades(), 1);
+        let heap: EventQueue<i32> = EventQueue::new();
+        assert_eq!(heap.cascades(), 0);
     }
 }

@@ -1,0 +1,362 @@
+//! A calendar-queue (timing-wheel) event scheduler with a far-future
+//! overflow heap.
+//!
+//! The wheel keys events on coarse *ticks* of the [`SimTime`] axis
+//! (`tick = micros >> TICK_SHIFT`) and spreads near-future ticks over a
+//! power-of-two ring of slots. Steady-state cost per event is O(1) slot
+//! arithmetic plus a small heapify among the events sharing one tick,
+//! instead of the global `O(log n)` of a binary heap over every pending
+//! event.
+//!
+//! Regions, by tick relative to the wheel cursor `current_tick`:
+//!
+//! * **current** — a small binary heap of events at ticks `<= current_tick`
+//!   (including past-time pushes). Always the pop source; its heap order is
+//!   exactly the [`ScheduledEvent`] `(time, seq)` order, so pops are
+//!   bit-identical to the plain binary-heap queue.
+//! * **wheel** — `slots[tick & SLOT_MASK]` holds events with
+//!   `tick - current_tick` in `[1, NUM_SLOTS)`, unsorted (they are sorted by
+//!   heapifying when their slot becomes current). A two-level occupancy
+//!   bitmap (one summary word over 64 occupancy words) finds the next
+//!   occupied slot without scanning empty ones.
+//! * **far** — a binary heap for everything beyond the wheel horizon.
+//!   When the cursor advances, far events that fall inside the new frame
+//!   *cascade* into the wheel (or straight into `current`).
+//!
+//! Determinism argument: the three regions partition events by tick, and
+//! ticks are monotone in time, so the earliest event overall is always in
+//! the earliest non-empty region; merging equal-tick events from the wheel
+//! slot and the far heap into `current` lets the `(time, seq)` heap order
+//! resolve every remaining tie exactly as the reference heap would.
+
+use std::collections::BinaryHeap;
+
+use crate::queue::ScheduledEvent;
+use crate::SimTime;
+
+/// log2 of the tick length in microseconds: 2^13 µs ≈ 8.2 ms per tick.
+const TICK_SHIFT: u32 = 13;
+/// Number of wheel slots (power of two): horizon ≈ 4096 × 8.2 ms ≈ 33.6 s,
+/// which covers a full 30 s decision window of arrivals plus the 5–10 s
+/// container start-up delays without touching the far heap.
+const NUM_SLOTS: u64 = 4096;
+const SLOT_MASK: u64 = NUM_SLOTS - 1;
+/// Occupancy words (64 slots per word) and bits in the summary word.
+const WORDS: usize = (NUM_SLOTS / 64) as usize;
+
+#[inline]
+fn tick_of(time: SimTime) -> u64 {
+    time.as_micros() >> TICK_SHIFT
+}
+
+/// The timing-wheel backend of [`crate::EventQueue`]. Does not own the
+/// sequence counter — the queue front-end assigns `seq` before insertion.
+#[derive(Debug, Clone)]
+pub(crate) struct TimingWheel<E> {
+    /// Events at ticks `<= current_tick`, popped in `(time, seq)` order.
+    current: BinaryHeap<ScheduledEvent<E>>,
+    /// Ring of unsorted buckets for ticks within the wheel horizon.
+    slots: Vec<Vec<ScheduledEvent<E>>>,
+    /// `occupancy[w]` bit `b` set iff `slots[w * 64 + b]` is non-empty.
+    occupancy: [u64; WORDS],
+    /// Bit `w` set iff `occupancy[w] != 0`.
+    summary: u64,
+    /// Events beyond the wheel horizon.
+    far: BinaryHeap<ScheduledEvent<E>>,
+    /// The wheel cursor: every wheel/far event has a tick strictly above it.
+    current_tick: u64,
+    len: usize,
+    /// Events moved from the far heap into the wheel frame so far.
+    cascades: u64,
+}
+
+impl<E> TimingWheel<E> {
+    pub(crate) fn new() -> Self {
+        TimingWheel {
+            current: BinaryHeap::new(),
+            slots: std::iter::repeat_with(Vec::new)
+                .take(NUM_SLOTS as usize)
+                .collect(),
+            occupancy: [0; WORDS],
+            summary: 0,
+            far: BinaryHeap::new(),
+            current_tick: 0,
+            len: 0,
+            cascades: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn cascades(&self) -> u64 {
+        self.cascades
+    }
+
+    /// Inserts an event that already carries its sequence number.
+    pub(crate) fn insert(&mut self, ev: ScheduledEvent<E>) {
+        let tick = tick_of(ev.time);
+        if tick <= self.current_tick {
+            self.current.push(ev);
+        } else if tick - self.current_tick < NUM_SLOTS {
+            self.insert_slot(tick, ev);
+        } else {
+            self.far.push(ev);
+        }
+        self.len += 1;
+    }
+
+    fn insert_slot(&mut self, tick: u64, ev: ScheduledEvent<E>) {
+        let slot = (tick & SLOT_MASK) as usize;
+        self.slots[slot].push(ev);
+        let word = slot / 64;
+        self.occupancy[word] |= 1 << (slot % 64);
+        self.summary |= 1 << word;
+    }
+
+    /// Cyclic distance (in slots) from `start` to the nearest occupied slot,
+    /// using the summary word to skip empty 64-slot spans.
+    fn next_occupied_distance(&self, start: usize) -> Option<u64> {
+        if self.summary == 0 {
+            return None;
+        }
+        let (w0, b0) = (start / 64, (start % 64) as u32);
+        // Same word, bits at or after the start position.
+        let masked = self.occupancy[w0] & (u64::MAX << b0);
+        if masked != 0 {
+            return Some(u64::from(masked.trailing_zeros() - b0));
+        }
+        // Later words, wrapping once around the ring; the start word is
+        // revisited last for its low bits.
+        for step in 1..=WORDS {
+            let w = (w0 + step) % WORDS;
+            if self.summary & (1 << w) == 0 {
+                continue;
+            }
+            let bits = if w == w0 {
+                self.occupancy[w] & !(u64::MAX << b0)
+            } else {
+                self.occupancy[w]
+            };
+            if bits != 0 {
+                let slot_in_word = u64::from(bits.trailing_zeros());
+                let dist = (step as u64) * 64 + slot_in_word - u64::from(b0);
+                return Some(dist);
+            }
+        }
+        None
+    }
+
+    /// The tick of the earliest wheel event, if any.
+    fn wheel_next_tick(&self) -> Option<u64> {
+        let start = ((self.current_tick + 1) & SLOT_MASK) as usize;
+        self.next_occupied_distance(start)
+            .map(|d| self.current_tick + 1 + d)
+    }
+
+    /// Refills `current` from the earliest of the wheel and far regions,
+    /// advancing the cursor. Far events that fall inside the new wheel frame
+    /// cascade in. No-op when `current` is already non-empty or everything
+    /// is drained.
+    fn advance(&mut self) {
+        if !self.current.is_empty() || self.len == 0 {
+            return;
+        }
+        let wheel_tick = self.wheel_next_tick();
+        let far_tick = self.far.peek().map(|e| tick_of(e.time));
+        let next_tick = match (wheel_tick, far_tick) {
+            (Some(w), Some(f)) => w.min(f),
+            (Some(w), None) => w,
+            (None, Some(f)) => f,
+            (None, None) => unreachable!("len > 0 with all regions empty"),
+        };
+        self.current_tick = next_tick;
+        if wheel_tick == Some(next_tick) {
+            let slot = (next_tick & SLOT_MASK) as usize;
+            let word = slot / 64;
+            self.occupancy[word] &= !(1 << (slot % 64));
+            if self.occupancy[word] == 0 {
+                self.summary &= !(1 << word);
+            }
+            for ev in self.slots[slot].drain(..) {
+                self.current.push(ev);
+            }
+        }
+        // Cascade far events now inside the frame. The far heap pops in
+        // (time, seq) order and ticks are monotone in time, so the first
+        // event beyond the horizon ends the drain.
+        while let Some(top) = self.far.peek() {
+            let tick = tick_of(top.time);
+            if tick <= self.current_tick {
+                let ev = self.far.pop().expect("peeked");
+                self.current.push(ev);
+            } else if tick - self.current_tick < NUM_SLOTS {
+                let ev = self.far.pop().expect("peeked");
+                self.insert_slot(tick, ev);
+            } else {
+                break;
+            }
+            self.cascades += 1;
+        }
+        debug_assert!(!self.current.is_empty());
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        if self.current.is_empty() {
+            self.advance();
+        }
+        let ev = self.current.pop()?;
+        self.len -= 1;
+        Some(ev)
+    }
+
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        if let Some(ev) = self.current.peek() {
+            return Some(ev.time);
+        }
+        // Regions hold disjoint tick ranges (current < wheel, far at or
+        // beyond the wheel's ticks), so compare the wheel's earliest slot
+        // minimum with the far minimum; an earlier tick always means an
+        // earlier time.
+        let wheel_min = self.wheel_next_tick().map(|tick| {
+            let slot = (tick & SLOT_MASK) as usize;
+            self.slots[slot]
+                .iter()
+                .map(|e| e.time)
+                .min()
+                .expect("occupied slot is non-empty")
+        });
+        let far_min = self.far.peek().map(|e| e.time);
+        match (wheel_min, far_min) {
+            (Some(w), Some(f)) => Some(w.min(f)),
+            (w, f) => w.or(f),
+        }
+    }
+
+    /// Drops all pending events. The cursor and cascade counter are kept;
+    /// slot buffers retain their capacity for reuse.
+    pub(crate) fn clear(&mut self) {
+        self.current.clear();
+        self.far.clear();
+        for word in 0..WORDS {
+            let mut bits = self.occupancy[word];
+            while bits != 0 {
+                let slot = word * 64 + bits.trailing_zeros() as usize;
+                self.slots[slot].clear();
+                bits &= bits - 1;
+            }
+            self.occupancy[word] = 0;
+        }
+        self.summary = 0;
+        self.len = 0;
+    }
+
+    /// All pending events as `(time, seq, event)` triples in delivery order,
+    /// cloning each payload.
+    pub(crate) fn snapshot_events(&self) -> Vec<(SimTime, u64, E)>
+    where
+        E: Clone,
+    {
+        let mut events: Vec<(SimTime, u64, E)> = self
+            .current
+            .iter()
+            .chain(self.slots.iter().flatten())
+            .chain(self.far.iter())
+            .map(|e| (e.time, e.seq, e.event.clone()))
+            .collect();
+        events.sort_by_key(|(time, seq, _)| (*time, *seq));
+        events
+    }
+
+    /// Consumes the wheel, returning the pending events in delivery order
+    /// without cloning payloads.
+    pub(crate) fn into_snapshot_events(self) -> Vec<(SimTime, u64, E)> {
+        let mut events: Vec<(SimTime, u64, E)> = self
+            .current
+            .into_iter()
+            .chain(self.slots.into_iter().flatten())
+            .chain(self.far)
+            .map(|e| (e.time, e.seq, e.event))
+            .collect();
+        events.sort_by_key(|(time, seq, _)| (*time, *seq));
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(micros: u64, seq: u64, payload: u32) -> ScheduledEvent<u32> {
+        ScheduledEvent {
+            time: SimTime::from_micros(micros),
+            seq,
+            event: payload,
+        }
+    }
+
+    #[test]
+    fn pops_across_all_three_regions_in_order() {
+        let mut w = TimingWheel::new();
+        let horizon_micros = NUM_SLOTS << TICK_SHIFT;
+        // far, wheel, current — inserted out of order.
+        w.insert(ev(horizon_micros * 3, 0, 30));
+        w.insert(ev(500, 1, 10)); // tick 0 → current
+        w.insert(ev(1 << 20, 2, 20)); // within the wheel frame
+        let order: Vec<u32> = std::iter::from_fn(|| w.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn equal_tick_wheel_and_far_events_merge_by_seq() {
+        let mut w = TimingWheel::new();
+        let t = (NUM_SLOTS + 100) << TICK_SHIFT; // starts beyond the horizon
+        w.insert(ev(t, 0, 1)); // goes far
+        w.insert(ev(t, 1, 2)); // also far
+        assert_eq!(w.pop().map(|e| e.event), Some(1));
+        assert_eq!(w.pop().map(|e| e.event), Some(2));
+        assert!(w.cascades() >= 1, "far events must have cascaded");
+    }
+
+    #[test]
+    fn peek_time_is_non_mutating_and_correct() {
+        let mut w = TimingWheel::new();
+        assert_eq!(w.peek_time(), None);
+        w.insert(ev(5 << TICK_SHIFT, 0, 0));
+        w.insert(ev(3 << TICK_SHIFT, 1, 1));
+        assert_eq!(w.peek_time(), Some(SimTime::from_micros(3 << TICK_SHIFT)));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn clear_keeps_cursor_and_capacity() {
+        let mut w = TimingWheel::new();
+        for i in 0..100u64 {
+            w.insert(ev(i * 10_000, i, i as u32));
+        }
+        while w.len() > 50 {
+            w.pop();
+        }
+        w.clear();
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.pop().map(|e| e.event), None);
+        // Past-time pushes after a clear land in `current` and still pop.
+        w.insert(ev(0, 1000, 7));
+        assert_eq!(w.pop().map(|e| e.event), Some(7));
+    }
+
+    #[test]
+    fn wrap_around_the_ring_is_handled() {
+        let mut w = TimingWheel::new();
+        // Park the cursor near the end of the ring, then insert an event
+        // whose slot index wraps past zero.
+        let near_end = SLOT_MASK - 2;
+        w.insert(ev(near_end << TICK_SHIFT, 0, 1));
+        assert_eq!(w.pop().map(|e| e.event), Some(1));
+        let wrapped = near_end + 10; // slot index (near_end + 10) & MASK < near_end
+        w.insert(ev(wrapped << TICK_SHIFT, 1, 2));
+        assert_eq!(w.pop().map(|e| e.event), Some(2));
+    }
+}

@@ -38,10 +38,10 @@ pub enum AuditViolation {
     /// (`busy ≤ active`, `pending_retire ≤ busy`,
     /// `cancel_starting ≤ starting`, no negative populations).
     Pool {
-        /// Task-type index of the desynced pool.
+        /// Task-type index of the desynced pool (resolve to a name through
+        /// the ensemble's task-type table; the violation itself stays
+        /// allocation-free on the event hot path).
         task: usize,
-        /// Task-type name (for human-readable reports).
-        task_name: String,
         /// The broken relation plus the full raw counter dump.
         desync: PoolDesync,
     },
@@ -99,12 +99,8 @@ pub enum AuditViolation {
 impl fmt::Display for AuditViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AuditViolation::Pool {
-                task,
-                task_name,
-                desync,
-            } => {
-                write!(f, "pool {task} ({task_name}): {desync}")
+            AuditViolation::Pool { task, desync } => {
+                write!(f, "pool {task}: {desync}")
             }
             AuditViolation::TaskConservation {
                 task,
@@ -257,7 +253,6 @@ mod tests {
         assert!(auditor.is_enabled());
         auditor.record(AuditViolation::Pool {
             task: 0,
-            task_name: "A".into(),
             desync: desync(),
         });
         assert_eq!(auditor.violations().len(), 1);
@@ -270,11 +265,10 @@ mod tests {
     fn display_names_pool_and_counters() {
         let v = AuditViolation::Pool {
             task: 2,
-            task_name: "C".into(),
             desync: desync(),
         };
         let text = v.to_string();
-        assert!(text.contains("pool 2 (C)"), "{text}");
+        assert!(text.contains("pool 2"), "{text}");
         assert!(text.contains("busy <= active"), "{text}");
         assert!(text.contains("busy: 2"), "{text}");
     }

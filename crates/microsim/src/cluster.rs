@@ -6,9 +6,9 @@
 //! with stochastic service times, and each task completion releases successor
 //! tasks (AND-join) until the workflow's last task finishes.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use desim::{Engine, SimTime};
+use desim::{Engine, QueueKind, SimTime};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, LogNormal};
@@ -17,9 +17,14 @@ use workflow::{Ensemble, TaskTypeId, WorkflowTypeId};
 
 use crate::audit::{audit_env_enabled, AuditViolation, SimAuditor};
 use crate::pool::ConsumerPool;
+use crate::slab::Slab;
 use crate::SimConfig;
 
-/// Unique identifier of one in-flight workflow instance.
+/// Identifier of one in-flight workflow instance: its slot in the instance
+/// slab. Slots are reused after a workflow completes, so an `InstanceId` is
+/// only meaningful while its workflow is in flight — which is the only time
+/// the simulator ever references one (every pending event naming an
+/// instance keeps it alive through its `remaining_nodes` count).
 type InstanceId = u64;
 
 /// One completed workflow request: who it was and how long it took.
@@ -122,8 +127,12 @@ pub struct Cluster {
     engine: Engine<Event>,
     queues: Vec<VecDeque<PendingTask>>,
     pools: Vec<ConsumerPool>,
-    instances: HashMap<InstanceId, WorkflowInstance>,
-    next_instance: InstanceId,
+    instances: Slab<WorkflowInstance>,
+    /// Recycled `remaining_preds` buffers from completed workflows, so a
+    /// steady-state arrival allocates nothing.
+    preds_pool: Vec<Vec<usize>>,
+    /// Reusable scratch for the `(task, node)` releases of one event.
+    scratch_release: Vec<(TaskTypeId, usize)>,
     service_dists: Vec<LogNormal<f64>>,
     rng: SmallRng,
     config: SimConfig,
@@ -177,11 +186,12 @@ impl Cluster {
         let audit = config.audit || audit_env_enabled();
         let mut cluster = Cluster {
             ensemble,
-            engine: Engine::new(),
+            engine: Engine::with_queue_kind(config.queue),
             queues: vec![VecDeque::new(); j],
             pools: vec![ConsumerPool::new(); j],
-            instances: HashMap::new(),
-            next_instance: 0,
+            instances: Slab::new(),
+            preds_pool: Vec::new(),
+            scratch_release: Vec::new(),
             service_dists,
             rng: SmallRng::seed_from_u64(config.seed),
             config,
@@ -334,6 +344,14 @@ impl Cluster {
         std::mem::take(&mut self.completions)
     }
 
+    /// Appends the completions recorded since the last drain to `into`,
+    /// leaving the internal buffer (and its capacity) in place. The
+    /// allocation-free sibling of [`Cluster::drain_completions`] for
+    /// callers that poll every decision window.
+    pub fn drain_completions_into(&mut self, into: &mut Vec<CompletionRecord>) {
+        into.append(&mut self.completions);
+    }
+
     /// Attaches a telemetry handle to the underlying event engine and the
     /// audit layer (violations emit structured `audit` events).
     pub fn set_telemetry(&mut self, telemetry: telemetry::Telemetry) {
@@ -363,6 +381,32 @@ impl Cluster {
     #[must_use]
     pub fn workflows_in_flight(&self) -> usize {
         self.instances.len()
+    }
+
+    /// Number of events still pending in the engine's queue.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.engine.pending()
+    }
+
+    /// Total simulation events processed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.engine.events_processed()
+    }
+
+    /// Which event-queue backend the engine runs on (see
+    /// [`SimConfig::with_queue_kind`]).
+    #[must_use]
+    pub fn queue_kind(&self) -> QueueKind {
+        self.engine.queue_kind()
+    }
+
+    /// Events cascaded from the timing wheel's far-future overflow heap so
+    /// far (0 on the heap backend).
+    #[must_use]
+    pub fn wheel_cascades(&self) -> u64 {
+        self.engine.wheel_cascades()
     }
 
     /// Number of injected consumer failures so far (independent crashes plus
@@ -420,11 +464,7 @@ impl Cluster {
         let mut found: Vec<AuditViolation> = Vec::new();
         for (j, pool) in self.pools.iter().enumerate() {
             if let Err(desync) = pool.check_invariants() {
-                found.push(AuditViolation::Pool {
-                    task: j,
-                    task_name: self.ensemble.task_types()[j].name.clone(),
-                    desync,
-                });
+                found.push(AuditViolation::Pool { task: j, desync });
             }
             let balance = self.tasks_completed[j]
                 + self.queues[j].len() as u64
@@ -460,7 +500,7 @@ impl Cluster {
         }
         self.audit_event_invariants();
         let mut in_flight = vec![0usize; self.ensemble.num_workflow_types()];
-        for inst in self.instances.values() {
+        for (_, inst) in self.instances.iter() {
             in_flight[inst.workflow_type.index()] += 1;
         }
         let mut found: Vec<AuditViolation> = Vec::new();
@@ -576,25 +616,27 @@ impl Cluster {
     }
 
     fn handle_arrival(&mut self, wf: WorkflowTypeId) {
-        let id = self.next_instance;
-        self.next_instance += 1;
         self.workflows_submitted[wf.index()] += 1;
+        // Recycled buffers: a steady-state arrival allocates nothing.
+        let mut remaining_preds = self.preds_pool.pop().unwrap_or_default();
+        let mut entries = std::mem::take(&mut self.scratch_release);
         let dag = &self.ensemble.workflow(wf).dag;
-        let remaining_preds: Vec<usize> = (0..dag.num_nodes()).map(|n| dag.fan_in(n)).collect();
-        let entry_nodes: Vec<usize> = dag.entry_nodes().to_vec();
-        let entry_types: Vec<TaskTypeId> = entry_nodes.iter().map(|&n| dag.task_type(n)).collect();
-        self.instances.insert(
-            id,
-            WorkflowInstance {
-                workflow_type: wf,
-                arrival: self.engine.now(),
-                remaining_preds,
-                remaining_nodes: dag.num_nodes(),
-            },
-        );
-        for (&node, &task) in entry_nodes.iter().zip(&entry_types) {
+        let num_nodes = dag.num_nodes();
+        remaining_preds.clear();
+        remaining_preds.extend((0..num_nodes).map(|n| dag.fan_in(n)));
+        entries.clear();
+        entries.extend(dag.entry_nodes().iter().map(|&n| (dag.task_type(n), n)));
+        let id = self.instances.insert(WorkflowInstance {
+            workflow_type: wf,
+            arrival: self.engine.now(),
+            remaining_preds,
+            remaining_nodes: num_nodes,
+        });
+        for &(task, node) in &entries {
             self.enqueue_task(task, id, node);
         }
+        entries.clear();
+        self.scratch_release = entries;
     }
 
     fn enqueue_task(&mut self, task: TaskTypeId, instance: InstanceId, node: usize) {
@@ -744,8 +786,9 @@ impl Cluster {
         // Ask the "task-dependency service" for successors and release any
         // whose AND-join is now satisfied.
         let mut finished_workflow = None;
-        let mut released: Vec<(TaskTypeId, usize)> = Vec::new();
-        if let Some(inst) = self.instances.get_mut(&instance) {
+        let mut released = std::mem::take(&mut self.scratch_release);
+        released.clear();
+        if let Some(inst) = self.instances.get_mut(instance) {
             let dag = &self.ensemble.workflow(inst.workflow_type).dag;
             for &succ in dag.successors(node) {
                 inst.remaining_preds[succ] -= 1;
@@ -761,12 +804,18 @@ impl Cluster {
             debug_assert!(false, "task completion for unknown instance");
         }
 
-        for (succ_task, succ_node) in released {
+        for &(succ_task, succ_node) in &released {
             self.enqueue_task(succ_task, instance, succ_node);
         }
+        released.clear();
+        self.scratch_release = released;
 
         if let Some((wf, arrival)) = finished_workflow {
-            self.instances.remove(&instance);
+            if let Some(done) = self.instances.remove(instance) {
+                let mut preds = done.remaining_preds;
+                preds.clear();
+                self.preds_pool.push(preds);
+            }
             self.workflows_completed[wf.index()] += 1;
             self.completions.push(CompletionRecord {
                 workflow_type: wf,
@@ -791,12 +840,12 @@ impl Cluster {
     #[must_use]
     pub fn snapshot(&self) -> ClusterSnapshot {
         let engine = self.engine.snapshot();
-        let mut instances: Vec<(InstanceId, WorkflowInstance)> = self
+        // Slab iteration is already in slot order (deterministic).
+        let instances: Vec<(InstanceId, WorkflowInstance)> = self
             .instances
             .iter()
-            .map(|(&id, inst)| (id, inst.clone()))
+            .map(|(id, inst)| (id, inst.clone()))
             .collect();
-        instances.sort_by_key(|(id, _)| *id);
         ClusterSnapshot {
             num_task_types: self.ensemble.num_task_types(),
             num_workflow_types: self.ensemble.num_workflow_types(),
@@ -807,7 +856,7 @@ impl Cluster {
             queues: self.queues.clone(),
             pools: self.pools.clone(),
             instances,
-            next_instance: self.next_instance,
+            free_instances: self.instances.free_list().to_vec(),
             rng_state: self.rng.state(),
             config: self.config.clone(),
             completions: self.completions.clone(),
@@ -850,11 +899,11 @@ impl Cluster {
             processed: snapshot.processed,
             events: snapshot.events,
             next_seq: snapshot.next_seq,
+            kind: snapshot.config.queue,
         });
         fresh.queues = snapshot.queues;
         fresh.pools = snapshot.pools;
-        fresh.instances = snapshot.instances.into_iter().collect();
-        fresh.next_instance = snapshot.next_instance;
+        fresh.instances = Slab::from_parts(snapshot.instances, snapshot.free_instances);
         fresh.rng = SmallRng::from_state(snapshot.rng_state);
         fresh.config = snapshot.config;
         fresh.completions = snapshot.completions;
@@ -888,7 +937,9 @@ pub struct ClusterSnapshot {
     queues: Vec<VecDeque<PendingTask>>,
     pools: Vec<ConsumerPool>,
     instances: Vec<(InstanceId, WorkflowInstance)>,
-    next_instance: InstanceId,
+    /// The instance slab's free list (most recently freed last), so a
+    /// restored cluster reuses instance slots in the exact same order.
+    free_instances: Vec<InstanceId>,
     rng_state: [u64; 4],
     config: SimConfig,
     completions: Vec<CompletionRecord>,

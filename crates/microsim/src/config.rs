@@ -1,6 +1,6 @@
 //! Configuration for the emulated cluster and the RL-facing environment.
 
-use desim::SimTime;
+use desim::{QueueKind, SimTime};
 use serde::{Deserialize, Serialize};
 use workflow::Ensemble;
 
@@ -63,6 +63,13 @@ pub struct SimConfig {
     /// events instead of panics. Auditing is observation-only: results are
     /// bit-identical with it on or off.
     pub audit: bool,
+    /// Event-queue backend for the cluster's engine (default: the timing
+    /// wheel). Both backends deliver bit-identical event sequences — see
+    /// [`QueueKind`] — so this is purely a performance knob; `Heap` remains
+    /// available as the differential baseline. Absent in older serialized
+    /// configs, which deserialize to the wheel.
+    #[serde(default)]
+    pub queue: QueueKind,
 }
 
 impl SimConfig {
@@ -82,7 +89,17 @@ impl SimConfig {
             delivery_delay_prob: 0.0,
             delivery_delay_max: SimTime::ZERO,
             audit: false,
+            queue: QueueKind::default(),
         }
+    }
+
+    /// Selects the event-queue backend (timing wheel by default; the binary
+    /// heap remains available as the differential baseline). Pop order is
+    /// bit-identical either way, so this never changes a trajectory.
+    #[must_use]
+    pub fn with_queue_kind(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
     }
 
     /// Enables runtime invariant auditing: the checks debug builds run via

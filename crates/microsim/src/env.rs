@@ -85,6 +85,9 @@ pub struct MicroserviceEnv {
     /// Injected (burst/trace) arrivals not yet attributed to a window's
     /// metrics, sorted by arrival time.
     injected_schedule: VecDeque<(SimTime, usize)>,
+    /// Reusable buffer for draining the cluster's completion records each
+    /// window without a fresh allocation.
+    completion_buf: Vec<crate::CompletionRecord>,
     telemetry: Telemetry,
 }
 
@@ -112,6 +115,7 @@ impl MicroserviceEnv {
             arrival_rng,
             window_index: 0,
             injected_schedule: VecDeque::new(),
+            completion_buf: Vec::new(),
             telemetry: Telemetry::noop(),
         }
     }
@@ -240,7 +244,7 @@ impl MicroserviceEnv {
             self.injected_schedule.pop_front();
         }
         let window_secs = self.config.window.as_secs_f64();
-        for (i, &rate) in self.config.arrival_rates.clone().iter().enumerate() {
+        for (i, &rate) in self.config.arrival_rates.iter().enumerate() {
             if rate <= 0.0 {
                 continue;
             }
@@ -422,6 +426,7 @@ impl MicroserviceEnv {
             arrival_rng: SmallRng::from_state(snapshot.arrival_rng_state),
             window_index: snapshot.window_index,
             injected_schedule: snapshot.injected_schedule,
+            completion_buf: Vec::new(),
             telemetry: Telemetry::noop(),
         }
     }
@@ -430,11 +435,16 @@ impl MicroserviceEnv {
         let n = self.num_workflow_types();
         let mut counts = vec![0usize; n];
         let mut sums = vec![0.0f64; n];
-        for record in self.cluster.drain_completions() {
+        let mut records = std::mem::take(&mut self.completion_buf);
+        records.clear();
+        self.cluster.drain_completions_into(&mut records);
+        for record in &records {
             let i = record.workflow_type.index();
             counts[i] += 1;
             sums[i] += record.response_secs();
         }
+        records.clear();
+        self.completion_buf = records;
         let means = counts
             .iter()
             .zip(&sums)

@@ -49,6 +49,7 @@ mod config;
 mod env;
 mod metrics;
 mod pool;
+mod slab;
 
 pub use audit::{audit_env_enabled, AuditViolation, SimAuditor};
 pub use cluster::{Cluster, ClusterSnapshot, CompletionRecord};

@@ -224,6 +224,84 @@ impl Ensemble {
         )
     }
 
+    /// A deterministic scaled-up ensemble for benchmarks and stress tests:
+    /// `num_task_types` microservices shared by `num_workflow_types`
+    /// workflows (alternating 4-node chains and fan-out/join diamonds, task
+    /// types assigned round-robin with a per-workflow stride so they are
+    /// shared across workflows like in MSD/LIGO).
+    ///
+    /// Service-time means are spread deterministically over
+    /// `[0.5, 1.5) × mean_service_secs` (no RNG: the same arguments always
+    /// produce the identical ensemble). Default arrival rates are scaled so
+    /// the offered load is half the consumer budget, each workflow type
+    /// contributing equally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero, the budget is zero, or
+    /// `mean_service_secs` is not strictly positive.
+    #[must_use]
+    pub fn synthetic(
+        num_task_types: usize,
+        num_workflow_types: usize,
+        consumer_budget: usize,
+        mean_service_secs: f64,
+    ) -> Self {
+        assert!(num_task_types > 0, "synthetic ensemble needs task types");
+        assert!(num_workflow_types > 0, "synthetic ensemble needs workflows");
+        assert!(consumer_budget > 0, "synthetic ensemble needs a budget");
+        assert!(
+            mean_service_secs > 0.0,
+            "mean service time must be positive"
+        );
+        let task_types: Vec<TaskTypeDef> = (0..num_task_types)
+            .map(|j| {
+                // Knuth multiplicative hash spreads the means over
+                // [0.5, 1.5) without an RNG.
+                let jitter = 0.5 + (j.wrapping_mul(2_654_435_761) % 1024) as f64 / 1024.0;
+                TaskTypeDef::new(format!("S{j}"), mean_service_secs * jitter, 0.5)
+            })
+            .collect();
+        let t = TaskTypeId::new;
+        let workflows: Vec<WorkflowDef> = (0..num_workflow_types)
+            .map(|i| {
+                let task_at = |k: usize| t((i * 7 + k * 3) % num_task_types);
+                let nodes = vec![task_at(0), task_at(1), task_at(2), task_at(3)];
+                let dag = if i % 2 == 0 {
+                    Dag::chain(nodes)
+                } else {
+                    // root → (b ∥ c) → join
+                    Dag::new(nodes, vec![(0, 1), (0, 2), (1, 3), (2, 3)])
+                }
+                .expect("generated DAG is well-formed");
+                WorkflowDef {
+                    name: format!("W{i}"),
+                    dag,
+                }
+            })
+            .collect();
+        let target_load = 0.5 * consumer_budget as f64;
+        let rates: Vec<f64> = workflows
+            .iter()
+            .map(|w| {
+                let demand: f64 = w
+                    .dag
+                    .task_types()
+                    .iter()
+                    .map(|&tt| task_types[tt.index()].mean_service_secs)
+                    .sum();
+                target_load / (num_workflow_types as f64 * demand)
+            })
+            .collect();
+        Ensemble::new(
+            format!("SYN-{num_task_types}x{num_workflow_types}"),
+            task_types,
+            workflows,
+            consumer_budget,
+            rates,
+        )
+    }
+
     /// The ensemble's name (`"MSD"`, `"LIGO"`, or a custom label).
     #[must_use]
     pub fn name(&self) -> &str {
@@ -466,6 +544,32 @@ mod tests {
         }
         assert!(dot.contains("Inspiral"));
         assert!(dot.contains("Coire"));
+    }
+
+    #[test]
+    fn synthetic_is_deterministic_and_well_formed() {
+        let a = Ensemble::synthetic(128, 64, 1024, 0.03);
+        let b = Ensemble::synthetic(128, 64, 1024, 0.03);
+        assert_eq!(a, b, "same arguments must produce the identical ensemble");
+        assert_eq!(a.num_task_types(), 128);
+        assert_eq!(a.num_workflow_types(), 64);
+        assert_eq!(a.default_consumer_budget(), 1024);
+        // Default rates put the offered load at half the budget.
+        let load = a.offered_load(a.default_arrival_rates());
+        assert!((load - 512.0).abs() < 1e-6, "load {load}");
+        // Both DAG shapes appear, and fan-out workflows join correctly.
+        assert_eq!(a.workflow(WorkflowTypeId::new(0)).dag.depth(), 4);
+        let diamond = &a.workflow(WorkflowTypeId::new(1)).dag;
+        assert_eq!(diamond.fan_in(3), 2);
+    }
+
+    #[test]
+    fn synthetic_shares_task_types_across_workflows() {
+        let e = Ensemble::synthetic(16, 12, 64, 1.0);
+        let shared = (0..16)
+            .filter(|&j| e.workflows_using(TaskTypeId::new(j)).count() > 1)
+            .count();
+        assert!(shared > 0, "synthetic ensembles must share task types");
     }
 
     #[test]
