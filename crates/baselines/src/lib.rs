@@ -38,6 +38,7 @@ mod drs;
 mod heft;
 mod model_free;
 mod monad;
+mod policy;
 pub mod queueing;
 mod statics;
 mod traits;
@@ -46,5 +47,8 @@ pub use drs::DrsAllocator;
 pub use heft::HeftAllocator;
 pub use model_free::{train_model_free, ModelFreeDdpg};
 pub use monad::MonadAllocator;
+pub use policy::{
+    by_name, known_policies, AllocatorPolicy, Decision, Policy, PolicyConfig, PolicyError,
+};
 pub use statics::{UniformAllocator, WipProportionalAllocator};
 pub use traits::{Allocator, Observation};

@@ -1,0 +1,430 @@
+//! The unified decision surface: the [`Policy`] trait and the string-keyed
+//! policy registry.
+//!
+//! [`Allocator`] is the *algorithm* interface — observation in, consumer
+//! counts out. [`Policy`] is the *deployment* interface layered on top of
+//! it: every decision comes back as a typed [`Decision`] carrying the
+//! allocation, the measured decision latency, and the version of the policy
+//! that produced it. The serving loop (`miras-serve`), the evaluation grid,
+//! the resilience benchmark, and the CLI all construct policies through one
+//! API — [`by_name`] (also reachable as `<dyn Policy>::by_name`) over a
+//! [`PolicyConfig`] — instead of hand-rolling per-binary `match` arms.
+//!
+//! # Examples
+//!
+//! ```
+//! use baselines::{by_name, Observation, PolicyConfig};
+//! use workflow::Ensemble;
+//!
+//! let cfg = PolicyConfig::new(&Ensemble::msd());
+//! let mut policy = by_name("uniform", &cfg).unwrap();
+//! let decision = policy.decide(&Observation::first(&[3.0, 1.0, 0.0, 2.0]));
+//! assert_eq!(decision.allocations.iter().sum::<usize>(), 14);
+//! assert_eq!(decision.policy_version, 0);
+//! ```
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use miras_core::MirasAgent;
+use rl::Ddpg;
+use workflow::Ensemble;
+
+use crate::{
+    Allocator, DrsAllocator, HeftAllocator, ModelFreeDdpg, MonadAllocator, Observation,
+    UniformAllocator, WipProportionalAllocator,
+};
+
+/// One typed allocation decision.
+///
+/// Produced by [`Policy::decide`]; the latency is measured around the
+/// underlying allocation computation only (not I/O or telemetry), which is
+/// what the serving loop's <1 ms/decision budget is stated against. The
+/// latency is observability-only — it never appears in the wire-format
+/// decision record, so decision streams stay byte-deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// Consumer counts per task type; respects the policy's budget.
+    pub allocations: Vec<usize>,
+    /// Wall-clock time the decision took to compute.
+    pub latency: Duration,
+    /// Version of the policy that produced the decision (0 for unversioned
+    /// policies; checkpoint-loaded policies stamp the checkpoint's
+    /// iteration here, so hot-swaps are visible in the decision stream).
+    pub policy_version: u64,
+}
+
+/// A deployable resource-allocation policy: the object-safe decision
+/// surface every harness (serving loop, evaluation grid, CLI) runs against.
+///
+/// Obtain one from the registry with [`by_name`] or wrap any [`Allocator`]
+/// in an [`AllocatorPolicy`].
+pub trait Policy: Send {
+    /// Short name used in reports and decision records (matches
+    /// [`Allocator::name`] for wrapped allocators).
+    fn name(&self) -> &str;
+
+    /// The total-consumer constraint the policy was configured with.
+    fn consumer_budget(&self) -> usize;
+
+    /// The policy's version (0 when unversioned). Checkpoint hot-swap bumps
+    /// this, so consumers of a decision stream can attribute every decision
+    /// to the policy revision that made it.
+    fn policy_version(&self) -> u64;
+
+    /// Makes one window's decision.
+    fn decide(&mut self, obs: &Observation) -> Decision;
+}
+
+impl dyn Policy {
+    /// Builds a policy from the string-keyed registry — see [`by_name`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError`] for unknown names or missing artifacts.
+    pub fn by_name(name: &str, config: &PolicyConfig) -> Result<Box<dyn Policy>, PolicyError> {
+        by_name(name, config)
+    }
+}
+
+/// Adapts any [`Allocator`] into a [`Policy`], measuring per-decision
+/// latency and stamping a fixed version.
+#[derive(Debug, Clone)]
+pub struct AllocatorPolicy<A> {
+    inner: A,
+    version: u64,
+}
+
+impl<A: Allocator + Send> AllocatorPolicy<A> {
+    /// Wraps an allocator as an unversioned (version 0) policy.
+    pub fn new(inner: A) -> Self {
+        AllocatorPolicy { inner, version: 0 }
+    }
+
+    /// Sets the version stamped on every decision (e.g. the training
+    /// iteration of the checkpoint the allocator was loaded from).
+    #[must_use]
+    pub fn with_version(mut self, version: u64) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// Read access to the wrapped allocator.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: Allocator + Send> Policy for AllocatorPolicy<A> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn consumer_budget(&self) -> usize {
+        self.inner.consumer_budget()
+    }
+
+    fn policy_version(&self) -> u64 {
+        self.version
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Decision {
+        let start = Instant::now();
+        let allocations = self.inner.allocate(obs);
+        Decision {
+            allocations,
+            latency: start.elapsed(),
+            policy_version: self.version,
+        }
+    }
+}
+
+/// Everything the registry may need to construct a policy.
+///
+/// Built once per harness from the ensemble; trained artifacts (the MIRAS
+/// agent, the model-free DDPG agent) are attached only by harnesses that
+/// run the learned policies.
+#[derive(Debug, Clone)]
+pub struct PolicyConfig {
+    ensemble: Ensemble,
+    consumer_budget: usize,
+    window_secs: f64,
+    miras_agent: Option<MirasAgent>,
+    model_free: Option<Ddpg>,
+}
+
+impl PolicyConfig {
+    /// Configuration for `ensemble` with its default consumer budget and
+    /// the paper's 30 s decision window.
+    #[must_use]
+    pub fn new(ensemble: &Ensemble) -> Self {
+        PolicyConfig {
+            consumer_budget: ensemble.default_consumer_budget(),
+            ensemble: ensemble.clone(),
+            window_secs: 30.0,
+            miras_agent: None,
+            model_free: None,
+        }
+    }
+
+    /// Overrides the total-consumer constraint `C`.
+    #[must_use]
+    pub fn with_consumer_budget(mut self, budget: usize) -> Self {
+        self.consumer_budget = budget;
+        self
+    }
+
+    /// Overrides the decision-window length the model-predictive baselines
+    /// (`stream`, `monad`) plan over.
+    #[must_use]
+    pub fn with_window_secs(mut self, secs: f64) -> Self {
+        self.window_secs = secs;
+        self
+    }
+
+    /// Attaches a trained MIRAS agent, enabling the `miras` policy.
+    #[must_use]
+    pub fn with_miras_agent(mut self, agent: MirasAgent) -> Self {
+        self.miras_agent = Some(agent);
+        self
+    }
+
+    /// Attaches a trained model-free DDPG agent, enabling the `rl` policy.
+    #[must_use]
+    pub fn with_model_free(mut self, agent: Ddpg) -> Self {
+        self.model_free = Some(agent);
+        self
+    }
+
+    /// The configured consumer budget.
+    #[must_use]
+    pub fn consumer_budget(&self) -> usize {
+        self.consumer_budget
+    }
+
+    /// The configured ensemble.
+    #[must_use]
+    pub fn ensemble(&self) -> &Ensemble {
+        &self.ensemble
+    }
+}
+
+/// Why the registry could not build a policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// The name is not in the registry; see [`known_policies`].
+    Unknown {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// The policy needs a trained artifact the [`PolicyConfig`] lacks.
+    MissingArtifact {
+        /// The policy that was requested.
+        policy: &'static str,
+        /// What has to be attached to the config (and how).
+        artifact: &'static str,
+    },
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::Unknown { name } => {
+                write!(
+                    f,
+                    "unknown policy '{name}' (known: {})",
+                    known_policies().join(", ")
+                )
+            }
+            PolicyError::MissingArtifact { policy, artifact } => {
+                write!(f, "policy '{policy}' needs {artifact}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// The registry's policy names, in the order the benchmarks report them.
+/// `drs` and `wip` are accepted as aliases for `stream` and
+/// `wip-proportional`.
+#[must_use]
+pub fn known_policies() -> &'static [&'static str] {
+    &[
+        "miras",
+        "uniform",
+        "wip-proportional",
+        "stream",
+        "heft",
+        "monad",
+        "rl",
+    ]
+}
+
+/// Builds a policy by registry name.
+///
+/// Static policies (`uniform`, `wip-proportional`/`wip`, `stream`/`drs`,
+/// `heft`, `monad`) need only the ensemble already in the config; the
+/// learned policies (`miras`, `rl`) additionally need their trained agents
+/// attached via [`PolicyConfig::with_miras_agent`] /
+/// [`PolicyConfig::with_model_free`].
+///
+/// # Errors
+///
+/// [`PolicyError::Unknown`] for names outside [`known_policies`],
+/// [`PolicyError::MissingArtifact`] when a learned policy's agent is
+/// absent.
+pub fn by_name(name: &str, config: &PolicyConfig) -> Result<Box<dyn Policy>, PolicyError> {
+    let j = config.ensemble.num_task_types();
+    let budget = config.consumer_budget;
+    Ok(match name {
+        "miras" => {
+            let agent = config
+                .miras_agent
+                .clone()
+                .ok_or(PolicyError::MissingArtifact {
+                    policy: "miras",
+                    artifact: "a trained MirasAgent (PolicyConfig::with_miras_agent)",
+                })?;
+            Box::new(AllocatorPolicy::new(agent))
+        }
+        "uniform" => Box::new(AllocatorPolicy::new(UniformAllocator::new(j, budget))),
+        "wip" | "wip-proportional" => Box::new(AllocatorPolicy::new(
+            WipProportionalAllocator::new(j, budget),
+        )),
+        "stream" | "drs" => Box::new(AllocatorPolicy::new(DrsAllocator::new(
+            &config.ensemble,
+            budget,
+            config.window_secs,
+        ))),
+        "heft" => Box::new(AllocatorPolicy::new(HeftAllocator::new(
+            &config.ensemble,
+            budget,
+        ))),
+        "monad" => Box::new(AllocatorPolicy::new(MonadAllocator::new(
+            j,
+            budget,
+            config.window_secs,
+        ))),
+        "rl" => {
+            let agent = config
+                .model_free
+                .clone()
+                .ok_or(PolicyError::MissingArtifact {
+                    policy: "rl",
+                    artifact: "a trained model-free Ddpg (PolicyConfig::with_model_free)",
+                })?;
+            Box::new(AllocatorPolicy::new(ModelFreeDdpg::new(agent, budget)))
+        }
+        other => {
+            return Err(PolicyError::Unknown {
+                name: other.to_string(),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PolicyConfig {
+        PolicyConfig::new(&Ensemble::msd())
+    }
+
+    #[test]
+    fn static_policies_build_and_respect_budget() {
+        for name in [
+            "uniform",
+            "wip",
+            "wip-proportional",
+            "stream",
+            "drs",
+            "heft",
+            "monad",
+        ] {
+            let mut p = by_name(name, &cfg()).unwrap();
+            let d = p.decide(&Observation::first(&[5.0, 1.0, 0.0, 9.0]));
+            assert!(
+                d.allocations.iter().sum::<usize>() <= 14,
+                "{name}: {:?}",
+                d.allocations
+            );
+            assert_eq!(d.policy_version, 0, "{name}");
+            assert_eq!(p.consumer_budget(), 14, "{name}");
+        }
+    }
+
+    #[test]
+    fn aliases_resolve_to_the_same_algorithm() {
+        assert_eq!(by_name("drs", &cfg()).unwrap().name(), "stream");
+        assert_eq!(
+            by_name("wip", &cfg()).unwrap().name(),
+            by_name("wip-proportional", &cfg()).unwrap().name()
+        );
+    }
+
+    #[test]
+    fn unknown_name_is_a_typed_error() {
+        let err = by_name("bogus", &cfg()).err().unwrap();
+        assert!(matches!(err, PolicyError::Unknown { .. }));
+        assert!(err.to_string().contains("bogus"));
+        assert!(err.to_string().contains("miras"));
+    }
+
+    #[test]
+    fn learned_policies_require_artifacts() {
+        let err = by_name("miras", &cfg()).err().unwrap();
+        assert!(matches!(
+            err,
+            PolicyError::MissingArtifact {
+                policy: "miras",
+                ..
+            }
+        ));
+        let err = by_name("rl", &cfg()).err().unwrap();
+        assert!(matches!(
+            err,
+            PolicyError::MissingArtifact { policy: "rl", .. }
+        ));
+    }
+
+    #[test]
+    fn miras_builds_once_agent_is_attached() {
+        use nn::{Activation, Mlp};
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(0);
+        let actor = Mlp::new(&[4, 8, 4], Activation::Relu, Activation::Softmax, &mut rng);
+        let agent = MirasAgent::new(actor, 14);
+        let config = cfg().with_miras_agent(agent.clone());
+        let mut p = <dyn Policy>::by_name("miras", &config).unwrap();
+        assert_eq!(p.name(), "miras");
+        let d = p.decide(&Observation::first(&[1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(d.allocations, agent.allocate(&[1.0, 2.0, 3.0, 4.0]));
+    }
+
+    #[test]
+    fn versioned_wrapper_stamps_decisions() {
+        let mut p = AllocatorPolicy::new(UniformAllocator::new(4, 14)).with_version(7);
+        assert_eq!(p.policy_version(), 7);
+        let d = p.decide(&Observation::first(&[0.0; 4]));
+        assert_eq!(d.policy_version, 7);
+    }
+
+    #[test]
+    fn registry_order_matches_reports() {
+        assert_eq!(
+            known_policies(),
+            &[
+                "miras",
+                "uniform",
+                "wip-proportional",
+                "stream",
+                "heft",
+                "monad",
+                "rl"
+            ]
+        );
+    }
+}

@@ -20,7 +20,7 @@
 
 use std::process::ExitCode;
 
-use baselines::queueing;
+use baselines::{by_name, queueing, Observation, PolicyConfig};
 use desim::SimTime;
 use microsim::{EnvConfig, MicroserviceEnv, SimConfig};
 use miras_bench::{fault_scenarios, init_telemetry};
@@ -74,12 +74,18 @@ fn run_scenario(
     telemetry: &telemetry::Telemetry,
 ) -> usize {
     let ensemble = Ensemble::msd();
+    let mut policy =
+        by_name("uniform", &PolicyConfig::new(&ensemble)).expect("uniform is registered");
     let config = EnvConfig::for_ensemble(&ensemble).with_sim(sim.with_audit());
     let mut env = MicroserviceEnv::new(ensemble, config);
     env.set_telemetry(telemetry.clone());
     let _ = env.reset();
-    for _ in 0..windows {
-        let _ = env.step(&[4, 4, 4, 2]);
+    let mut previous = None;
+    for window in 0..windows {
+        let wip = env.state();
+        let decision = policy.decide(&Observation::new(&wip, previous.as_ref(), window));
+        let out = env.step(&decision.allocations);
+        previous = Some(out.metrics);
     }
     let violations = env.take_audit_violations();
     for v in &violations {

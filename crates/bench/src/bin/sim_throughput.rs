@@ -364,11 +364,9 @@ fn main() {
         if smoke {
             arrivals_per_window = arrivals_per_window.min(500_000);
         }
-        let children = if arrivals_total > 0 {
-            (events_total / arrivals_total).saturating_sub(1).max(1)
-        } else {
-            1
-        };
+        let children = events_total
+            .checked_div(arrivals_total)
+            .map_or(1, |per| per.saturating_sub(1).max(1));
         let mean_service: f64 = {
             let ensemble = (scenario.build)();
             let types = ensemble.task_types();

@@ -1,14 +1,18 @@
 //! Validates the telemetry JSONL stream a figure binary produced.
 //!
 //! Used by CI after a `--smoke` figure run: checks every line parses as a
-//! JSON object with the record envelope (`t` + the type-specific fields),
-//! that event sequence numbers increase, and that the stream contains the
-//! records the MIRAS pipeline is expected to emit — per-window `window`
+//! JSON object with the record envelope (a `schema_version` stamp matching
+//! this build's `telemetry::SCHEMA_VERSION`, `t`, and the type-specific
+//! fields), that event sequence numbers increase, and that the stream
+//! contains the records the MIRAS pipeline is expected to emit — per-window `window`
 //! events and (when `--require-training` is passed) per-iteration
 //! `iteration` events from Algorithm 2. With `--require-rollout` the window
 //! requirement is replaced by a check for `rollout.bench` throughput events
 //! (the rollout engine benchmark never runs the cluster emulator, so it has
-//! no decision windows).
+//! no decision windows). With `--require-serve` it is replaced by a check
+//! for the serving loop's records — `serve.decisions` counters and the
+//! final `serve.latency_p99_us` gauge — since `miras-serve` only decides,
+//! never simulates.
 //!
 //! Run: `cargo run -p miras-bench --bin telemetry_check -- \
 //!       results/fig7_msd_comparison.jsonl --require-training`
@@ -49,12 +53,19 @@ fn is_number(value: &Value) -> bool {
 /// One validation failure: line number (1-based) plus description.
 struct Problem(usize, String);
 
-fn check(text: &str, require_training: bool, require_rollout: bool) -> Result<String, Problem> {
+fn check(
+    text: &str,
+    require_training: bool,
+    require_rollout: bool,
+    require_serve: bool,
+) -> Result<String, Problem> {
     let mut events = 0usize;
     let mut windows = 0usize;
     let mut iterations = 0usize;
     let mut summaries = 0usize;
     let mut rollouts = 0usize;
+    let mut serve_decisions = 0usize;
+    let mut serve_p99 = 0usize;
     let mut desim_pending = 0usize;
     let mut desim_cascades = 0usize;
     let mut last_seq: Option<u64> = None;
@@ -65,6 +76,18 @@ fn check(text: &str, require_training: bool, require_rollout: bool) -> Result<St
         }
         let value: Value = serde_json::from_str(line)
             .map_err(|e| Problem(lineno, format!("not valid JSON: {e}")))?;
+        let schema = get(&value, "schema_version")
+            .and_then(as_u64)
+            .ok_or_else(|| Problem(lineno, "record has no `schema_version` field".into()))?;
+        if schema != u64::from(telemetry::SCHEMA_VERSION) {
+            return Err(Problem(
+                lineno,
+                format!(
+                    "unknown schema_version {schema} (this build reads {})",
+                    telemetry::SCHEMA_VERSION
+                ),
+            ));
+        }
         let t = get(&value, "t")
             .and_then(as_str)
             .ok_or_else(|| Problem(lineno, "record has no string `t` field".into()))?;
@@ -149,6 +172,8 @@ fn check(text: &str, require_training: bool, require_rollout: bool) -> Result<St
                 match (t, name) {
                     ("gauge", "desim.pending") => desim_pending += 1,
                     ("counter", "desim.wheel_cascades") => desim_cascades += 1,
+                    ("counter", "serve.decisions") => serve_decisions += 1,
+                    ("gauge", "serve.latency_p99_us") => serve_p99 += 1,
                     _ => {}
                 }
                 let v = get(&value, "value")
@@ -188,6 +213,19 @@ fn check(text: &str, require_training: bool, require_rollout: bool) -> Result<St
                 "stream contains no `rollout.bench` events".into(),
             ));
         }
+    } else if require_serve {
+        if serve_decisions == 0 {
+            return Err(Problem(
+                0,
+                "stream contains no `serve.decisions` counters".into(),
+            ));
+        }
+        if serve_p99 == 0 {
+            return Err(Problem(
+                0,
+                "stream contains no `serve.latency_p99_us` gauge".into(),
+            ));
+        }
     } else if windows == 0 {
         return Err(Problem(0, "stream contains no `window` events".into()));
     }
@@ -211,7 +249,7 @@ fn check(text: &str, require_training: bool, require_rollout: bool) -> Result<St
     }
     Ok(format!(
         "{events} events ({windows} window, {iterations} iteration, {summaries} summary, \
-         {rollouts} rollout records)"
+         {rollouts} rollout records, {serve_decisions} serve-decision counters)"
     ))
 }
 
@@ -219,22 +257,28 @@ fn main() -> ExitCode {
     let mut path = None;
     let mut require_training = false;
     let mut require_rollout = false;
+    let mut require_serve = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--require-training" => require_training = true,
             "--require-rollout" => require_rollout = true,
+            "--require-serve" => require_serve = true,
             other if path.is_none() => path = Some(other.to_string()),
             other => {
                 eprintln!(
                     "unexpected argument {other}; usage: \
-                     telemetry_check FILE [--require-training] [--require-rollout]"
+                     telemetry_check FILE [--require-training] [--require-rollout] \
+                     [--require-serve]"
                 );
                 return ExitCode::FAILURE;
             }
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: telemetry_check FILE [--require-training] [--require-rollout]");
+        eprintln!(
+            "usage: telemetry_check FILE [--require-training] [--require-rollout] \
+             [--require-serve]"
+        );
         return ExitCode::FAILURE;
     };
     let text = match std::fs::read_to_string(&path) {
@@ -244,7 +288,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match check(&text, require_training, require_rollout) {
+    match check(&text, require_training, require_rollout, require_serve) {
         Ok(report) => {
             println!("telemetry_check: {path} OK — {report}");
             ExitCode::SUCCESS

@@ -2,9 +2,9 @@
 //!
 //! Every figure in the MIRAS paper's evaluation has a binary in
 //! `src/bin/` (see `DESIGN.md` §5 for the index); this library holds the
-//! pieces they share: ensemble selection, the evaluation loop that runs an
-//! [`Allocator`] against the emulated cluster, MIRAS training with on-disk
-//! caching of the trained agent, and plain-text table output.
+//! pieces they share: ensemble selection, the evaluation loop that runs a
+//! registry-built [`Policy`] against the emulated cluster, MIRAS training
+//! with on-disk caching of the trained agent, and plain-text table output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -13,7 +13,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use baselines::{Allocator, Observation};
+use baselines::{by_name, Observation, Policy, PolicyConfig};
 use desim::SimTime;
 use microsim::{EnvConfig, MicroserviceEnv, SimConfig};
 use miras_core::{ClusterEnvAdapter, IterationReport, MirasAgent, MirasConfig, MirasTrainer};
@@ -343,24 +343,25 @@ pub struct RunSummary {
     pub final_wip: usize,
 }
 
-/// Runs `allocator` against a fresh environment for `steps` windows,
+/// Runs `policy` against a fresh environment for `steps` windows,
 /// injecting `burst` at the start (plus the ensemble's default Poisson
 /// background), and returns the per-window records.
 ///
 /// The environment is wired to `telemetry`, so each window emits a `window`
 /// event at source (see `microsim`); the run itself is announced with one
 /// `bench.run` event naming the algorithm, which lets stream consumers
-/// attribute the window records that follow.
+/// attribute the window records that follow. Each decision's latency is
+/// observed under `bench.decision_latency`.
 pub fn run_allocator(
     kind: EnsembleKind,
     seed: u64,
     burst: Option<&BurstSpec>,
     steps: usize,
-    allocator: &mut dyn Allocator,
+    policy: &mut dyn Policy,
     telemetry: &Telemetry,
 ) -> Vec<StepRecord> {
     let config = EnvConfig::for_ensemble(&kind.ensemble()).with_seed(seed);
-    run_allocator_configured(kind, config, burst, steps, allocator, telemetry)
+    run_allocator_configured(kind, config, burst, steps, policy, telemetry)
 }
 
 /// Like [`run_allocator`] but with an explicit environment configuration,
@@ -372,7 +373,7 @@ pub fn run_allocator_configured(
     config: EnvConfig,
     burst: Option<&BurstSpec>,
     steps: usize,
-    allocator: &mut dyn Allocator,
+    policy: &mut dyn Policy,
     telemetry: &Telemetry,
 ) -> Vec<StepRecord> {
     let ensemble = kind.ensemble();
@@ -383,7 +384,7 @@ pub fn run_allocator_configured(
         "bench.run",
         &[
             ("ensemble", Value::String(kind.name().to_string())),
-            ("algorithm", Value::String(allocator.name().to_string())),
+            ("algorithm", Value::String(policy.name().to_string())),
             ("steps", Value::UInt(steps as u64)),
             ("seed", Value::UInt(seed)),
         ],
@@ -396,7 +397,9 @@ pub fn run_allocator_configured(
     let mut previous = None;
     for step in 0..steps {
         let wip: Vec<f64> = env.state();
-        let m = allocator.allocate(&Observation::new(&wip, previous.as_ref(), step));
+        let decision = policy.decide(&Observation::new(&wip, previous.as_ref(), step));
+        telemetry.observe("bench.decision_latency", decision.latency.as_secs_f64());
+        let m = decision.allocations;
         let out = env.step(&m);
         records.push(StepRecord {
             step,
@@ -563,7 +566,6 @@ pub fn print_summaries(summaries: &[RunSummary]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use baselines::UniformAllocator;
 
     #[test]
     fn ensemble_kind_round_trips() {
@@ -586,13 +588,14 @@ mod tests {
 
     #[test]
     fn run_allocator_produces_full_series() {
-        let mut alloc = UniformAllocator::new(4, 14);
+        let mut policy =
+            by_name("uniform", &PolicyConfig::new(&EnsembleKind::Msd.ensemble())).unwrap();
         let records = run_allocator(
             EnsembleKind::Msd,
             7,
             None,
             5,
-            &mut alloc,
+            policy.as_mut(),
             &Telemetry::noop(),
         );
         assert_eq!(records.len(), 5);
@@ -728,9 +731,6 @@ pub fn run_resilience(
 ) -> Vec<(String, String, Vec<StepRecord>)> {
     let seed = args.seed;
     let ensemble = kind.ensemble();
-    let j = ensemble.num_task_types();
-    let budget = ensemble.default_consumer_budget();
-    let window_secs = 30.0;
     let steps = args.comparison_steps(kind);
     let burst = kind.burst_scenarios().remove(0);
 
@@ -759,16 +759,16 @@ pub fn run_resilience(
     let scenarios = fault_scenarios();
     let algorithms = RESILIENCE_ALGORITHMS;
     let enabled = telemetry.is_enabled();
-    let mf_actor = model_free.agent();
+    let policy_cfg = PolicyConfig::new(&ensemble)
+        .with_miras_agent(miras_agent)
+        .with_model_free(model_free.agent().clone());
     let mut tasks: Vec<Box<dyn FnOnce() -> GridCell + Send + '_>> = Vec::new();
     for scenario in &scenarios {
         let base = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
         let config = base.clone().with_sim(scenario.apply(base.sim().clone()));
         for &algorithm in algorithms {
             let config = config.clone();
-            let ensemble = ensemble.clone();
-            let miras_agent = miras_agent.clone();
-            let mf_actor = mf_actor.clone();
+            let policy_cfg = policy_cfg.clone();
             let burst = &burst;
             tasks.push(Box::new(move || {
                 let buffer = Arc::new(BufferedRecorder::new());
@@ -777,23 +777,14 @@ pub fn run_resilience(
                 } else {
                     Telemetry::noop()
                 };
-                let mut alloc: Box<dyn Allocator> = match algorithm {
-                    "miras" => Box::new(miras_agent),
-                    "uniform" => Box::new(baselines::UniformAllocator::new(j, budget)),
-                    "stream" => {
-                        Box::new(baselines::DrsAllocator::new(&ensemble, budget, window_secs))
-                    }
-                    "heft" => Box::new(baselines::HeftAllocator::new(&ensemble, budget)),
-                    "monad" => Box::new(baselines::MonadAllocator::new(j, budget, window_secs)),
-                    "rl" => Box::new(baselines::ModelFreeDdpg::new(mf_actor, budget)),
-                    other => unreachable!("unknown grid algorithm {other}"),
-                };
+                let mut policy =
+                    by_name(algorithm, &policy_cfg).expect("grid algorithms are registered");
                 let records = run_allocator_configured(
                     kind,
                     config,
                     Some(burst),
                     steps,
-                    alloc.as_mut(),
+                    policy.as_mut(),
                     &cell_telemetry,
                 );
                 GridCell {
@@ -872,9 +863,6 @@ pub fn run_comparison(
 ) -> Vec<(usize, String, Vec<StepRecord>)> {
     let seed = args.seed;
     let ensemble = kind.ensemble();
-    let j = ensemble.num_task_types();
-    let budget = ensemble.default_consumer_budget();
-    let window_secs = 30.0;
     let steps = args.comparison_steps(kind);
 
     // MIRAS: train (or load) the model-based agent.
@@ -905,13 +893,13 @@ pub fn run_comparison(
     let bursts = kind.burst_scenarios();
     let algorithms = COMPARISON_ALGORITHMS;
     let enabled = telemetry.is_enabled();
-    let mf_actor = model_free.agent();
+    let policy_cfg = PolicyConfig::new(&ensemble)
+        .with_miras_agent(miras_agent)
+        .with_model_free(model_free.agent().clone());
     let mut tasks: Vec<Box<dyn FnOnce() -> GridCell + Send + '_>> = Vec::new();
     for burst in &bursts {
         for &algorithm in algorithms {
-            let ensemble = ensemble.clone();
-            let miras_agent = miras_agent.clone();
-            let mf_actor = mf_actor.clone();
+            let policy_cfg = policy_cfg.clone();
             tasks.push(Box::new(move || {
                 let buffer = Arc::new(BufferedRecorder::new());
                 let cell_telemetry = if enabled {
@@ -919,22 +907,14 @@ pub fn run_comparison(
                 } else {
                     Telemetry::noop()
                 };
-                let mut alloc: Box<dyn Allocator> = match algorithm {
-                    "miras" => Box::new(miras_agent),
-                    "stream" => {
-                        Box::new(baselines::DrsAllocator::new(&ensemble, budget, window_secs))
-                    }
-                    "heft" => Box::new(baselines::HeftAllocator::new(&ensemble, budget)),
-                    "monad" => Box::new(baselines::MonadAllocator::new(j, budget, window_secs)),
-                    "rl" => Box::new(baselines::ModelFreeDdpg::new(mf_actor, budget)),
-                    other => unreachable!("unknown grid algorithm {other}"),
-                };
+                let mut policy =
+                    by_name(algorithm, &policy_cfg).expect("grid algorithms are registered");
                 let records = run_allocator(
                     kind,
                     seed,
                     Some(burst),
                     steps,
-                    alloc.as_mut(),
+                    policy.as_mut(),
                     &cell_telemetry,
                 );
                 GridCell {

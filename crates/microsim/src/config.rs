@@ -1,8 +1,56 @@
 //! Configuration for the emulated cluster and the RL-facing environment.
 
+use std::fmt;
+
 use desim::{QueueKind, SimTime};
 use serde::{Deserialize, Serialize};
 use workflow::Ensemble;
+
+/// Why a configuration builder rejected a value.
+///
+/// One typed error across the whole config surface: every validating
+/// builder on [`SimConfig`] and [`EnvConfig`] (and `MirasConfig` in
+/// `miras-core`, which re-exports this type) has a `try_with_*` form
+/// returning `Result<Self, ConfigError>`; the panicking `with_*` forms
+/// delegate to it and panic with the error's [`Display`](fmt::Display)
+/// rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A [`SimConfig`] field was rejected.
+    Sim {
+        /// The field that failed validation.
+        field: &'static str,
+        /// Human-readable constraint that was violated.
+        reason: &'static str,
+    },
+    /// An [`EnvConfig`] field was rejected.
+    Env {
+        /// The field that failed validation.
+        field: &'static str,
+        /// Human-readable constraint that was violated.
+        reason: &'static str,
+    },
+    /// A `MirasConfig` field was rejected.
+    Miras {
+        /// The field that failed validation.
+        field: &'static str,
+        /// Human-readable constraint that was violated.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (config, field, reason) = match self {
+            ConfigError::Sim { field, reason } => ("SimConfig", field, reason),
+            ConfigError::Env { field, reason } => ("EnvConfig", field, reason),
+            ConfigError::Miras { field, reason } => ("MirasConfig", field, reason),
+        };
+        write!(f, "invalid {config}.{field}: {reason}")
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Low-level emulator parameters.
 ///
@@ -118,15 +166,28 @@ impl SimConfig {
     ///
     /// # Panics
     ///
-    /// Panics unless `cores` is positive and finite.
+    /// Panics unless `cores` is positive and finite; see
+    /// [`SimConfig::try_with_total_cores`] for the non-panicking form.
     #[must_use]
-    pub fn with_total_cores(mut self, cores: f64) -> Self {
-        assert!(
-            cores.is_finite() && cores > 0.0,
-            "core count must be positive"
-        );
+    pub fn with_total_cores(self, cores: f64) -> Self {
+        self.try_with_total_cores(cores)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`SimConfig::with_total_cores`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Sim`] unless `cores` is positive and finite.
+    pub fn try_with_total_cores(mut self, cores: f64) -> Result<Self, ConfigError> {
+        if !(cores.is_finite() && cores > 0.0) {
+            return Err(ConfigError::Sim {
+                field: "total_cores",
+                reason: "core count must be positive",
+            });
+        }
         self.total_cores = Some(cores);
-        self
+        Ok(self)
     }
 
     /// Enables consumer-failure injection at the given mean rate
@@ -134,28 +195,61 @@ impl SimConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the rate is negative or non-finite.
+    /// Panics if the rate is negative or non-finite; see
+    /// [`SimConfig::try_with_failure_rate`] for the non-panicking form.
     #[must_use]
-    pub fn with_failure_rate(mut self, per_hour: f64) -> Self {
-        assert!(
-            per_hour.is_finite() && per_hour >= 0.0,
-            "failure rate must be non-negative"
-        );
+    pub fn with_failure_rate(self, per_hour: f64) -> Self {
+        self.try_with_failure_rate(per_hour)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`SimConfig::with_failure_rate`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Sim`] if the rate is negative or non-finite.
+    pub fn try_with_failure_rate(mut self, per_hour: f64) -> Result<Self, ConfigError> {
+        if !(per_hour.is_finite() && per_hour >= 0.0) {
+            return Err(ConfigError::Sim {
+                field: "failure_rate_per_hour",
+                reason: "failure rate must be non-negative",
+            });
+        }
         self.failure_rate_per_hour = per_hour;
-        self
+        Ok(self)
     }
 
     /// Overrides the container start-up delay range.
     ///
     /// # Panics
     ///
-    /// Panics if `min > max`.
+    /// Panics if `min > max`; see [`SimConfig::try_with_startup_delay`] for
+    /// the non-panicking form.
     #[must_use]
-    pub fn with_startup_delay(mut self, min: SimTime, max: SimTime) -> Self {
-        assert!(min <= max, "startup delay range inverted");
+    pub fn with_startup_delay(self, min: SimTime, max: SimTime) -> Self {
+        self.try_with_startup_delay(min, max)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`SimConfig::with_startup_delay`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Sim`] if `min > max`.
+    pub fn try_with_startup_delay(
+        mut self,
+        min: SimTime,
+        max: SimTime,
+    ) -> Result<Self, ConfigError> {
+        if min > max {
+            return Err(ConfigError::Sim {
+                field: "startup_min/startup_max",
+                reason: "startup delay range inverted",
+            });
+        }
         self.startup_min = min;
         self.startup_max = max;
-        self
+        Ok(self)
     }
 
     /// Enables correlated node outages: consumers are spread round-robin
@@ -166,17 +260,40 @@ impl SimConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `nodes` is zero or the rate is negative or non-finite.
+    /// Panics if `nodes` is zero or the rate is negative or non-finite; see
+    /// [`SimConfig::try_with_node_model`] for the non-panicking form.
     #[must_use]
-    pub fn with_node_model(mut self, nodes: usize, outages_per_hour: f64) -> Self {
-        assert!(nodes > 0, "node count must be positive");
-        assert!(
-            outages_per_hour.is_finite() && outages_per_hour >= 0.0,
-            "node outage rate must be non-negative"
-        );
+    pub fn with_node_model(self, nodes: usize, outages_per_hour: f64) -> Self {
+        self.try_with_node_model(nodes, outages_per_hour)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`SimConfig::with_node_model`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Sim`] if `nodes` is zero or the rate is negative or
+    /// non-finite.
+    pub fn try_with_node_model(
+        mut self,
+        nodes: usize,
+        outages_per_hour: f64,
+    ) -> Result<Self, ConfigError> {
+        if nodes == 0 {
+            return Err(ConfigError::Sim {
+                field: "node_count",
+                reason: "node count must be positive",
+            });
+        }
+        if !(outages_per_hour.is_finite() && outages_per_hour >= 0.0) {
+            return Err(ConfigError::Sim {
+                field: "node_outage_rate_per_hour",
+                reason: "node outage rate must be non-negative",
+            });
+        }
         self.node_count = nodes;
         self.node_outage_rate_per_hour = outages_per_hour;
-        self
+        Ok(self)
     }
 
     /// Enables straggler injection: each dispatched request independently
@@ -186,20 +303,36 @@ impl SimConfig {
     /// # Panics
     ///
     /// Panics unless `prob` is a probability in `[0, 1]` and `factor` is
-    /// finite and at least 1.
+    /// finite and at least 1; see [`SimConfig::try_with_stragglers`] for the
+    /// non-panicking form.
     #[must_use]
-    pub fn with_stragglers(mut self, prob: f64, factor: f64) -> Self {
-        assert!(
-            prob.is_finite() && (0.0..=1.0).contains(&prob),
-            "straggler probability must be in [0, 1]"
-        );
-        assert!(
-            factor.is_finite() && factor >= 1.0,
-            "straggler factor must be finite and at least 1"
-        );
+    pub fn with_stragglers(self, prob: f64, factor: f64) -> Self {
+        self.try_with_stragglers(prob, factor)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`SimConfig::with_stragglers`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Sim`] unless `prob` is a probability in `[0, 1]` and
+    /// `factor` is finite and at least 1.
+    pub fn try_with_stragglers(mut self, prob: f64, factor: f64) -> Result<Self, ConfigError> {
+        if !(prob.is_finite() && (0.0..=1.0).contains(&prob)) {
+            return Err(ConfigError::Sim {
+                field: "straggler_prob",
+                reason: "straggler probability must be in [0, 1]",
+            });
+        }
+        if !(factor.is_finite() && factor >= 1.0) {
+            return Err(ConfigError::Sim {
+                field: "straggler_factor",
+                reason: "straggler factor must be finite and at least 1",
+            });
+        }
         self.straggler_prob = prob;
         self.straggler_factor = factor;
-        self
+        Ok(self)
     }
 
     /// Enables queue-delivery delay spikes: each task delivery is delayed
@@ -210,20 +343,41 @@ impl SimConfig {
     ///
     /// Panics unless `prob` is a probability in `[0, 1]`, or if `prob` is
     /// positive while `max` is zero (a delay spike of zero length is a
-    /// configuration error, not a feature).
+    /// configuration error, not a feature); see
+    /// [`SimConfig::try_with_delivery_delay_spikes`] for the non-panicking
+    /// form.
     #[must_use]
-    pub fn with_delivery_delay_spikes(mut self, prob: f64, max: SimTime) -> Self {
-        assert!(
-            prob.is_finite() && (0.0..=1.0).contains(&prob),
-            "delivery delay probability must be in [0, 1]"
-        );
-        assert!(
-            prob == 0.0 || !max.is_zero(),
-            "delivery delay max must be positive when spikes are enabled"
-        );
+    pub fn with_delivery_delay_spikes(self, prob: f64, max: SimTime) -> Self {
+        self.try_with_delivery_delay_spikes(prob, max)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`SimConfig::with_delivery_delay_spikes`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Sim`] unless `prob` is a probability in `[0, 1]` and
+    /// `max` is positive whenever `prob` is.
+    pub fn try_with_delivery_delay_spikes(
+        mut self,
+        prob: f64,
+        max: SimTime,
+    ) -> Result<Self, ConfigError> {
+        if !(prob.is_finite() && (0.0..=1.0).contains(&prob)) {
+            return Err(ConfigError::Sim {
+                field: "delivery_delay_prob",
+                reason: "delivery delay probability must be in [0, 1]",
+            });
+        }
+        if prob != 0.0 && max.is_zero() {
+            return Err(ConfigError::Sim {
+                field: "delivery_delay_max",
+                reason: "delivery delay max must be positive when spikes are enabled",
+            });
+        }
         self.delivery_delay_prob = prob;
         self.delivery_delay_max = max;
-        self
+        Ok(self)
     }
 }
 
@@ -292,12 +446,28 @@ impl EnvConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the window is zero.
+    /// Panics if the window is zero; see [`EnvConfig::try_with_window`] for
+    /// the non-panicking form.
     #[must_use]
-    pub fn with_window(mut self, window: SimTime) -> Self {
-        assert!(!window.is_zero(), "window must be positive");
+    pub fn with_window(self, window: SimTime) -> Self {
+        self.try_with_window(window)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`EnvConfig::with_window`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Env`] if the window is zero.
+    pub fn try_with_window(mut self, window: SimTime) -> Result<Self, ConfigError> {
+        if window.is_zero() {
+            return Err(ConfigError::Env {
+                field: "window",
+                reason: "window must be positive",
+            });
+        }
         self.window = window;
-        self
+        Ok(self)
     }
 
     /// Sets the total-consumer constraint `C`.
@@ -312,15 +482,28 @@ impl EnvConfig {
     /// # Panics
     ///
     /// Panics if any rate is negative or non-finite — a NaN rate would
-    /// silently poison every Poisson arrival draw downstream.
+    /// silently poison every Poisson arrival draw downstream. See
+    /// [`EnvConfig::try_with_arrival_rates`] for the non-panicking form.
     #[must_use]
-    pub fn with_arrival_rates(mut self, rates: Vec<f64>) -> Self {
-        assert!(
-            rates.iter().all(|r| r.is_finite() && *r >= 0.0),
-            "arrival rates must be finite and non-negative"
-        );
+    pub fn with_arrival_rates(self, rates: Vec<f64>) -> Self {
+        self.try_with_arrival_rates(rates)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`EnvConfig::with_arrival_rates`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Env`] if any rate is negative or non-finite.
+    pub fn try_with_arrival_rates(mut self, rates: Vec<f64>) -> Result<Self, ConfigError> {
+        if !rates.iter().all(|r| r.is_finite() && *r >= 0.0) {
+            return Err(ConfigError::Env {
+                field: "arrival_rates",
+                reason: "arrival rates must be finite and non-negative",
+            });
+        }
         self.arrival_rates = rates;
-        self
+        Ok(self)
     }
 
     /// Replaces the low-level emulator parameters wholesale. Note that
@@ -353,12 +536,29 @@ impl EnvConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the factor is zero.
+    /// Panics if the factor is zero; see
+    /// [`EnvConfig::try_with_reset_capacity_factor`] for the non-panicking
+    /// form.
     #[must_use]
-    pub fn with_reset_capacity_factor(mut self, factor: usize) -> Self {
-        assert!(factor > 0, "reset capacity factor must be positive");
+    pub fn with_reset_capacity_factor(self, factor: usize) -> Self {
+        self.try_with_reset_capacity_factor(factor)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`EnvConfig::with_reset_capacity_factor`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Env`] if the factor is zero.
+    pub fn try_with_reset_capacity_factor(mut self, factor: usize) -> Result<Self, ConfigError> {
+        if factor == 0 {
+            return Err(ConfigError::Env {
+                field: "reset_capacity_factor",
+                reason: "reset capacity factor must be positive",
+            });
+        }
         self.reset_capacity_factor = factor;
-        self
+        Ok(self)
     }
 
     /// Sets the maximum number of windows a reset may run before giving up.
@@ -573,6 +773,55 @@ mod tests {
     #[should_panic(expected = "arrival rates must be finite and non-negative")]
     fn negative_arrival_rate_panics() {
         let _ = EnvConfig::for_ensemble(&Ensemble::msd()).with_arrival_rates(vec![-0.5]);
+    }
+
+    #[test]
+    fn try_builders_return_typed_errors() {
+        let err = SimConfig::new(0).try_with_total_cores(0.0).err().unwrap();
+        assert_eq!(
+            err,
+            ConfigError::Sim {
+                field: "total_cores",
+                reason: "core count must be positive",
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "invalid SimConfig.total_cores: core count must be positive"
+        );
+        let err = EnvConfig::for_ensemble(&Ensemble::msd())
+            .try_with_window(SimTime::ZERO)
+            .err()
+            .unwrap();
+        assert!(matches!(
+            err,
+            ConfigError::Env {
+                field: "window",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("window must be positive"));
+    }
+
+    #[test]
+    fn try_builders_accept_valid_values() {
+        let sim = SimConfig::new(0)
+            .try_with_total_cores(3.0)
+            .and_then(|c| c.try_with_failure_rate(0.5))
+            .and_then(|c| c.try_with_startup_delay(SimTime::from_secs(1), SimTime::from_secs(2)))
+            .and_then(|c| c.try_with_node_model(3, 0.2))
+            .and_then(|c| c.try_with_stragglers(0.05, 8.0))
+            .and_then(|c| c.try_with_delivery_delay_spikes(0.1, SimTime::from_secs(2)))
+            .unwrap();
+        assert_eq!(sim.total_cores, Some(3.0));
+        assert_eq!(sim.node_count, 3);
+        let env = EnvConfig::for_ensemble(&Ensemble::msd())
+            .try_with_window(SimTime::from_secs(5))
+            .and_then(|c| c.try_with_arrival_rates(vec![0.1, 0.2]))
+            .and_then(|c| c.try_with_reset_capacity_factor(2))
+            .unwrap();
+        assert_eq!(env.window(), SimTime::from_secs(5));
+        assert_eq!(env.arrival_rates(), &[0.1, 0.2]);
     }
 
     #[test]

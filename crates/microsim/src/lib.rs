@@ -53,7 +53,7 @@ mod slab;
 
 pub use audit::{audit_env_enabled, AuditViolation, SimAuditor};
 pub use cluster::{Cluster, ClusterSnapshot, CompletionRecord};
-pub use config::{EnvConfig, SimConfig};
+pub use config::{ConfigError, EnvConfig, SimConfig};
 pub use env::{reward_from_total_wip, EnvSnapshot, MicroserviceEnv, StepOutcome};
 pub use metrics::{LatencySummary, WindowMetrics};
 pub use pool::{ConsumerPool, PoolCounters, PoolDesync};

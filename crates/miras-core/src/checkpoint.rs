@@ -24,7 +24,7 @@ use rl::DdpgSnapshot;
 use serde::{Deserialize, Serialize};
 
 use crate::adapter::AdapterSnapshot;
-use crate::{DynamicsModel, MirasConfig, TransitionDataset};
+use crate::{DynamicsModel, MirasAgent, MirasConfig, TransitionDataset};
 
 /// Format version written into every checkpoint; bumped whenever the
 /// payload layout changes incompatibly.
@@ -115,6 +115,40 @@ impl CheckpointPayload {
             }
         }
         Ok(())
+    }
+
+    /// The checkpoint's format version (always [`CHECKPOINT_VERSION`] for a
+    /// payload this build loaded).
+    #[must_use]
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The outer-loop iteration the checkpoint was taken at. Monotone over
+    /// a training run, which makes it the natural `policy_version` for
+    /// serving: a hot-swapped later checkpoint always carries a larger one.
+    #[must_use]
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// The total-consumer constraint `C` the agent was trained under.
+    #[must_use]
+    pub fn consumer_budget(&self) -> usize {
+        self.consumer_budget
+    }
+
+    /// Extracts the greedy policy as a deployable [`MirasAgent`] — the same
+    /// actor + observation-normaliser snapshot
+    /// [`MirasTrainer::agent`](crate::MirasTrainer::agent) would return
+    /// after resuming this checkpoint, without rebuilding the trainer (or
+    /// needing the real environment at all). This is what `miras-serve`
+    /// loads.
+    #[must_use]
+    pub fn deployable_agent(&self) -> MirasAgent {
+        let agent = rl::Ddpg::from_snapshot(self.agent.clone());
+        MirasAgent::new(agent.actor().clone(), self.consumer_budget)
+            .with_normalizer(agent.obs_normalizer().clone())
     }
 
     /// Reads and validates a checkpoint from `path`.

@@ -1,5 +1,6 @@
 //! MIRAS hyper-parameters.
 
+use microsim::ConfigError;
 use rl::{DdpgConfig, Exploration};
 use serde::{Deserialize, Serialize};
 
@@ -205,27 +206,87 @@ impl MirasConfig {
         }
     }
 
+    /// Returns a copy with the master seed (and the DDPG agent's seed)
+    /// replaced — the same knob every other config exposes as `with_seed`.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.ddpg.seed = seed;
+        self
+    }
+
     /// Returns a copy running the inner loop as `lanes` lockstep rollout
     /// lanes (batched model and actor forwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero; see [`MirasConfig::try_with_lockstep`]
+    /// for the non-panicking form.
     #[must_use]
-    pub fn with_lockstep(mut self, lanes: usize) -> Self {
+    pub fn with_lockstep(self, lanes: usize) -> Self {
+        self.try_with_lockstep(lanes)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`MirasConfig::with_lockstep`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Miras`] if `lanes` is zero (a zero-lane inner loop
+    /// would make no progress).
+    pub fn try_with_lockstep(mut self, lanes: usize) -> Result<Self, ConfigError> {
+        if lanes == 0 {
+            return Err(ConfigError::Miras {
+                field: "rollout_mode",
+                reason: "lockstep lane count must be positive",
+            });
+        }
         self.rollout_mode = RolloutMode::Lockstep(lanes);
+        Ok(self)
+    }
+
+    /// Returns a copy with Lend–Giveback refinement switched on or off.
+    #[must_use]
+    pub fn with_refinement(mut self, enabled: bool) -> Self {
+        self.refine_enabled = enabled;
         self
     }
 
     /// Returns a copy with refinement disabled (ablation A2).
     #[must_use]
-    pub fn without_refinement(mut self) -> Self {
-        self.refine_enabled = false;
-        self
+    pub fn without_refinement(self) -> Self {
+        self.with_refinement(false)
     }
 
     /// Returns a copy using action-space instead of parameter-space noise
     /// (ablation A3).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite noise parameters; see
+    /// [`MirasConfig::try_with_action_noise`] for the non-panicking form.
     #[must_use]
-    pub fn with_action_noise(mut self, theta: f64, sigma: f64) -> Self {
+    pub fn with_action_noise(self, theta: f64, sigma: f64) -> Self {
+        self.try_with_action_noise(theta, sigma)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`MirasConfig::with_action_noise`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Miras`] unless `theta` and `sigma` are finite and
+    /// non-negative — a NaN noise parameter would poison every exploration
+    /// draw.
+    pub fn try_with_action_noise(mut self, theta: f64, sigma: f64) -> Result<Self, ConfigError> {
+        if !(theta.is_finite() && theta >= 0.0 && sigma.is_finite() && sigma >= 0.0) {
+            return Err(ConfigError::Miras {
+                field: "ddpg.exploration",
+                reason: "action noise parameters must be finite and non-negative",
+            });
+        }
         self.ddpg.exploration = Exploration::ActionNoise { theta, sigma };
-        self
+        Ok(self)
     }
 }
 
@@ -262,5 +323,39 @@ mod tests {
                 sigma: 0.2
             }
         );
+    }
+
+    #[test]
+    fn seed_and_refinement_builders() {
+        let c = MirasConfig::msd_paper(0).with_seed(42);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.ddpg.seed, 42);
+        let c = MirasConfig::msd_paper(0)
+            .with_refinement(false)
+            .with_refinement(true);
+        assert!(c.refine_enabled);
+    }
+
+    #[test]
+    fn try_builders_share_the_config_error_enum() {
+        let err = MirasConfig::smoke_test(0)
+            .try_with_lockstep(0)
+            .err()
+            .unwrap();
+        assert_eq!(
+            err,
+            ConfigError::Miras {
+                field: "rollout_mode",
+                reason: "lockstep lane count must be positive",
+            }
+        );
+        assert!(err.to_string().starts_with("invalid MirasConfig."));
+        let err = MirasConfig::smoke_test(0)
+            .try_with_action_noise(f64::NAN, 0.2)
+            .err()
+            .unwrap();
+        assert!(matches!(err, ConfigError::Miras { .. }));
+        let ok = MirasConfig::smoke_test(0).try_with_lockstep(4).unwrap();
+        assert_eq!(ok.rollout_mode, RolloutMode::Lockstep(4));
     }
 }

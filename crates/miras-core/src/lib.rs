@@ -65,6 +65,7 @@ pub use config::{MirasConfig, RolloutMode};
 pub use dataset::{Standardizer, Transition, TransitionDataset};
 pub use dynamics::DynamicsModel;
 pub use ensemble_model::EnsembleDynamics;
+pub use microsim::ConfigError;
 pub use refine::RefinedModel;
 pub use synth_env::SyntheticEnv;
 pub use trainer::{IterationReport, MirasTrainer, TrainerError};

@@ -843,6 +843,23 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_deployable_agent_matches_trainer_agent() {
+        let path = temp_checkpoint("deployable");
+        let mut env = real_env(21);
+        let mut trainer = MirasTrainer::new(&env, MirasConfig::smoke_test(22));
+        let _ = trainer.run_iteration(&mut env);
+        trainer.save_checkpoint(&env, &path).unwrap();
+        let payload = crate::CheckpointPayload::load(&path).unwrap();
+        assert_eq!(payload.version(), crate::CHECKPOINT_VERSION);
+        assert_eq!(payload.iteration(), 1);
+        assert_eq!(payload.consumer_budget(), trainer.agent().consumer_budget());
+        // The agent extracted straight from the payload is the exact agent
+        // a full resume would deploy.
+        assert_eq!(payload.deployable_agent(), trainer.agent());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn truncated_checkpoint_is_rejected_as_corrupt() {
         let path = temp_checkpoint("truncated");
         let mut env = real_env(13);

@@ -1,0 +1,59 @@
+//! `miras-serve`: the trained autoscaler as a long-running decision
+//! service.
+//!
+//! Everything else in this workspace is batch figure-generation; this
+//! crate is the deployable artifact the paper ultimately describes — a
+//! *controller* that continuously maps window observations to allocation
+//! actions:
+//!
+//! * **Wire format** ([`WindowObservation`] in, [`DecisionRecord`] out):
+//!   JSON Lines over stdin/stdout, a TCP socket, or a Unix socket
+//!   ([`Listener`]).
+//! * **Decision loop** ([`DecisionService`]): wraps any registry-built
+//!   [`Policy`](baselines::Policy) with per-decision latency measurement
+//!   (the <1 ms/decision budget is checked against the exact
+//!   nearest-rank p99, [`LatencyStats`]) and telemetry.
+//! * **Checkpoint hot-swap** ([`CheckpointWatcher`]): the watched path is
+//!   polled between windows and the policy swapped atomically — no
+//!   request is ever dropped or split across policies; versions come from
+//!   the checkpoint's iteration field.
+//! * **Scrape endpoint** ([`spawn_metrics_endpoint`]): the telemetry
+//!   subsystem rendered as a plaintext `/metrics` page.
+//! * **Shadow mode / determinism proof** ([`replay_stream`]): decision
+//!   records contain no wall-clock, so a streaming run's output is
+//!   byte-identical to a batch replay of the same stream at the same
+//!   checkpoint.
+//!
+//! # Examples
+//!
+//! ```
+//! use baselines::{by_name, PolicyConfig};
+//! use serve::{replay_stream, DecisionService};
+//! use telemetry::Telemetry;
+//! use workflow::Ensemble;
+//!
+//! let cfg = PolicyConfig::new(&Ensemble::msd());
+//! let stream = "{\"window\":0,\"wip\":[3.0,1.0,0.0,2.0]}\n";
+//!
+//! // Live service...
+//! let mut svc = DecisionService::new(by_name("uniform", &cfg).unwrap(), Telemetry::noop());
+//! let live = svc.handle_stream(stream).unwrap();
+//!
+//! // ...is byte-identical to a bare batch replay.
+//! let mut policy = by_name("uniform", &cfg).unwrap();
+//! let batch = replay_stream(policy.as_mut(), stream).unwrap();
+//! assert_eq!(live, batch);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod net;
+mod service;
+mod watcher;
+mod wire;
+
+pub use net::{spawn_metrics_endpoint, Listener};
+pub use service::{record_stream, replay_stream, DecisionService, LatencyStats, ServeError};
+pub use watcher::{load_policy, CheckpointWatcher, LoadError, SwapOutcome};
+pub use wire::{DecisionRecord, WindowObservation};

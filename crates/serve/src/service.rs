@@ -1,0 +1,367 @@
+//! The decision loop: observations in, decisions out, telemetry on the
+//! side, hot-swap between windows.
+
+use std::fmt;
+
+use baselines::{Observation, Policy};
+use telemetry::{Telemetry, Value};
+use workflow::{BurstSpec, Ensemble};
+
+use crate::watcher::{CheckpointWatcher, SwapOutcome};
+use crate::wire::{DecisionRecord, WindowObservation};
+
+/// Why the service could not process an input line.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An input line did not parse as a [`WindowObservation`].
+    BadInput {
+        /// 1-based line number within the stream.
+        line: usize,
+        /// Parser diagnostics.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadInput { line, message } => {
+                write!(f, "input line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Per-run decision-latency aggregates (microseconds), computed by exact
+/// nearest-rank percentile over every decision the service made.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of decisions measured.
+    pub count: usize,
+    /// Median decision latency.
+    pub p50_us: f64,
+    /// 99th-percentile decision latency (the <1 ms budget is stated
+    /// against this).
+    pub p99_us: f64,
+    /// Worst decision latency.
+    pub max_us: f64,
+}
+
+impl LatencyStats {
+    fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = |p: f64| {
+            let idx = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        Some(LatencyStats {
+            count: sorted.len(),
+            p50_us: rank(50.0),
+            p99_us: rank(99.0),
+            max_us: *sorted.last().expect("non-empty"),
+        })
+    }
+}
+
+/// The long-running decision service: one [`Policy`] behind a window
+/// stream, with per-decision latency accounting and optional checkpoint
+/// hot-swap.
+///
+/// [`DecisionService::handle`] is the entire per-window hot path: poll the
+/// watcher (swap happens here, *between* windows, so no request is ever
+/// dropped or split across policies), run the policy, record telemetry,
+/// return the wire record. Everything the record contains is a pure
+/// function of the observation and the policy — latency lives only in
+/// telemetry — which is what makes shadow output byte-identical to batch
+/// replay.
+pub struct DecisionService {
+    policy: Box<dyn Policy>,
+    watcher: Option<CheckpointWatcher>,
+    telemetry: Telemetry,
+    latencies_us: Vec<f64>,
+    swaps: u64,
+    swap_failures: u64,
+}
+
+impl DecisionService {
+    /// Wraps a policy. Telemetry may be [`Telemetry::noop`].
+    #[must_use]
+    pub fn new(policy: Box<dyn Policy>, telemetry: Telemetry) -> Self {
+        telemetry.gauge("serve.policy_version", policy.policy_version() as f64);
+        DecisionService {
+            policy,
+            watcher: None,
+            telemetry,
+            latencies_us: Vec::new(),
+            swaps: 0,
+            swap_failures: 0,
+        }
+    }
+
+    /// Attaches a checkpoint watcher; every subsequent window boundary
+    /// polls it and atomically swaps the policy when the file changes.
+    #[must_use]
+    pub fn with_watcher(mut self, watcher: CheckpointWatcher) -> Self {
+        self.watcher = Some(watcher);
+        self
+    }
+
+    /// The active policy's name.
+    #[must_use]
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// The active policy's version.
+    #[must_use]
+    pub fn policy_version(&self) -> u64 {
+        self.policy.policy_version()
+    }
+
+    /// Number of successful hot-swaps so far.
+    #[must_use]
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Processes one window: hot-swap check, decision, telemetry.
+    pub fn handle(&mut self, obs: &WindowObservation) -> DecisionRecord {
+        if let Some(watcher) = &mut self.watcher {
+            match watcher.poll() {
+                Some(SwapOutcome::Swapped { policy, version }) => {
+                    self.policy = policy;
+                    self.swaps += 1;
+                    self.telemetry.counter("serve.swaps", 1);
+                    self.telemetry.gauge("serve.policy_version", version as f64);
+                    self.telemetry.event(
+                        "serve.swap",
+                        &[
+                            ("window", Value::UInt(obs.window as u64)),
+                            ("policy_version", Value::UInt(version)),
+                        ],
+                    );
+                }
+                Some(SwapOutcome::Failed(e)) => {
+                    self.swap_failures += 1;
+                    self.telemetry.counter("serve.swap_failures", 1);
+                    self.telemetry.event(
+                        "serve.swap_failed",
+                        &[
+                            ("window", Value::UInt(obs.window as u64)),
+                            ("error", Value::String(e.to_string())),
+                        ],
+                    );
+                }
+                None => {}
+            }
+        }
+        let decision = self.policy.decide(&Observation::new(
+            &obs.wip,
+            obs.metrics.as_ref(),
+            obs.window,
+        ));
+        let latency_us = decision.latency.as_secs_f64() * 1e6;
+        self.latencies_us.push(latency_us);
+        self.telemetry.counter("serve.decisions", 1);
+        self.telemetry
+            .observe("serve.decision_latency", decision.latency.as_secs_f64());
+        DecisionRecord {
+            window: obs.window,
+            policy: self.policy.name().to_string(),
+            policy_version: decision.policy_version,
+            allocations: decision.allocations,
+        }
+    }
+
+    /// Runs a whole JSONL stream through [`DecisionService::handle`],
+    /// returning one record per non-empty line.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`] on the first malformed line.
+    pub fn handle_stream(&mut self, text: &str) -> Result<Vec<DecisionRecord>, ServeError> {
+        let mut records = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let obs: WindowObservation =
+                serde_json::from_str(line).map_err(|e| ServeError::BadInput {
+                    line: idx + 1,
+                    message: e.to_string(),
+                })?;
+            records.push(self.handle(&obs));
+        }
+        Ok(records)
+    }
+
+    /// Latency aggregates over every decision so far (`None` before the
+    /// first decision).
+    #[must_use]
+    pub fn latency_stats(&self) -> Option<LatencyStats> {
+        LatencyStats::from_samples(&self.latencies_us)
+    }
+
+    /// Publishes final latency gauges (`serve.latency_p99_us` et al.) and
+    /// flushes the telemetry sink.
+    pub fn finish(&self) {
+        if let Some(stats) = self.latency_stats() {
+            self.telemetry.gauge("serve.latency_p50_us", stats.p50_us);
+            self.telemetry.gauge("serve.latency_p99_us", stats.p99_us);
+            self.telemetry.gauge("serve.latency_max_us", stats.max_us);
+        }
+        self.telemetry.flush();
+    }
+}
+
+/// Batch-replays a JSONL observation stream through a bare policy — no
+/// service machinery, no telemetry, no watcher. This is the reference the
+/// shadow-mode determinism proof compares against: if the streaming
+/// service's records differ from this in a single byte, the serving layer
+/// changed the numerics.
+///
+/// # Errors
+///
+/// [`ServeError::BadInput`] on the first malformed line.
+pub fn replay_stream(
+    policy: &mut dyn Policy,
+    text: &str,
+) -> Result<Vec<DecisionRecord>, ServeError> {
+    let mut records = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obs: WindowObservation =
+            serde_json::from_str(line).map_err(|e| ServeError::BadInput {
+                line: idx + 1,
+                message: e.to_string(),
+            })?;
+        let decision = policy.decide(&Observation::new(
+            &obs.wip,
+            obs.metrics.as_ref(),
+            obs.window,
+        ));
+        records.push(DecisionRecord {
+            window: obs.window,
+            policy: policy.name().to_string(),
+            policy_version: decision.policy_version,
+            allocations: decision.allocations,
+        });
+    }
+    Ok(records)
+}
+
+/// Generates a realistic observation stream by driving the cluster
+/// emulator with `policy` for `windows` windows (optionally front-loading
+/// `burst`), exactly as the bench harness would. Each emitted observation
+/// carries the previous window's metrics, so replaying the stream gives
+/// adaptive baselines the same inputs they would see live.
+#[must_use]
+pub fn record_stream(
+    ensemble: &Ensemble,
+    seed: u64,
+    windows: usize,
+    burst: Option<&BurstSpec>,
+    policy: &mut dyn Policy,
+) -> Vec<WindowObservation> {
+    use microsim::{EnvConfig, MicroserviceEnv};
+
+    let config = EnvConfig::for_ensemble(ensemble).with_seed(seed);
+    let mut env = MicroserviceEnv::new(ensemble.clone(), config);
+    let _ = env.reset();
+    if let Some(b) = burst {
+        env.inject_burst(b);
+    }
+    let mut observations = Vec::with_capacity(windows);
+    let mut previous = None;
+    for window in 0..windows {
+        let obs = WindowObservation {
+            window,
+            wip: env.state(),
+            metrics: previous,
+        };
+        let decision = policy.decide(&Observation::new(
+            &obs.wip,
+            obs.metrics.as_ref(),
+            obs.window,
+        ));
+        let out = env.step(&decision.allocations);
+        previous = Some(out.metrics);
+        observations.push(obs);
+    }
+    observations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::{by_name, PolicyConfig};
+
+    fn uniform() -> Box<dyn Policy> {
+        by_name("uniform", &PolicyConfig::new(&Ensemble::msd())).unwrap()
+    }
+
+    #[test]
+    fn service_emits_one_record_per_line() {
+        let mut svc = DecisionService::new(uniform(), Telemetry::noop());
+        let stream = "{\"window\":0,\"wip\":[1.0,2.0,3.0,4.0]}\n\n{\"window\":1,\"wip\":[0.0,0.0,0.0,0.0]}\n";
+        let records = svc.handle_stream(stream).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].window, 0);
+        assert_eq!(records[1].window, 1);
+        assert_eq!(records[0].policy, "uniform");
+        let stats = svc.latency_stats().unwrap();
+        assert_eq!(stats.count, 2);
+        assert!(stats.p99_us >= stats.p50_us);
+    }
+
+    #[test]
+    fn bad_input_reports_line_number() {
+        let mut svc = DecisionService::new(uniform(), Telemetry::noop());
+        let err = svc
+            .handle_stream("{\"window\":0,\"wip\":[1.0]}\nnot json\n")
+            .err()
+            .unwrap();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn service_matches_bare_replay() {
+        let stream =
+            "{\"window\":0,\"wip\":[5.0,0.0,3.0,1.0]}\n{\"window\":1,\"wip\":[2.0,2.0,2.0,2.0]}\n";
+        let mut svc = DecisionService::new(uniform(), Telemetry::noop());
+        let live = svc.handle_stream(stream).unwrap();
+        let batch = replay_stream(uniform().as_mut(), stream).unwrap();
+        assert_eq!(live, batch);
+        let live_bytes: Vec<String> = live.iter().map(DecisionRecord::to_line).collect();
+        let batch_bytes: Vec<String> = batch.iter().map(DecisionRecord::to_line).collect();
+        assert_eq!(live_bytes, batch_bytes);
+    }
+
+    #[test]
+    fn recorded_stream_has_metrics_after_first_window() {
+        let obs = record_stream(&Ensemble::msd(), 7, 3, None, uniform().as_mut());
+        assert_eq!(obs.len(), 3);
+        assert!(obs[0].metrics.is_none());
+        assert!(obs[1].metrics.is_some());
+        assert!(obs[2].metrics.is_some());
+        assert_eq!(obs[0].wip.len(), 4);
+    }
+
+    #[test]
+    fn latency_percentiles_are_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let stats = LatencyStats::from_samples(&samples).unwrap();
+        assert_eq!(stats.p50_us, 50.0);
+        assert_eq!(stats.p99_us, 99.0);
+        assert_eq!(stats.max_us, 100.0);
+        assert!(LatencyStats::from_samples(&[]).is_none());
+    }
+}

@@ -1,0 +1,147 @@
+//! Checkpoint hot-swap: watch a path, load new policies between windows.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+use baselines::{AllocatorPolicy, Policy};
+use miras_core::{CheckpointError, CheckpointPayload, MirasAgent};
+
+/// Why a checkpoint could not be turned into a policy.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The file parses as neither a full checkpoint nor a raw agent.
+    Unusable {
+        /// What the checkpoint loader said.
+        checkpoint: String,
+        /// What the raw-agent parser said.
+        agent: String,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "cannot read policy file: {e}"),
+            LoadError::Unusable { checkpoint, agent } => write!(
+                f,
+                "file is neither a checkpoint ({checkpoint}) nor a raw agent ({agent})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Loads a deployable policy from `path`.
+///
+/// Accepts either a full PR-3 training checkpoint (the deployable agent is
+/// extracted and the policy is versioned with the checkpoint's iteration)
+/// or a raw serialized [`MirasAgent`] (as cached under `bench_artifacts/`;
+/// versioned 0). Returns the boxed policy and its version.
+///
+/// # Errors
+///
+/// [`LoadError::Io`] if the file cannot be read, [`LoadError::Unusable`]
+/// if it parses as neither format.
+pub fn load_policy(path: &Path) -> Result<(Box<dyn Policy>, u64), LoadError> {
+    let checkpoint_err = match CheckpointPayload::load(path) {
+        Ok(payload) => {
+            let version = payload.iteration() as u64;
+            let agent = payload.deployable_agent();
+            return Ok((
+                Box::new(AllocatorPolicy::new(agent).with_version(version)),
+                version,
+            ));
+        }
+        Err(CheckpointError::Io(e)) => return Err(LoadError::Io(e)),
+        Err(e) => e.to_string(),
+    };
+    let json = std::fs::read_to_string(path).map_err(LoadError::Io)?;
+    match serde_json::from_str::<MirasAgent>(&json) {
+        Ok(agent) => Ok((Box::new(AllocatorPolicy::new(agent)), 0)),
+        Err(e) => Err(LoadError::Unusable {
+            checkpoint: checkpoint_err,
+            agent: e.to_string(),
+        }),
+    }
+}
+
+/// Watches a checkpoint path for changes between decision windows.
+///
+/// The serve loop is single-threaded by design: the watcher is polled at
+/// the window boundary (never mid-decision), so a swap can never drop or
+/// tear a request — the Nth decision comes entirely from the old policy or
+/// entirely from the new one. Change detection is by `(mtime, len)`
+/// fingerprint; the PR-3 checkpoint writer is atomic (temp + fsync +
+/// rename), so a changed fingerprint always points at a complete file.
+///
+/// A file that appears but fails to load (e.g. hand-corrupted) is reported
+/// once via [`SwapOutcome::Failed`] and not retried until its fingerprint
+/// changes again; the service keeps the old policy, which is the safe
+/// behaviour for a live control loop.
+#[derive(Debug)]
+pub struct CheckpointWatcher {
+    path: PathBuf,
+    fingerprint: Option<(SystemTime, u64)>,
+}
+
+/// What a watcher poll produced.
+pub enum SwapOutcome {
+    /// A new checkpoint loaded cleanly.
+    Swapped {
+        /// The freshly loaded policy.
+        policy: Box<dyn Policy>,
+        /// Its version (checkpoint iteration, or 0 for raw agents).
+        version: u64,
+    },
+    /// The path changed but could not be loaded; the old policy stays.
+    Failed(LoadError),
+}
+
+impl CheckpointWatcher {
+    /// Watches `path`. The file need not exist yet; the first poll after it
+    /// appears performs the initial load.
+    #[must_use]
+    pub fn new(path: PathBuf) -> Self {
+        CheckpointWatcher {
+            path,
+            fingerprint: None,
+        }
+    }
+
+    /// Watches `path`, treating the currently present file as already
+    /// deployed (only *subsequent* changes trigger swaps). Used when the
+    /// service loads its initial policy from the same path at startup.
+    #[must_use]
+    pub fn new_deployed(path: PathBuf) -> Self {
+        let fingerprint = Self::read_fingerprint(&path);
+        CheckpointWatcher { path, fingerprint }
+    }
+
+    /// The watched path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn read_fingerprint(path: &Path) -> Option<(SystemTime, u64)> {
+        let meta = std::fs::metadata(path).ok()?;
+        Some((meta.modified().ok()?, meta.len()))
+    }
+
+    /// Checks the path; `None` means no change since the last poll.
+    pub fn poll(&mut self) -> Option<SwapOutcome> {
+        let current = Self::read_fingerprint(&self.path)?;
+        if self.fingerprint == Some(current) {
+            return None;
+        }
+        self.fingerprint = Some(current);
+        match load_policy(&self.path) {
+            Ok((policy, version)) => Some(SwapOutcome::Swapped { policy, version }),
+            Err(e) => Some(SwapOutcome::Failed(e)),
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The serving wire format: JSON Lines in both directions.
+//!
+//! One [`WindowObservation`] per input line, one [`DecisionRecord`] per
+//! output line. Decision records deliberately exclude the measured latency
+//! — wall-clock varies run to run, and the shadow-mode determinism proof
+//! (`miras-serve --shadow` output is byte-identical to a batch replay)
+//! requires every emitted byte to be a pure function of the stream and the
+//! checkpoint. Latency is recorded through telemetry instead.
+
+use serde::{Deserialize, Serialize};
+
+use microsim::WindowMetrics;
+
+/// One decision window's observation, as received on the wire.
+///
+/// `wip` is the work-in-progress vector (requests queued or in service per
+/// task type) at the decision boundary — the MIRAS state. `metrics`, when
+/// present, carries the *previous* window's full metrics, which the
+/// adaptive baselines (DRS, MONAD) use for model identification; learned
+/// policies only need `wip`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowObservation {
+    /// Window index (monotone within a stream).
+    pub window: usize,
+    /// Work-in-progress per task type.
+    pub wip: Vec<f64>,
+    /// The previous window's metrics, if the client tracks them
+    /// (serialized as `null` when absent).
+    #[serde(default)]
+    pub metrics: Option<WindowMetrics>,
+}
+
+/// One allocation decision, as emitted on the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// Echo of the observation's window index.
+    pub window: usize,
+    /// Name of the policy that decided.
+    pub policy: String,
+    /// Version of the policy that decided (the checkpoint's iteration for
+    /// checkpoint-loaded policies; changes mid-stream on hot-swap).
+    pub policy_version: u64,
+    /// Consumer counts per task type.
+    pub allocations: Vec<usize>,
+}
+
+impl DecisionRecord {
+    /// Renders the record as its wire line (stable field order, no
+    /// trailing newline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails, which cannot happen for this type
+    /// (no floats, no non-string keys).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("DecisionRecord always serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observation_parses_without_metrics() {
+        let obs: WindowObservation =
+            serde_json::from_str(r#"{"window":3,"wip":[1.0,0.0,2.5]}"#).unwrap();
+        assert_eq!(obs.window, 3);
+        assert_eq!(obs.wip, vec![1.0, 0.0, 2.5]);
+        assert!(obs.metrics.is_none());
+    }
+
+    #[test]
+    fn decision_line_is_stable() {
+        let d = DecisionRecord {
+            window: 1,
+            policy: "miras".to_string(),
+            policy_version: 4,
+            allocations: vec![5, 3, 4, 2],
+        };
+        assert_eq!(
+            d.to_line(),
+            r#"{"window":1,"policy":"miras","policy_version":4,"allocations":[5,3,4,2]}"#
+        );
+        let back: DecisionRecord = serde_json::from_str(&d.to_line()).unwrap();
+        assert_eq!(back, d);
+    }
+}

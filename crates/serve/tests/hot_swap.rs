@@ -1,0 +1,141 @@
+//! Checkpoint hot-swap correctness: a mid-stream swap produces exactly the
+//! decisions of stopping the service, cold-restarting on the new
+//! checkpoint, and replaying the remainder — and a corrupt swap never
+//! dislodges the serving policy.
+
+use std::path::PathBuf;
+
+use baselines::{by_name, PolicyConfig};
+use microsim::{EnvConfig, MicroserviceEnv};
+use miras_core::{ClusterEnvAdapter, MirasConfig, MirasTrainer};
+use serve::{
+    load_policy, record_stream, replay_stream, CheckpointWatcher, DecisionRecord, DecisionService,
+};
+use telemetry::Telemetry;
+use workflow::Ensemble;
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "miras_serve_hotswap_{name}_{}.json",
+        std::process::id()
+    ))
+}
+
+/// Trains a smoke-scale MIRAS run and saves checkpoints after iteration 1
+/// (`a`) and iteration 2 (`b`).
+fn two_checkpoints(tag: &str) -> (PathBuf, PathBuf) {
+    let ensemble = Ensemble::msd();
+    let env_config = EnvConfig::for_ensemble(&ensemble).with_seed(5);
+    let mut env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble, env_config));
+    let mut trainer = MirasTrainer::new(&env, MirasConfig::smoke_test(5));
+    let a = temp_path(&format!("{tag}_a"));
+    let b = temp_path(&format!("{tag}_b"));
+    trainer.run_iteration(&mut env);
+    trainer.save_checkpoint(&env, &a).unwrap();
+    trainer.run_iteration(&mut env);
+    trainer.save_checkpoint(&env, &b).unwrap();
+    (a, b)
+}
+
+/// A short recorded observation stream (uniform policy driving the
+/// emulator, so the WIP trajectories are realistic).
+fn stream(windows: usize) -> String {
+    let ensemble = Ensemble::msd();
+    let mut driver = by_name("uniform", &PolicyConfig::new(&ensemble)).unwrap();
+    record_stream(&ensemble, 11, windows, None, driver.as_mut())
+        .iter()
+        .map(|obs| serde_json::to_string(obs).unwrap() + "\n")
+        .collect()
+}
+
+fn lines(records: &[DecisionRecord]) -> Vec<String> {
+    records.iter().map(DecisionRecord::to_line).collect()
+}
+
+#[test]
+fn mid_stream_swap_equals_cold_restart_and_replay_of_remainder() {
+    let (ckpt_a, ckpt_b) = two_checkpoints("swap");
+    let serving = temp_path("swap_live");
+    std::fs::copy(&ckpt_a, &serving).unwrap();
+
+    let text = stream(8);
+    let all: Vec<String> = text.lines().map(|l| format!("{l}\n")).collect();
+    let (head, tail) = all.split_at(4);
+
+    // Live run: serve 4 windows from checkpoint A, swap to B between
+    // windows, serve the remaining 4.
+    let (policy, version) = load_policy(&serving).unwrap();
+    assert_eq!(version, 1, "checkpoint A was saved after iteration 1");
+    let mut svc = DecisionService::new(policy, Telemetry::noop())
+        .with_watcher(CheckpointWatcher::new_deployed(serving.clone()));
+    let mut live = svc.handle_stream(&head.concat()).unwrap();
+    std::fs::copy(&ckpt_b, &serving).unwrap();
+    live.extend(svc.handle_stream(&tail.concat()).unwrap());
+    assert_eq!(svc.swaps(), 1, "exactly one hot-swap");
+    assert_eq!(svc.policy_version(), 2, "checkpoint B is iteration 2");
+    assert_eq!(live.len(), 8, "no decision dropped across the swap");
+
+    // Reference: cold runs — A over the head, a fresh restart on B over
+    // the remainder.
+    let (mut cold_a, _) = load_policy(&ckpt_a).unwrap();
+    let mut reference = replay_stream(cold_a.as_mut(), &head.concat()).unwrap();
+    let (mut cold_b, _) = load_policy(&ckpt_b).unwrap();
+    reference.extend(replay_stream(cold_b.as_mut(), &tail.concat()).unwrap());
+
+    assert_eq!(lines(&live), lines(&reference));
+    assert!(live[..4].iter().all(|r| r.policy_version == 1));
+    assert!(live[4..].iter().all(|r| r.policy_version == 2));
+
+    for p in [ckpt_a, ckpt_b, serving] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn corrupt_swap_keeps_the_old_policy_until_a_good_one_appears() {
+    let (ckpt_a, ckpt_b) = two_checkpoints("corrupt");
+    let serving = temp_path("corrupt_live");
+    std::fs::copy(&ckpt_a, &serving).unwrap();
+
+    let text = stream(6);
+    let all: Vec<String> = text.lines().map(|l| format!("{l}\n")).collect();
+
+    let (policy, _) = load_policy(&serving).unwrap();
+    let mut svc = DecisionService::new(policy, Telemetry::noop())
+        .with_watcher(CheckpointWatcher::new_deployed(serving.clone()));
+    let mut records = svc.handle_stream(&all[..2].concat()).unwrap();
+
+    // A corrupt file lands on the watched path: the service must keep
+    // deciding with the old policy.
+    std::fs::write(&serving, "{ this is not a checkpoint").unwrap();
+    records.extend(svc.handle_stream(&all[2..4].concat()).unwrap());
+    assert_eq!(svc.swaps(), 0);
+    assert_eq!(svc.policy_version(), 1, "old policy still serving");
+    assert!(records.iter().all(|r| r.policy_version == 1));
+
+    // A good checkpoint replaces it: the swap goes through.
+    std::fs::copy(&ckpt_b, &serving).unwrap();
+    let rest = svc.handle_stream(&all[4..].concat()).unwrap();
+    assert_eq!(svc.swaps(), 1);
+    assert!(rest.iter().all(|r| r.policy_version == 2));
+
+    for p in [ckpt_a, ckpt_b, serving] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn raw_agent_json_loads_as_version_zero() {
+    let ensemble = Ensemble::msd();
+    let env_config = EnvConfig::for_ensemble(&ensemble).with_seed(3);
+    let mut env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble, env_config));
+    let mut trainer = MirasTrainer::new(&env, MirasConfig::smoke_test(3));
+    trainer.run_iteration(&mut env);
+    let path = temp_path("raw_agent");
+    std::fs::write(&path, serde_json::to_string(&trainer.agent()).unwrap()).unwrap();
+
+    let (policy, version) = load_policy(&path).unwrap();
+    assert_eq!(version, 0, "raw agents are unversioned");
+    assert_eq!(policy.name(), "miras");
+    let _ = std::fs::remove_file(path);
+}

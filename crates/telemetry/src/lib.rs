@@ -32,10 +32,12 @@
 
 mod buffer;
 mod histogram;
+mod scrape;
 mod sink;
 
 pub use buffer::BufferedRecorder;
 pub use histogram::Histogram;
+pub use scrape::ScrapeRecorder;
 pub use sink::JsonlSink;
 
 use std::fmt;
@@ -44,6 +46,13 @@ use std::time::Instant;
 
 /// Re-export of the vendored dynamic value type used for event fields.
 pub use serde::value::Value;
+
+/// Version of the telemetry record schema. Stamped as a `schema_version`
+/// field on every JSONL record [`JsonlSink`] writes and validated by
+/// `telemetry_check`, so the file sink and the scrape endpoint share one
+/// documented, versioned schema. Bump whenever a record shape changes
+/// incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
 
 /// Sink interface implemented by telemetry back-ends.
 ///
@@ -249,6 +258,56 @@ impl Drop for Span<'_> {
     }
 }
 
+/// A [`Recorder`] that forwards every call to several recorders.
+///
+/// Lets one instrumented computation feed both a durable [`JsonlSink`] and
+/// a live [`ScrapeRecorder`] (the pattern `miras-serve` uses: decisions are
+/// logged to disk *and* visible on the metrics endpoint).
+pub struct FanoutRecorder {
+    targets: Vec<Arc<dyn Recorder>>,
+}
+
+impl FanoutRecorder {
+    /// Builds a fanout over the given recorders; calls are forwarded in
+    /// order.
+    #[must_use]
+    pub fn new(targets: Vec<Arc<dyn Recorder>>) -> Arc<Self> {
+        Arc::new(FanoutRecorder { targets })
+    }
+}
+
+impl Recorder for FanoutRecorder {
+    fn counter(&self, name: &str, delta: u64) {
+        for t in &self.targets {
+            t.counter(name, delta);
+        }
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        for t in &self.targets {
+            t.gauge(name, value);
+        }
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        for t in &self.targets {
+            t.observe(name, value);
+        }
+    }
+
+    fn event(&self, name: &str, data: Value) {
+        for t in &self.targets {
+            t.event(name, data.clone());
+        }
+    }
+
+    fn flush(&self) {
+        for t in &self.targets {
+            t.flush();
+        }
+    }
+}
+
 /// Replaces non-finite floats with `Null` anywhere in a value tree.
 ///
 /// The vendored `serde_json` (like real JSON) rejects `NaN`/`±inf`;
@@ -288,6 +347,40 @@ mod tests {
     #[test]
     fn default_is_noop() {
         assert!(!Telemetry::default().is_enabled());
+    }
+
+    #[test]
+    fn fanout_reaches_every_target() {
+        let sink = JsonlSink::in_memory();
+        let scrape = ScrapeRecorder::new();
+        let tel = Telemetry::new(FanoutRecorder::new(vec![sink.clone(), scrape.clone()]));
+        tel.counter("c", 4);
+        tel.event("e", &[("x", Value::UInt(1))]);
+        tel.flush();
+        let text = String::from_utf8(sink.take_output()).unwrap();
+        assert!(text.contains("\"c\""), "{text}");
+        assert!(text.contains("\"e\""), "{text}");
+        assert!(scrape.render().contains("c 4\n"));
+    }
+
+    #[test]
+    fn every_jsonl_record_is_schema_stamped() {
+        let sink = JsonlSink::in_memory();
+        let tel = Telemetry::new(sink.clone());
+        tel.event("e", &[]);
+        tel.counter("c", 1);
+        tel.gauge("g", 0.5);
+        tel.observe("h", 0.25);
+        tel.flush();
+        let text = String::from_utf8(sink.take_output()).unwrap();
+        let rows: Vec<&str> = text.lines().collect();
+        assert_eq!(rows.len(), 4);
+        for row in rows {
+            assert!(
+                row.starts_with(&format!("{{\"schema_version\":{SCHEMA_VERSION},")),
+                "unstamped record: {row}"
+            );
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use crate::{sanitize, Histogram, Recorder, Value};
+use crate::{sanitize, Histogram, Recorder, Value, SCHEMA_VERSION};
 
 /// How many buffered event lines trigger an early write-out.
 const BUFFER_CAP: usize = 4096;
@@ -153,6 +153,18 @@ impl JsonlSink {
     }
 }
 
+/// Prefixes a record's fields with the `schema_version` stamp every JSONL
+/// record carries (see [`SCHEMA_VERSION`]).
+fn stamped(fields: Vec<(String, Value)>) -> Value {
+    let mut row = Vec::with_capacity(fields.len() + 1);
+    row.push((
+        "schema_version".to_string(),
+        Value::UInt(u64::from(SCHEMA_VERSION)),
+    ));
+    row.extend(fields);
+    Value::Object(row)
+}
+
 impl SinkState {
     fn push_line(&mut self, value: Value) {
         if let Ok(line) = serde_json::to_string(&sanitize(value)) {
@@ -184,14 +196,14 @@ impl SinkState {
     fn summary_rows(&mut self) {
         let mut rows = Vec::new();
         for (name, value) in &self.counters {
-            rows.push(Value::Object(vec![
+            rows.push(stamped(vec![
                 ("t".to_string(), Value::String("counter".to_string())),
                 ("name".to_string(), Value::String(name.clone())),
                 ("value".to_string(), Value::UInt(*value)),
             ]));
         }
         for (name, value) in &self.gauges {
-            rows.push(Value::Object(vec![
+            rows.push(stamped(vec![
                 ("t".to_string(), Value::String("gauge".to_string())),
                 ("name".to_string(), Value::String(name.clone())),
                 ("value".to_string(), Value::Float(*value)),
@@ -215,7 +227,7 @@ impl SinkState {
                 ("le".to_string(), Value::Null),
                 ("count".to_string(), Value::UInt(hist.count())),
             ]));
-            rows.push(Value::Object(vec![
+            rows.push(stamped(vec![
                 ("t".to_string(), Value::String("hist".to_string())),
                 ("name".to_string(), Value::String(name.clone())),
                 ("count".to_string(), Value::UInt(hist.count())),
@@ -258,7 +270,7 @@ impl Recorder for JsonlSink {
         let mut state = self.lock();
         let seq = state.seq;
         state.seq += 1;
-        state.push_line(Value::Object(vec![
+        state.push_line(stamped(vec![
             ("t".to_string(), Value::String("event".to_string())),
             ("seq".to_string(), Value::UInt(seq)),
             ("name".to_string(), Value::String(name.to_string())),

@@ -41,16 +41,14 @@ fn main() {
     }
 
     // Re-plan every 30 s with the WIP-proportional heuristic.
-    let mut allocator = WipProportionalAllocator::new(
-        ensemble.num_task_types(),
-        ensemble.default_consumer_budget(),
-    );
+    let mut policy =
+        miras::baselines::by_name("wip-proportional", &PolicyConfig::new(&ensemble)).unwrap();
     let window = SimTime::from_secs(30);
     let mut t = SimTime::ZERO;
     let mut peak_wip = 0usize;
     while t < horizon {
         let wip: Vec<f64> = cluster.wip().iter().map(|&w| w as f64).collect();
-        let m = allocator.allocate(&Observation::first(&wip));
+        let m = policy.decide(&Observation::first(&wip)).allocations;
         cluster.set_consumers(&m);
         t += window;
         cluster.run_until(t);

@@ -56,9 +56,13 @@ fn main() {
         ensemble.default_consumer_budget()
     );
 
-    // Queueing-theoretic allocation straight out of the box.
-    let mut drs = DrsAllocator::new(&ensemble, ensemble.default_consumer_budget(), 30.0);
-    let steady = drs.allocate(&Observation::first(&vec![0.0; ensemble.num_task_types()]));
+    // Queueing-theoretic allocation straight out of the box — the registry
+    // works for custom ensembles too.
+    let cfg = PolicyConfig::new(&ensemble);
+    let mut drs = miras::baselines::by_name("stream", &cfg).unwrap();
+    let steady = drs
+        .decide(&Observation::first(&vec![0.0; ensemble.num_task_types()]))
+        .allocations;
     println!("DRS steady-state allocation: {steady:?}");
 
     // A miniature MIRAS loop on the custom ensemble.

@@ -9,9 +9,9 @@
 
 use miras::prelude::*;
 
-/// Runs one allocator against a fresh burst scenario; returns
+/// Runs one policy against a fresh burst scenario; returns
 /// (per-window total WIP, total completions).
-fn run(allocator: &mut dyn Allocator, seed: u64, steps: usize) -> (Vec<usize>, usize) {
+fn run(policy: &mut dyn Policy, seed: u64, steps: usize) -> (Vec<usize>, usize) {
     let ensemble = Ensemble::msd();
     let config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
     let mut env = MicroserviceEnv::new(ensemble, config);
@@ -22,7 +22,9 @@ fn run(allocator: &mut dyn Allocator, seed: u64, steps: usize) -> (Vec<usize>, u
     let mut prev: Option<WindowMetrics> = None;
     for step in 0..steps {
         let wip = env.state();
-        let m = allocator.allocate(&Observation::new(&wip, prev.as_ref(), step));
+        let m = policy
+            .decide(&Observation::new(&wip, prev.as_ref(), step))
+            .allocations;
         let out = env.step(&m);
         wip_series.push(out.metrics.total_wip());
         completions += out.metrics.completions.iter().sum::<usize>();
@@ -45,23 +47,23 @@ fn main() {
         let r = trainer.run_iteration(&mut train_env);
         println!("  iter {}: eval return {:.1}", r.iteration, r.eval_return);
     }
-    let mut miras = trainer.agent();
-
-    // The competitors.
-    let budget = ensemble.default_consumer_budget();
-    let mut drs = DrsAllocator::new(&ensemble, budget, 30.0);
-    let mut heft = HeftAllocator::new(&ensemble, budget);
-    let mut uniform = UniformAllocator::new(ensemble.num_task_types(), budget);
+    // Every contender — trained or static — comes out of the one policy
+    // registry.
+    let cfg = PolicyConfig::new(&ensemble).with_miras_agent(trainer.agent());
+    let mut miras = miras::baselines::by_name("miras", &cfg).unwrap();
+    let mut drs = miras::baselines::by_name("stream", &cfg).unwrap();
+    let mut heft = miras::baselines::by_name("heft", &cfg).unwrap();
+    let mut uniform = miras::baselines::by_name("uniform", &cfg).unwrap();
 
     println!("\nburst 300/200/300 on top of Poisson background, {steps} windows of 30 s:");
     println!(
         "{:>6} {:>8} {:>8} {:>8} {:>8}",
         "step", "miras", "stream", "heft", "uniform"
     );
-    let (m_wip, m_done) = run(&mut miras, seed, steps);
-    let (d_wip, d_done) = run(&mut drs, seed, steps);
-    let (h_wip, h_done) = run(&mut heft, seed, steps);
-    let (u_wip, u_done) = run(&mut uniform, seed, steps);
+    let (m_wip, m_done) = run(miras.as_mut(), seed, steps);
+    let (d_wip, d_done) = run(drs.as_mut(), seed, steps);
+    let (h_wip, h_done) = run(heft.as_mut(), seed, steps);
+    let (u_wip, u_done) = run(uniform.as_mut(), seed, steps);
     for i in 0..steps {
         println!(
             "{:>6} {:>8} {:>8} {:>8} {:>8}",

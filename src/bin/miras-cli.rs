@@ -56,10 +56,12 @@ const USAGE: &str = "\
 usage: miras-cli <command> [flags]
 
 commands:
-  simulate  --ensemble msd|ligo [--policy uniform|wip|drs|heft|monad]
-            [--burst N,N,..] [--trace FILE] [--windows N] [--seed N]
-  train     --ensemble msd|ligo [--iterations N] [--paper] [--seed N]
-            [--out FILE]
+  simulate  --ensemble msd|ligo [--policy NAME] [--burst N,N,..]
+            [--trace FILE] [--windows N] [--seed N]
+            (NAME is any registry policy: uniform, wip-proportional,
+             stream/drs, heft, monad)
+  train     --ensemble msd|ligo [--iterations N] [--paper] [--smoke]
+            [--seed N] [--out FILE]
   evaluate  --agent FILE [--ensemble msd|ligo] [--burst N,N,..]
             [--trace FILE] [--windows N] [--seed N]
   allocate  --agent FILE --wip X,X,..
@@ -76,7 +78,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("expected a --flag, found '{flag}'"));
         };
-        if name == "paper" {
+        if name == "paper" || name == "smoke" {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -141,7 +143,7 @@ fn run_policy(
     burst: Option<Vec<usize>>,
     trace_path: Option<&str>,
     windows: usize,
-    mut next_allocation: impl FnMut(&miras::baselines::Observation) -> Vec<usize>,
+    policy: &mut dyn Policy,
 ) -> Result<(), String> {
     let config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
     let mut env = MicroserviceEnv::new(ensemble, config);
@@ -169,11 +171,12 @@ fn run_policy(
     let mut total_completions = 0usize;
     for w in 0..windows {
         let wip = env.state();
-        let m = next_allocation(&miras::baselines::Observation::new(
+        let decision = policy.decide(&miras::baselines::Observation::new(
             &wip,
             previous.as_ref(),
             w,
         ));
+        let m = decision.allocations;
         let out = env.step(&m);
         total_reward += out.reward;
         let completions: usize = out.metrics.completions.iter().sum();
@@ -202,29 +205,19 @@ fn simulate(flags: &Flags) -> Result<(), String> {
     let seed = numeric(flags, "seed", 42u64)?;
     let windows = numeric(flags, "windows", 25usize)?;
     let burst = list(flags, "burst")?;
-    let budget = ensemble.default_consumer_budget();
-    let j = ensemble.num_task_types();
-    let policy = flags
+    let policy_name = flags
         .get("policy")
         .cloned()
         .unwrap_or_else(|| "drs".to_string());
-    let mut allocator: Box<dyn Allocator> = match policy.as_str() {
-        "uniform" => Box::new(UniformAllocator::new(j, budget)),
-        "wip" => Box::new(WipProportionalAllocator::new(j, budget)),
-        "drs" => Box::new(DrsAllocator::new(&ensemble, budget, 30.0)),
-        "heft" => Box::new(HeftAllocator::new(&ensemble, budget)),
-        "monad" => Box::new(MonadAllocator::new(j, budget, 30.0)),
-        other => return Err(format!("unknown policy '{other}'")),
-    };
+    let mut policy = miras::baselines::by_name(&policy_name, &PolicyConfig::new(&ensemble))
+        .map_err(|e| e.to_string())?;
     println!(
         "simulating {} under '{}' (seed {seed}, {windows} windows)",
         ensemble.name(),
-        allocator.name()
+        policy.name()
     );
     let trace = flags.get("trace").map(String::as_str);
-    run_policy(ensemble, seed, burst, trace, windows, |obs| {
-        allocator.allocate(obs)
-    })
+    run_policy(ensemble, seed, burst, trace, windows, policy.as_mut())
 }
 
 fn train(flags: &Flags) -> Result<(), String> {
@@ -232,17 +225,25 @@ fn train(flags: &Flags) -> Result<(), String> {
     let seed = numeric(flags, "seed", 42u64)?;
     let iterations = numeric(flags, "iterations", 12usize)?;
     let paper = flags.contains_key("paper");
+    let smoke = flags.contains_key("smoke");
+    if paper && smoke {
+        return Err("--paper and --smoke are mutually exclusive".to_string());
+    }
     let out = flags
         .get("out")
         .cloned()
         .unwrap_or_else(|| format!("miras_agent_{}.json", ensemble.name().to_lowercase()));
 
-    let config = match (ensemble.name(), paper) {
-        ("MSD", false) => MirasConfig::msd_fast(seed),
-        ("MSD", true) => MirasConfig::msd_paper(seed),
-        ("LIGO", false) => MirasConfig::ligo_fast(seed),
-        ("LIGO", true) => MirasConfig::ligo_paper(seed),
-        _ => MirasConfig::msd_fast(seed),
+    let config = if smoke {
+        MirasConfig::smoke_test(seed)
+    } else {
+        match (ensemble.name(), paper) {
+            ("MSD", false) => MirasConfig::msd_fast(seed),
+            ("MSD", true) => MirasConfig::msd_paper(seed),
+            ("LIGO", false) => MirasConfig::ligo_fast(seed),
+            ("LIGO", true) => MirasConfig::ligo_paper(seed),
+            _ => MirasConfig::msd_fast(seed),
+        }
     };
     let env_config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
     let mut env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble, env_config));
@@ -287,9 +288,8 @@ fn evaluate(flags: &Flags) -> Result<(), String> {
         ensemble.name()
     );
     let trace = flags.get("trace").map(String::as_str);
-    run_policy(ensemble, seed, burst, trace, windows, |obs| {
-        agent.allocate(obs.wip)
-    })
+    let mut policy = AllocatorPolicy::new(agent);
+    run_policy(ensemble, seed, burst, trace, windows, &mut policy)
 }
 
 fn gen_trace(flags: &Flags) -> Result<(), String> {

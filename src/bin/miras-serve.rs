@@ -1,0 +1,315 @@
+//! `miras-serve` — the trained autoscaler as a long-running decision
+//! service.
+//!
+//! Reads one JSON observation per line (stdin by default, or a TCP/Unix
+//! socket with `--listen`), emits one JSON allocation decision per line on
+//! stdout. Decision records contain no wall-clock, so output is a pure
+//! function of the input stream and the policy: a streaming run is
+//! byte-identical to `--replay` of the same stream at the same checkpoint.
+//!
+//! Examples:
+//!
+//! ```text
+//! # Record a 50-window observation stream, then serve it in shadow mode.
+//! miras-serve --record 50 --ensemble msd --seed 7 > stream.jsonl
+//! miras-serve --checkpoint ckpt.json --shadow < stream.jsonl > live.jsonl
+//! miras-serve --checkpoint ckpt.json --replay stream.jsonl > batch.jsonl
+//! cmp live.jsonl batch.jsonl
+//!
+//! # Long-running, with hot-swap and a metrics scrape page.
+//! miras-serve --checkpoint ckpt.json --listen tcp:0.0.0.0:7070 \
+//!             --metrics 0.0.0.0:9090 --telemetry serve_telemetry.jsonl
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use miras::baselines::{by_name, Policy, PolicyConfig};
+use miras::prelude::{BurstSpec, Ensemble};
+use miras::telemetry::{FanoutRecorder, JsonlSink, Recorder, ScrapeRecorder, Telemetry};
+use serve::{
+    load_policy, record_stream, spawn_metrics_endpoint, CheckpointWatcher, DecisionService,
+    Listener, WindowObservation,
+};
+
+const USAGE: &str = "\
+usage: miras-serve [flags]
+
+modes (default: serve observations from stdin, decisions to stdout):
+  --record N     drive the emulator for N windows and print the
+                 observation stream (input for the other modes)
+  --replay FILE  batch-replay a recorded stream (the determinism
+                 reference for shadow mode)
+
+policy source (default: --policy uniform):
+  --checkpoint FILE  load a training checkpoint (or raw agent JSON) and
+                     hot-swap whenever the file changes between windows
+  --policy NAME      registry policy: uniform, wip-proportional, stream,
+                     heft, monad
+
+flags:
+  --ensemble msd|ligo   workload ensemble (default msd)
+  --seed N              emulator seed for --record (default 42)
+  --burst N,N,..        front-loaded burst for --record
+  --shadow              quiet mode: stdout carries decisions only, no
+                        stderr banner (decisions are never actuated)
+  --listen SPEC         serve one client from tcp:HOST:PORT or unix:PATH
+                        instead of stdin/stdout
+  --metrics HOST:PORT   expose telemetry as a plaintext /metrics page
+  --telemetry FILE      append telemetry records to a JSONL file
+  --max-p99-us N        exit nonzero if p99 decision latency exceeds N";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, found '{flag}'"));
+        };
+        if name == "shadow" {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn numeric<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects a number, got '{v}'")),
+    }
+}
+
+fn ensemble_from(flags: &Flags) -> Result<Ensemble, String> {
+    match flags.get("ensemble").map(String::as_str) {
+        Some("msd") | None => Ok(Ensemble::msd()),
+        Some("ligo") => Ok(Ensemble::ligo()),
+        Some(other) => Err(format!("unknown ensemble '{other}' (msd or ligo)")),
+    }
+}
+
+/// Builds the policy and, for checkpoint-backed policies, the hot-swap
+/// watcher over the same path.
+fn build_policy(
+    flags: &Flags,
+    ensemble: &Ensemble,
+) -> Result<(Box<dyn Policy>, Option<CheckpointWatcher>), String> {
+    match (flags.get("checkpoint"), flags.get("policy")) {
+        (Some(_), Some(_)) => Err("--checkpoint and --policy are mutually exclusive".to_string()),
+        (Some(path), None) => {
+            let path = std::path::PathBuf::from(path);
+            let (policy, _version) =
+                load_policy(&path).map_err(|e| format!("loading {}: {e}", path.display()))?;
+            let watcher = CheckpointWatcher::new_deployed(path);
+            Ok((policy, Some(watcher)))
+        }
+        (None, name) => {
+            let name = name.map_or("uniform", String::as_str);
+            let cfg = PolicyConfig::new(ensemble);
+            let policy = by_name(name, &cfg).map_err(|e| e.to_string())?;
+            Ok((policy, None))
+        }
+    }
+}
+
+/// Assembles the telemetry pipeline from `--telemetry` and `--metrics`.
+fn build_telemetry(flags: &Flags, shadow: bool) -> Result<Telemetry, String> {
+    let mut recorders: Vec<Arc<dyn Recorder>> = Vec::new();
+    if let Some(path) = flags.get("telemetry") {
+        let sink = JsonlSink::create(path).map_err(|e| format!("opening {path}: {e}"))?;
+        recorders.push(sink);
+    }
+    if let Some(addr) = flags.get("metrics") {
+        let scrape = ScrapeRecorder::new();
+        let (bound, _handle) = spawn_metrics_endpoint(addr, scrape.clone())
+            .map_err(|e| format!("binding metrics endpoint {addr}: {e}"))?;
+        if !shadow {
+            eprintln!("metrics at http://{bound}/metrics");
+        }
+        recorders.push(scrape);
+    }
+    Ok(match recorders.len() {
+        0 => Telemetry::noop(),
+        1 => Telemetry::new(recorders.remove(0)),
+        _ => Telemetry::new(FanoutRecorder::new(recorders)),
+    })
+}
+
+fn burst_from(flags: &Flags, ensemble: &Ensemble) -> Result<Option<BurstSpec>, String> {
+    let Some(v) = flags.get("burst") else {
+        return Ok(None);
+    };
+    let counts: Vec<usize> = v
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse()
+                .map_err(|_| "--burst expects comma-separated integers".to_string())
+        })
+        .collect::<Result<_, String>>()?;
+    if counts.len() != ensemble.num_workflow_types() {
+        return Err(format!(
+            "--burst needs {} comma-separated counts",
+            ensemble.num_workflow_types()
+        ));
+    }
+    Ok(Some(BurstSpec::new(counts)))
+}
+
+/// `--record N`: drive the emulator and print the observation stream.
+fn record(flags: &Flags, windows: usize) -> Result<(), String> {
+    let ensemble = ensemble_from(flags)?;
+    let seed = numeric(flags, "seed", 42u64)?;
+    let burst = burst_from(flags, &ensemble)?;
+    let (mut policy, _watcher) = build_policy(flags, &ensemble)?;
+    let observations = record_stream(&ensemble, seed, windows, burst.as_ref(), policy.as_mut());
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for obs in &observations {
+        let line = serde_json::to_string(obs).map_err(|e| e.to_string())?;
+        writeln!(out, "{line}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Runs the service over a line source, emitting decisions as they are
+/// made (flushed per line so a socket peer sees each decision promptly).
+fn serve_lines(
+    svc: &mut DecisionService,
+    reader: &mut dyn BufRead,
+    writer: &mut dyn Write,
+) -> Result<(), String> {
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Ok(());
+        }
+        lineno += 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obs: WindowObservation = serde_json::from_str(line.trim_end())
+            .map_err(|e| format!("input line {lineno}: {e}"))?;
+        let record = svc.handle(&obs);
+        writeln!(writer, "{}", record.to_line()).map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+    }
+}
+
+/// Prints the latency summary and enforces `--max-p99-us`.
+fn finish(svc: &DecisionService, flags: &Flags) -> Result<(), String> {
+    svc.finish();
+    let Some(stats) = svc.latency_stats() else {
+        eprintln!("serve: no decisions made");
+        return Ok(());
+    };
+    eprintln!(
+        "serve: {} decisions via '{}' v{} ({} hot-swaps), latency p50 {:.1}us p99 {:.1}us max {:.1}us",
+        stats.count,
+        svc.policy_name(),
+        svc.policy_version(),
+        svc.swaps(),
+        stats.p50_us,
+        stats.p99_us,
+        stats.max_us
+    );
+    let max_p99_us = numeric(flags, "max-p99-us", f64::INFINITY)?;
+    if stats.p99_us > max_p99_us {
+        return Err(format!(
+            "p99 decision latency {:.1}us exceeds --max-p99-us {max_p99_us}",
+            stats.p99_us
+        ));
+    }
+    Ok(())
+}
+
+fn run(flags: &Flags) -> Result<(), String> {
+    if let Some(windows) = flags.get("record") {
+        let windows: usize = windows
+            .parse()
+            .map_err(|_| format!("--record expects a window count, got '{windows}'"))?;
+        return record(flags, windows);
+    }
+
+    let shadow = flags.contains_key("shadow");
+    let ensemble = ensemble_from(flags)?;
+    let (policy, watcher) = build_policy(flags, &ensemble)?;
+    let telemetry = build_telemetry(flags, shadow)?;
+    let mut svc = DecisionService::new(policy, telemetry);
+    // Replay is a batch reference run: the checkpoint is pinned, never
+    // swapped mid-stream.
+    let replaying = flags.contains_key("replay");
+    if let Some(watcher) = watcher {
+        if !replaying {
+            svc = svc.with_watcher(watcher);
+        }
+    }
+    if !shadow {
+        eprintln!(
+            "serving '{}' v{} ({})",
+            svc.policy_name(),
+            svc.policy_version(),
+            if replaying { "replay" } else { "live" }
+        );
+    }
+
+    if let Some(path) = flags.get("replay") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let records = svc.handle_stream(&text).map_err(|e| e.to_string())?;
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for record in &records {
+            writeln!(out, "{}", record.to_line()).map_err(|e| e.to_string())?;
+        }
+    } else if let Some(spec) = flags.get("listen") {
+        let listener = Listener::bind(spec).map_err(|e| format!("binding {spec}: {e}"))?;
+        if !shadow {
+            match listener.local_addr() {
+                Some(addr) => eprintln!("listening on tcp:{addr} (one client, then exit)"),
+                None => eprintln!("listening on {spec} (one client, then exit)"),
+            }
+        }
+        let (mut reader, mut writer) = listener.accept().map_err(|e| e.to_string())?;
+        serve_lines(&mut svc, reader.as_mut(), writer.as_mut())?;
+    } else {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        serve_lines(&mut svc, &mut stdin.lock(), &mut stdout.lock())?;
+    }
+
+    finish(&svc, flags)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let flags = match parse_flags(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&flags) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -52,11 +52,14 @@ pub use workflow;
 /// Commonly used types, importable in one line.
 pub mod prelude {
     pub use baselines::{
-        Allocator, DrsAllocator, HeftAllocator, ModelFreeDdpg, MonadAllocator, Observation,
-        UniformAllocator, WipProportionalAllocator,
+        Allocator, AllocatorPolicy, Decision, DrsAllocator, HeftAllocator, ModelFreeDdpg,
+        MonadAllocator, Observation, Policy, PolicyConfig, PolicyError, UniformAllocator,
+        WipProportionalAllocator,
     };
     pub use desim::SimTime;
-    pub use microsim::{Cluster, EnvConfig, MicroserviceEnv, SimConfig, WindowMetrics};
+    pub use microsim::{
+        Cluster, ConfigError, EnvConfig, MicroserviceEnv, SimConfig, WindowMetrics,
+    };
     pub use miras_core::{
         ClusterEnvAdapter, DynamicsModel, EnsembleDynamics, MirasAgent, MirasConfig, MirasTrainer,
         RefinedModel, SyntheticEnv, TransitionDataset,
