@@ -48,7 +48,8 @@ pub use heft::HeftAllocator;
 pub use model_free::{train_model_free, ModelFreeDdpg};
 pub use monad::MonadAllocator;
 pub use policy::{
-    by_name, known_policies, AllocatorPolicy, Decision, Policy, PolicyConfig, PolicyError,
+    by_name, fallback, known_policies, AllocatorPolicy, Decision, Policy, PolicyConfig,
+    PolicyError, FALLBACK_POLICY,
 };
 pub use statics::{UniformAllocator, WipProportionalAllocator};
 pub use traits::{Allocator, Observation};

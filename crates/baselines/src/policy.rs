@@ -261,6 +261,24 @@ pub fn known_policies() -> &'static [&'static str] {
     ]
 }
 
+/// The registry name of the degraded-mode fallback policy the serving loop
+/// uses when the primary policy misses its decision deadline: cheap
+/// (O(J) integer arithmetic, no model evaluation), deterministic, and
+/// artifact-free, so it can always be constructed and always answers
+/// within the budget.
+pub const FALLBACK_POLICY: &str = "wip-proportional";
+
+/// Builds the serving loop's degraded-mode fallback policy
+/// ([`FALLBACK_POLICY`]) for `config`.
+///
+/// Unlike [`by_name`] this cannot fail: the fallback is deliberately one of
+/// the artifact-free registry policies, so a serving process that can start
+/// at all can always degrade instead of stalling.
+#[must_use]
+pub fn fallback(config: &PolicyConfig) -> Box<dyn Policy> {
+    by_name(FALLBACK_POLICY, config).expect("the fallback policy is artifact-free")
+}
+
 /// Builds a policy by registry name.
 ///
 /// Static policies (`uniform`, `wip-proportional`/`wip`, `stream`/`drs`,
@@ -410,6 +428,18 @@ mod tests {
         assert_eq!(p.policy_version(), 7);
         let d = p.decide(&Observation::first(&[0.0; 4]));
         assert_eq!(d.policy_version, 7);
+    }
+
+    #[test]
+    fn fallback_is_cheap_deterministic_and_budget_respecting() {
+        let mut fb = fallback(&cfg().with_consumer_budget(10));
+        assert_eq!(fb.name(), FALLBACK_POLICY);
+        assert_eq!(fb.consumer_budget(), 10);
+        let wip = [8.0, 0.0, 1.0, 1.0];
+        let a = fb.decide(&Observation::first(&wip));
+        let b = fb.decide(&Observation::first(&wip));
+        assert_eq!(a.allocations, b.allocations, "fallback is deterministic");
+        assert!(a.allocations.iter().sum::<usize>() <= 10);
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //! requirement is replaced by a check for `rollout.bench` throughput events
 //! (the rollout engine benchmark never runs the cluster emulator, so it has
 //! no decision windows). With `--require-serve` it is replaced by a check
-//! for the serving loop's records — `serve.decisions` counters and the
-//! final `serve.latency_p99_us` gauge — since `miras-serve` only decides,
-//! never simulates.
+//! for the serving loop's records — `serve.decisions` counters, the final
+//! `serve.latency_p99_us` gauge, and the overload counters
+//! (`serve.shed`, `serve.degraded`, `serve.wire_rejected`,
+//! `serve.retries`), which the hardened loop materialises even at zero —
+//! since `miras-serve` only decides, never simulates.
 //!
 //! Run: `cargo run -p miras-bench --bin telemetry_check -- \
 //!       results/fig7_msd_comparison.jsonl --require-training`
@@ -66,6 +68,16 @@ fn check(
     let mut rollouts = 0usize;
     let mut serve_decisions = 0usize;
     let mut serve_p99 = 0usize;
+    // The overload/robustness counters the hardened serving loop must
+    // always materialise, even at zero (DecisionService::finish forces a
+    // zero-delta row for each).
+    const SERVE_COUNTERS: [&str; 4] = [
+        "serve.shed",
+        "serve.degraded",
+        "serve.wire_rejected",
+        "serve.retries",
+    ];
+    let mut serve_counter_rows = [0usize; SERVE_COUNTERS.len()];
     let mut desim_pending = 0usize;
     let mut desim_cascades = 0usize;
     let mut last_seq: Option<u64> = None;
@@ -174,6 +186,11 @@ fn check(
                     ("counter", "desim.wheel_cascades") => desim_cascades += 1,
                     ("counter", "serve.decisions") => serve_decisions += 1,
                     ("gauge", "serve.latency_p99_us") => serve_p99 += 1,
+                    ("counter", _) => {
+                        if let Some(i) = SERVE_COUNTERS.iter().position(|c| *c == name) {
+                            serve_counter_rows[i] += 1;
+                        }
+                    }
                     _ => {}
                 }
                 let v = get(&value, "value")
@@ -225,6 +242,17 @@ fn check(
                 0,
                 "stream contains no `serve.latency_p99_us` gauge".into(),
             ));
+        }
+        for (name, rows) in SERVE_COUNTERS.iter().zip(serve_counter_rows) {
+            if rows == 0 {
+                return Err(Problem(
+                    0,
+                    format!(
+                        "stream contains no `{name}` counter (the hardened serving \
+                         loop must materialise it even at zero)"
+                    ),
+                ));
+            }
         }
     } else if windows == 0 {
         return Err(Problem(0, "stream contains no `window` events".into()));

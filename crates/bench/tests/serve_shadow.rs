@@ -47,12 +47,12 @@ fn shadow_stream_is_byte_identical_to_batch_replay_and_the_bare_agent() {
     let (policy, version) = load_policy(&ckpt).unwrap();
     let mut svc = DecisionService::new(policy, Telemetry::noop())
         .with_watcher(CheckpointWatcher::new_deployed(ckpt.clone()));
-    let shadow = svc.handle_stream(&text).unwrap();
+    let shadow = svc.handle_stream(&text);
     assert_eq!(svc.swaps(), 0, "an unchanged checkpoint must not swap");
 
     // Batch replay: bare policy, no service machinery.
     let (mut bare, _) = load_policy(&ckpt).unwrap();
-    let batch = replay_stream(bare.as_mut(), &text).unwrap();
+    let batch = replay_stream(bare.as_mut(), &text);
 
     let shadow_bytes: Vec<String> = shadow.iter().map(DecisionRecord::to_line).collect();
     let batch_bytes: Vec<String> = batch.iter().map(DecisionRecord::to_line).collect();

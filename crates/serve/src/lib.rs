@@ -8,21 +8,39 @@
 //!
 //! * **Wire format** ([`WindowObservation`] in, [`DecisionRecord`] out):
 //!   JSON Lines over stdin/stdout, a TCP socket, or a Unix socket
-//!   ([`Listener`]).
+//!   ([`Listener`]). Malformed, oversized, or wrong-shape lines are
+//!   skipped and counted ([`WireError`], `serve.wire_rejected`) — one bad
+//!   line never aborts a stream.
 //! * **Decision loop** ([`DecisionService`]): wraps any registry-built
 //!   [`Policy`](baselines::Policy) with per-decision latency measurement
 //!   (the <1 ms/decision budget is checked against the exact
-//!   nearest-rank p99, [`LatencyStats`]) and telemetry.
+//!   nearest-rank p99, [`LatencyStats`]) and telemetry. With a deadline
+//!   and a fallback attached, a primary decision that overruns its budget
+//!   is replaced by the cheap deterministic fallback policy's decision,
+//!   stamped `degraded: true` — the controller always answers on time.
+//! * **Admission control** ([`AdmissionQueue`], [`ShedPolicy`]): a bounded
+//!   inbound queue between client readers and the single decision thread;
+//!   overflow is shed with an immediate typed `status: "shed"` reply
+//!   rather than blocking anyone.
+//! * **Multi-client serving** ([`serve_clients`]): N concurrent
+//!   connections, per-client reader threads, one decision thread,
+//!   graceful drain on shutdown; transient socket failures get bounded
+//!   retry with exponential backoff ([`RetryPolicy`]).
 //! * **Checkpoint hot-swap** ([`CheckpointWatcher`]): the watched path is
 //!   polled between windows and the policy swapped atomically — no
-//!   request is ever dropped or split across policies; versions come from
-//!   the checkpoint's iteration field.
+//!   request is ever dropped or split across policies; change detection
+//!   is by `(mtime, len, content checksum)`, so same-length rewrites
+//!   within the mtime granularity are still caught.
 //! * **Scrape endpoint** ([`spawn_metrics_endpoint`]): the telemetry
 //!   subsystem rendered as a plaintext `/metrics` page.
 //! * **Shadow mode / determinism proof** ([`replay_stream`]): decision
 //!   records contain no wall-clock, so a streaming run's output is
 //!   byte-identical to a batch replay of the same stream at the same
 //!   checkpoint.
+//! * **Chaos harness** ([`chaos`]): seeded fault schedules (malformed
+//!   lines, disconnects, stalls, overload bursts, checkpoint corruption)
+//!   replayed deterministically against the production components, with
+//!   machine-checked invariants ([`chaos::verify`]).
 //!
 //! # Examples
 //!
@@ -37,23 +55,35 @@
 //!
 //! // Live service...
 //! let mut svc = DecisionService::new(by_name("uniform", &cfg).unwrap(), Telemetry::noop());
-//! let live = svc.handle_stream(stream).unwrap();
+//! let live = svc.handle_stream(stream);
 //!
 //! // ...is byte-identical to a bare batch replay.
 //! let mut policy = by_name("uniform", &cfg).unwrap();
-//! let batch = replay_stream(policy.as_mut(), stream).unwrap();
+//! let batch = replay_stream(policy.as_mut(), stream);
 //! assert_eq!(live, batch);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
+pub mod chaos;
 mod net;
+mod retry;
+mod server;
 mod service;
 mod watcher;
 mod wire;
 
+pub use admission::{
+    AdmissionConfig, AdmissionQueue, CountersSnapshot, PushOutcome, ServeCounters, ShedPolicy,
+};
 pub use net::{spawn_metrics_endpoint, Listener};
+pub use retry::{io_transient, retry_with, RetryExhausted, RetryPolicy};
+pub use server::{serve_clients, ServerConfig, ServerReport};
 pub use service::{record_stream, replay_stream, DecisionService, LatencyStats, ServeError};
 pub use watcher::{load_policy, CheckpointWatcher, LoadError, SwapOutcome};
-pub use wire::{DecisionRecord, WindowObservation};
+pub use wire::{
+    parse_observation_line, DecisionRecord, DecisionStatus, LineRead, LineReader,
+    WindowObservation, WireError, MAX_LINE_BYTES,
+};

@@ -62,20 +62,39 @@ impl Listener {
     }
 
     /// Accepts one client, returning buffered line-oriented reader and
-    /// writer halves of the same connection.
+    /// writer halves of the same connection. Both halves are `Send` so the
+    /// multi-client server can hand them to reader threads.
     ///
     /// # Errors
     ///
     /// Propagates accept/clone failures.
-    pub fn accept(&self) -> io::Result<(Box<dyn BufRead>, Box<dyn Write>)> {
+    pub fn accept(&self) -> io::Result<(Box<dyn BufRead + Send>, Box<dyn Write + Send>)> {
+        self.accept_timed(None)
+    }
+
+    /// [`Listener::accept`] with an optional per-read timeout on the
+    /// returned connection. A timed-out read surfaces as a transient
+    /// `WouldBlock`/`TimedOut` error, which is what lets reader threads
+    /// apply bounded retry instead of hanging forever on a slow-loris
+    /// client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept/clone/configure failures.
+    pub fn accept_timed(
+        &self,
+        read_timeout: Option<std::time::Duration>,
+    ) -> io::Result<(Box<dyn BufRead + Send>, Box<dyn Write + Send>)> {
         match self {
             Listener::Tcp(l) => {
                 let (stream, _) = l.accept()?;
+                stream.set_read_timeout(read_timeout)?;
                 let reader = stream.try_clone()?;
                 Ok((Box::new(BufReader::new(reader)), Box::new(stream)))
             }
             Listener::Unix(l, _) => {
                 let (stream, _) = l.accept()?;
+                stream.set_read_timeout(read_timeout)?;
                 let reader = stream.try_clone()?;
                 Ok((Box::new(BufReader::new(reader)), Box::new(stream)))
             }

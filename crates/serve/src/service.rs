@@ -1,32 +1,54 @@
 //! The decision loop: observations in, decisions out, telemetry on the
-//! side, hot-swap between windows.
+//! side, hot-swap between windows — now deadline-bounded and
+//! overload-aware.
+//!
+//! The hardening invariant: **every admitted window gets exactly one
+//! decision** — normal, or degraded-fallback when the primary policy
+//! misses its deadline — and every refused window gets exactly one typed
+//! shed reply. The service never stalls a stream waiting for a slow
+//! policy and never aborts one over a malformed line.
 
 use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
 
 use baselines::{Observation, Policy};
 use telemetry::{Telemetry, Value};
 use workflow::{BurstSpec, Ensemble};
 
+use crate::admission::ServeCounters;
 use crate::watcher::{CheckpointWatcher, SwapOutcome};
-use crate::wire::{DecisionRecord, WindowObservation};
+use crate::wire::{parse_observation_line, DecisionRecord, WindowObservation, MAX_LINE_BYTES};
 
-/// Why the service could not process an input line.
+/// A fatal serving-loop error (I/O on the transport, not bad input — bad
+/// input is skipped and counted, see `serve.wire_rejected`).
 #[derive(Debug)]
 pub enum ServeError {
-    /// An input line did not parse as a [`WindowObservation`].
-    BadInput {
-        /// 1-based line number within the stream.
-        line: usize,
-        /// Parser diagnostics.
-        message: String,
+    /// An I/O operation on the serving transport failed outright.
+    Io {
+        /// Which operation (`"accept"`, `"write_reply"`, ...).
+        op: &'static str,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// An I/O operation kept failing transiently until its retry budget
+    /// ran out.
+    RetryExhausted {
+        /// Which operation.
+        op: &'static str,
+        /// Attempts made.
+        attempts: u32,
+        /// The final error.
+        last: std::io::Error,
     },
 }
 
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::BadInput { line, message } => {
-                write!(f, "input line {line}: {message}")
+            ServeError::Io { op, source } => write!(f, "{op}: {source}"),
+            ServeError::RetryExhausted { op, attempts, last } => {
+                write!(f, "{op} failed after {attempts} attempts: {last}")
             }
         }
     }
@@ -70,23 +92,32 @@ impl LatencyStats {
 }
 
 /// The long-running decision service: one [`Policy`] behind a window
-/// stream, with per-decision latency accounting and optional checkpoint
-/// hot-swap.
+/// stream, with per-decision latency accounting, optional checkpoint
+/// hot-swap, and optional deadline-bounded degradation.
 ///
 /// [`DecisionService::handle`] is the entire per-window hot path: poll the
 /// watcher (swap happens here, *between* windows, so no request is ever
-/// dropped or split across policies), run the policy, record telemetry,
-/// return the wire record. Everything the record contains is a pure
-/// function of the observation and the policy — latency lives only in
-/// telemetry — which is what makes shadow output byte-identical to batch
-/// replay.
+/// dropped or split across policies), run the policy, enforce the decision
+/// deadline, record telemetry, return the wire record. Everything a
+/// *normal* record contains is a pure function of the observation and the
+/// policy — latency lives only in telemetry — which is what makes shadow
+/// output byte-identical to batch replay. Degradation (deadline
+/// enforcement with a fallback policy) is opt-in via
+/// [`DecisionService::with_deadline`] + [`DecisionService::with_fallback`];
+/// without both, behaviour is exactly the pre-hardening service.
 pub struct DecisionService {
     policy: Box<dyn Policy>,
+    fallback: Option<Box<dyn Policy>>,
+    deadline: Option<Duration>,
     watcher: Option<CheckpointWatcher>,
     telemetry: Telemetry,
+    counters: Arc<ServeCounters>,
     latencies_us: Vec<f64>,
     swaps: u64,
     swap_failures: u64,
+    injected_stall: Option<Duration>,
+    expected_dims: Option<usize>,
+    max_line_bytes: usize,
 }
 
 impl DecisionService {
@@ -96,11 +127,17 @@ impl DecisionService {
         telemetry.gauge("serve.policy_version", policy.policy_version() as f64);
         DecisionService {
             policy,
+            fallback: None,
+            deadline: None,
             watcher: None,
             telemetry,
+            counters: Arc::new(ServeCounters::default()),
             latencies_us: Vec::new(),
             swaps: 0,
             swap_failures: 0,
+            injected_stall: None,
+            expected_dims: None,
+            max_line_bytes: MAX_LINE_BYTES,
         }
     }
 
@@ -109,6 +146,49 @@ impl DecisionService {
     #[must_use]
     pub fn with_watcher(mut self, watcher: CheckpointWatcher) -> Self {
         self.watcher = Some(watcher);
+        self
+    }
+
+    /// Sets the per-window decision deadline. A primary decision whose
+    /// (effective) latency exceeds it is replaced by the fallback policy's
+    /// decision, stamped `degraded: true` — provided a fallback is attached;
+    /// a deadline without a fallback only records the miss.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches the degraded-mode fallback policy (conventionally
+    /// [`baselines::fallback`], i.e. `wip-proportional`).
+    #[must_use]
+    pub fn with_fallback(mut self, fallback: Box<dyn Policy>) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// Shares an externally owned counter block (the multi-client server
+    /// threads its reader-side counters through here so one snapshot covers
+    /// the whole process).
+    #[must_use]
+    pub fn with_counters(mut self, counters: Arc<ServeCounters>) -> Self {
+        self.counters = counters;
+        self
+    }
+
+    /// Declares the WIP dimension the serving ensemble uses; observations
+    /// of any other dimension are wire-rejected before they can reach a
+    /// policy (whose input layer they would otherwise violate).
+    #[must_use]
+    pub fn with_expected_dims(mut self, dims: usize) -> Self {
+        self.expected_dims = Some(dims);
+        self
+    }
+
+    /// Overrides the per-line byte bound (default [`MAX_LINE_BYTES`]).
+    #[must_use]
+    pub fn with_max_line_bytes(mut self, max: usize) -> Self {
+        self.max_line_bytes = max;
         self
     }
 
@@ -130,91 +210,225 @@ impl DecisionService {
         self.swaps
     }
 
-    /// Processes one window: hot-swap check, decision, telemetry.
-    pub fn handle(&mut self, obs: &WindowObservation) -> DecisionRecord {
-        if let Some(watcher) = &mut self.watcher {
-            match watcher.poll() {
-                Some(SwapOutcome::Swapped { policy, version }) => {
-                    self.policy = policy;
-                    self.swaps += 1;
-                    self.telemetry.counter("serve.swaps", 1);
-                    self.telemetry.gauge("serve.policy_version", version as f64);
-                    self.telemetry.event(
-                        "serve.swap",
-                        &[
-                            ("window", Value::UInt(obs.window as u64)),
-                            ("policy_version", Value::UInt(version)),
-                        ],
-                    );
-                }
-                Some(SwapOutcome::Failed(e)) => {
-                    self.swap_failures += 1;
-                    self.telemetry.counter("serve.swap_failures", 1);
-                    self.telemetry.event(
-                        "serve.swap_failed",
-                        &[
-                            ("window", Value::UInt(obs.window as u64)),
-                            ("error", Value::String(e.to_string())),
-                        ],
-                    );
-                }
-                None => {}
-            }
+    /// The shared overload/robustness counters.
+    #[must_use]
+    pub fn counters(&self) -> Arc<ServeCounters> {
+        self.counters.clone()
+    }
+
+    /// The telemetry handle (cloneable; reader threads record through it).
+    #[must_use]
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
+    }
+
+    /// The expected WIP dimension, when declared.
+    #[must_use]
+    pub fn expected_dims(&self) -> Option<usize> {
+        self.expected_dims
+    }
+
+    /// The per-line byte bound.
+    #[must_use]
+    pub fn max_line_bytes(&self) -> usize {
+        self.max_line_bytes
+    }
+
+    /// Chaos hook: adds `stall` to the *next* decision's effective latency
+    /// (accounting-only — no real sleep), forcing a deterministic deadline
+    /// miss. Consumed by the next [`DecisionService::handle`].
+    pub fn inject_stall(&mut self, stall: Duration) {
+        self.injected_stall = Some(stall);
+    }
+
+    fn poll_watcher(&mut self, window: usize) {
+        let Some(watcher) = &mut self.watcher else {
+            return;
+        };
+        let outcome = watcher.poll();
+        let watcher_retries = watcher.take_retries();
+        if watcher_retries > 0 {
+            ServeCounters::bump(
+                &self.counters.retries,
+                watcher_retries,
+                &self.telemetry,
+                "serve.retries",
+            );
         }
+        match outcome {
+            Some(SwapOutcome::Swapped { policy, version }) => {
+                self.policy = policy;
+                self.swaps += 1;
+                self.telemetry.counter("serve.swaps", 1);
+                self.telemetry.gauge("serve.policy_version", version as f64);
+                self.telemetry.event(
+                    "serve.swap",
+                    &[
+                        ("window", Value::UInt(window as u64)),
+                        ("policy_version", Value::UInt(version)),
+                    ],
+                );
+            }
+            Some(SwapOutcome::Failed(e)) => {
+                self.swap_failures += 1;
+                self.telemetry.counter("serve.swap_failures", 1);
+                self.telemetry.event(
+                    "serve.swap_failed",
+                    &[
+                        ("window", Value::UInt(window as u64)),
+                        ("error", Value::String(e.to_string())),
+                    ],
+                );
+            }
+            None => {}
+        }
+    }
+
+    /// Processes one admitted window: hot-swap check, decision, deadline
+    /// enforcement, telemetry. Always returns exactly one record.
+    pub fn handle(&mut self, obs: &WindowObservation) -> DecisionRecord {
+        self.poll_watcher(obs.window);
         let decision = self.policy.decide(&Observation::new(
             &obs.wip,
             obs.metrics.as_ref(),
             obs.window,
         ));
-        let latency_us = decision.latency.as_secs_f64() * 1e6;
-        self.latencies_us.push(latency_us);
+        let mut effective = decision.latency;
+        if let Some(stall) = self.injected_stall.take() {
+            effective = effective.saturating_add(stall);
+        }
         self.telemetry.counter("serve.decisions", 1);
         self.telemetry
-            .observe("serve.decision_latency", decision.latency.as_secs_f64());
-        DecisionRecord {
-            window: obs.window,
-            policy: self.policy.name().to_string(),
-            policy_version: decision.policy_version,
-            allocations: decision.allocations,
-        }
-    }
+            .observe("serve.decision_latency", effective.as_secs_f64());
 
-    /// Runs a whole JSONL stream through [`DecisionService::handle`],
-    /// returning one record per non-empty line.
-    ///
-    /// # Errors
-    ///
-    /// [`ServeError::BadInput`] on the first malformed line.
-    pub fn handle_stream(&mut self, text: &str) -> Result<Vec<DecisionRecord>, ServeError> {
-        let mut records = Vec::new();
-        for (idx, line) in text.lines().enumerate() {
-            if line.trim().is_empty() {
-                continue;
+        let missed = self.deadline.is_some_and(|d| effective > d);
+        if missed {
+            if let Some(fallback) = &mut self.fallback {
+                let fb = fallback.decide(&Observation::new(
+                    &obs.wip,
+                    obs.metrics.as_ref(),
+                    obs.window,
+                ));
+                ServeCounters::bump(
+                    &self.counters.degraded,
+                    1,
+                    &self.telemetry,
+                    "serve.degraded",
+                );
+                self.telemetry.event(
+                    "serve.degraded",
+                    &[
+                        ("window", Value::UInt(obs.window as u64)),
+                        ("latency_us", Value::Float(effective.as_secs_f64() * 1e6)),
+                        (
+                            "deadline_us",
+                            Value::Float(
+                                self.deadline.expect("missed implies set").as_secs_f64() * 1e6,
+                            ),
+                        ),
+                    ],
+                );
+                return DecisionRecord::degraded(
+                    obs.window,
+                    fallback.name(),
+                    fallback.policy_version(),
+                    fb.allocations,
+                );
             }
-            let obs: WindowObservation =
-                serde_json::from_str(line).map_err(|e| ServeError::BadInput {
-                    line: idx + 1,
-                    message: e.to_string(),
-                })?;
-            records.push(self.handle(&obs));
+            // Deadline without fallback: note the miss, serve the late
+            // decision anyway (late beats never when there is no plan B).
+            self.telemetry.counter("serve.deadline_misses", 1);
         }
-        Ok(records)
+        // The p99 gate is stated over admitted, non-degraded decisions.
+        self.latencies_us.push(effective.as_secs_f64() * 1e6);
+        DecisionRecord::normal(
+            obs.window,
+            self.policy.name(),
+            decision.policy_version,
+            decision.allocations,
+        )
     }
 
-    /// Latency aggregates over every decision so far (`None` before the
-    /// first decision).
+    /// Builds the shed reply for a refused window and does the shed
+    /// accounting. Admission control itself lives outside the service (see
+    /// [`crate::admission`]); this is the one place shed replies are
+    /// minted, so counting stays consistent across the threaded server and
+    /// the chaos executor.
+    pub fn shed_reply(&mut self, window: usize) -> DecisionRecord {
+        ServeCounters::bump(&self.counters.shed, 1, &self.telemetry, "serve.shed");
+        DecisionRecord::shed(window, self.policy.name())
+    }
+
+    /// Records a wire rejection (malformed/oversized/bad-dims input line).
+    pub fn note_wire_rejected(&self, lineno: usize, error: &crate::wire::WireError) {
+        ServeCounters::bump(
+            &self.counters.wire_rejected,
+            1,
+            &self.telemetry,
+            "serve.wire_rejected",
+        );
+        self.telemetry.event(
+            "serve.wire_rejected",
+            &[
+                ("line", Value::UInt(lineno as u64)),
+                ("kind", Value::String(error.kind().to_string())),
+                ("error", Value::String(error.to_string())),
+            ],
+        );
+    }
+
+    /// Parses and handles one wire line: `Some(record)` for an observation,
+    /// `None` for blank lines and for malformed lines (which are skipped
+    /// and counted under `serve.wire_rejected` — one bad line never aborts
+    /// a stream).
+    pub fn handle_line(&mut self, line: &str, lineno: usize) -> Option<DecisionRecord> {
+        match parse_observation_line(line, self.max_line_bytes, self.expected_dims) {
+            Ok(Some(obs)) => Some(self.handle(&obs)),
+            Ok(None) => None,
+            Err(e) => {
+                self.note_wire_rejected(lineno, &e);
+                None
+            }
+        }
+    }
+
+    /// Runs a whole JSONL stream through [`DecisionService::handle_line`],
+    /// returning one record per parseable observation line. Malformed
+    /// lines are skipped and counted, never fatal.
+    pub fn handle_stream(&mut self, text: &str) -> Vec<DecisionRecord> {
+        text.lines()
+            .enumerate()
+            .filter_map(|(idx, line)| self.handle_line(line, idx + 1))
+            .collect()
+    }
+
+    /// Latency aggregates over every non-degraded decision so far (`None`
+    /// before the first decision).
     #[must_use]
     pub fn latency_stats(&self) -> Option<LatencyStats> {
         LatencyStats::from_samples(&self.latencies_us)
     }
 
-    /// Publishes final latency gauges (`serve.latency_p99_us` et al.) and
-    /// flushes the telemetry sink.
+    /// Publishes final latency gauges (`serve.latency_p99_us` et al.),
+    /// forces the overload counters to appear in the output even when zero
+    /// (so `telemetry_check --require-serve` can assert their presence on
+    /// healthy runs too), and flushes the telemetry sink.
     pub fn finish(&self) {
         if let Some(stats) = self.latency_stats() {
             self.telemetry.gauge("serve.latency_p50_us", stats.p50_us);
             self.telemetry.gauge("serve.latency_p99_us", stats.p99_us);
             self.telemetry.gauge("serve.latency_max_us", stats.max_us);
+        }
+        for name in [
+            "serve.shed",
+            "serve.degraded",
+            "serve.wire_rejected",
+            "serve.retries",
+            "serve.disconnects",
+            "serve.dropped_replies",
+        ] {
+            // Delta 0 materialises the row without changing the total.
+            self.telemetry.counter(name, 0);
         }
         self.telemetry.flush();
     }
@@ -224,38 +438,28 @@ impl DecisionService {
 /// service machinery, no telemetry, no watcher. This is the reference the
 /// shadow-mode determinism proof compares against: if the streaming
 /// service's records differ from this in a single byte, the serving layer
-/// changed the numerics.
-///
-/// # Errors
-///
-/// [`ServeError::BadInput`] on the first malformed line.
-pub fn replay_stream(
-    policy: &mut dyn Policy,
-    text: &str,
-) -> Result<Vec<DecisionRecord>, ServeError> {
+/// changed the numerics. Malformed lines are skipped by exactly the same
+/// rule the service uses, so the proof also holds for streams carrying
+/// wire noise.
+pub fn replay_stream(policy: &mut dyn Policy, text: &str) -> Vec<DecisionRecord> {
     let mut records = Vec::new();
-    for (idx, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
+    for line in text.lines() {
+        let Ok(Some(obs)) = parse_observation_line(line, MAX_LINE_BYTES, None) else {
             continue;
-        }
-        let obs: WindowObservation =
-            serde_json::from_str(line).map_err(|e| ServeError::BadInput {
-                line: idx + 1,
-                message: e.to_string(),
-            })?;
+        };
         let decision = policy.decide(&Observation::new(
             &obs.wip,
             obs.metrics.as_ref(),
             obs.window,
         ));
-        records.push(DecisionRecord {
-            window: obs.window,
-            policy: policy.name().to_string(),
-            policy_version: decision.policy_version,
-            allocations: decision.allocations,
-        });
+        records.push(DecisionRecord::normal(
+            obs.window,
+            policy.name(),
+            decision.policy_version,
+            decision.allocations,
+        ));
     }
-    Ok(records)
+    records
 }
 
 /// Generates a realistic observation stream by driving the cluster
@@ -303,6 +507,7 @@ pub fn record_stream(
 mod tests {
     use super::*;
     use baselines::{by_name, PolicyConfig};
+    use std::sync::atomic::Ordering;
 
     fn uniform() -> Box<dyn Policy> {
         by_name("uniform", &PolicyConfig::new(&Ensemble::msd())).unwrap()
@@ -312,7 +517,7 @@ mod tests {
     fn service_emits_one_record_per_line() {
         let mut svc = DecisionService::new(uniform(), Telemetry::noop());
         let stream = "{\"window\":0,\"wip\":[1.0,2.0,3.0,4.0]}\n\n{\"window\":1,\"wip\":[0.0,0.0,0.0,0.0]}\n";
-        let records = svc.handle_stream(stream).unwrap();
+        let records = svc.handle_stream(stream);
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].window, 0);
         assert_eq!(records[1].window, 1);
@@ -323,13 +528,24 @@ mod tests {
     }
 
     #[test]
-    fn bad_input_reports_line_number() {
+    fn malformed_lines_are_skipped_and_counted_not_fatal() {
         let mut svc = DecisionService::new(uniform(), Telemetry::noop());
-        let err = svc
-            .handle_stream("{\"window\":0,\"wip\":[1.0]}\nnot json\n")
-            .err()
-            .unwrap();
-        assert!(err.to_string().contains("line 2"), "{err}");
+        let stream = "{\"window\":0,\"wip\":[1.0]}\nnot json\n{\"window\":1,\"wip\":[2.0]}\n";
+        let records = svc.handle_stream(stream);
+        assert_eq!(records.len(), 2, "good lines around the bad one survive");
+        assert_eq!(records[0].window, 0);
+        assert_eq!(records[1].window, 1);
+        assert_eq!(svc.counters().wire_rejected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn wrong_dimension_observations_are_rejected_when_dims_declared() {
+        let mut svc = DecisionService::new(uniform(), Telemetry::noop()).with_expected_dims(4);
+        let stream = "{\"window\":0,\"wip\":[1.0,2.0]}\n{\"window\":1,\"wip\":[1.0,2.0,3.0,4.0]}\n";
+        let records = svc.handle_stream(stream);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].window, 1);
+        assert_eq!(svc.counters().wire_rejected.load(Ordering::Relaxed), 1);
     }
 
     #[test]
@@ -337,12 +553,107 @@ mod tests {
         let stream =
             "{\"window\":0,\"wip\":[5.0,0.0,3.0,1.0]}\n{\"window\":1,\"wip\":[2.0,2.0,2.0,2.0]}\n";
         let mut svc = DecisionService::new(uniform(), Telemetry::noop());
-        let live = svc.handle_stream(stream).unwrap();
-        let batch = replay_stream(uniform().as_mut(), stream).unwrap();
+        let live = svc.handle_stream(stream);
+        let batch = replay_stream(uniform().as_mut(), stream);
         assert_eq!(live, batch);
         let live_bytes: Vec<String> = live.iter().map(DecisionRecord::to_line).collect();
         let batch_bytes: Vec<String> = batch.iter().map(DecisionRecord::to_line).collect();
         assert_eq!(live_bytes, batch_bytes);
+    }
+
+    #[test]
+    fn replay_skips_malformed_lines_by_the_same_rule_as_the_service() {
+        let stream = "garbage\n{\"window\":0,\"wip\":[5.0,0.0,3.0,1.0]}\n{bad\n";
+        let mut svc = DecisionService::new(uniform(), Telemetry::noop());
+        let live = svc.handle_stream(stream);
+        let batch = replay_stream(uniform().as_mut(), stream);
+        assert_eq!(live, batch);
+        assert_eq!(live.len(), 1);
+    }
+
+    #[test]
+    fn injected_stall_past_deadline_degrades_to_fallback() {
+        let cfg = PolicyConfig::new(&Ensemble::msd());
+        let mut svc = DecisionService::new(by_name("uniform", &cfg).unwrap(), Telemetry::noop())
+            .with_deadline(Duration::from_micros(1000))
+            .with_fallback(baselines::fallback(&cfg));
+        let obs = WindowObservation {
+            window: 3,
+            wip: vec![8.0, 0.0, 1.0, 1.0],
+            metrics: None,
+        };
+        // Normal window: primary answers.
+        let normal = svc.handle(&obs);
+        assert!(!normal.degraded);
+        assert_eq!(normal.policy, "uniform");
+
+        // Stalled window: deterministic deadline miss, fallback answers.
+        svc.inject_stall(Duration::from_millis(50));
+        let degraded = svc.handle(&obs);
+        assert!(degraded.degraded);
+        assert_eq!(degraded.policy, baselines::FALLBACK_POLICY);
+        assert!(degraded.is_actionable());
+        assert!(!degraded.allocations.is_empty());
+        assert_eq!(svc.counters().degraded.load(Ordering::Relaxed), 1);
+
+        // The degraded allocation is the fallback's own answer.
+        let mut bare = baselines::fallback(&cfg);
+        let expect = bare.decide(&Observation::new(&obs.wip, None, obs.window));
+        assert_eq!(degraded.allocations, expect.allocations);
+
+        // Degraded windows stay out of the p99 gate's sample set.
+        assert_eq!(svc.latency_stats().unwrap().count, 1);
+
+        // The stall is one-shot: the next window is normal again.
+        let after = svc.handle(&obs);
+        assert!(!after.degraded);
+    }
+
+    #[test]
+    fn deadline_without_fallback_serves_late_and_counts_the_miss() {
+        let mut svc = DecisionService::new(uniform(), Telemetry::noop())
+            .with_deadline(Duration::from_micros(1));
+        svc.inject_stall(Duration::from_millis(10));
+        let obs = WindowObservation {
+            window: 0,
+            wip: vec![1.0, 1.0, 1.0, 1.0],
+            metrics: None,
+        };
+        let record = svc.handle(&obs);
+        assert!(
+            !record.degraded,
+            "no fallback attached, late decision served"
+        );
+        assert_eq!(record.policy, "uniform");
+    }
+
+    #[test]
+    fn shed_reply_counts_and_carries_the_policy_name() {
+        let mut svc = DecisionService::new(uniform(), Telemetry::noop());
+        let shed = svc.shed_reply(9);
+        assert!(!shed.is_actionable());
+        assert_eq!(shed.policy, "uniform");
+        assert!(shed.allocations.is_empty());
+        assert_eq!(svc.counters().shed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn finish_materialises_zero_counters_for_the_checker() {
+        let sink = telemetry::JsonlSink::in_memory();
+        let svc = DecisionService::new(uniform(), Telemetry::new(sink.clone()));
+        svc.finish();
+        let text = String::from_utf8(sink.take_output()).unwrap();
+        for name in [
+            "serve.shed",
+            "serve.degraded",
+            "serve.wire_rejected",
+            "serve.retries",
+        ] {
+            assert!(
+                text.contains(&format!("\"{name}\"")),
+                "missing {name} in {text}"
+            );
+        }
     }
 
     #[test]

@@ -1,17 +1,28 @@
 //! Checkpoint hot-swap: watch a path, load new policies between windows.
 
 use std::fmt;
+use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::time::SystemTime;
 
 use baselines::{AllocatorPolicy, Policy};
 use miras_core::{CheckpointError, CheckpointPayload, MirasAgent};
 
+use crate::retry::{io_transient, retry_with, RetryPolicy};
+
 /// Why a checkpoint could not be turned into a policy.
 #[derive(Debug)]
 pub enum LoadError {
     /// The file could not be read.
     Io(std::io::Error),
+    /// The file could not be read even after bounded retry of a transient
+    /// failure.
+    RetryExhausted {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The final attempt's error.
+        last: std::io::Error,
+    },
     /// The file parses as neither a full checkpoint nor a raw agent.
     Unusable {
         /// What the checkpoint loader said.
@@ -25,6 +36,10 @@ impl fmt::Display for LoadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LoadError::Io(e) => write!(f, "cannot read policy file: {e}"),
+            LoadError::RetryExhausted { attempts, last } => write!(
+                f,
+                "cannot read policy file after {attempts} attempts: {last}"
+            ),
             LoadError::Unusable { checkpoint, agent } => write!(
                 f,
                 "file is neither a checkpoint ({checkpoint}) nor a raw agent ({agent})"
@@ -69,23 +84,56 @@ pub fn load_policy(path: &Path) -> Result<(Box<dyn Policy>, u64), LoadError> {
     }
 }
 
+/// Change-detection fingerprint: `(mtime, len, content checksum)`.
+///
+/// The checksum (FNV-1a over the file bytes) closes the classic
+/// `(mtime, len)` race: a rewrite that lands within the filesystem's mtime
+/// granularity *and* happens to produce the same byte length — entirely
+/// plausible for fixed-schema checkpoints written twice in quick
+/// succession — is still detected, because the bytes differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Fingerprint {
+    mtime: SystemTime,
+    len: u64,
+    checksum: u64,
+}
+
+/// FNV-1a 64-bit over `bytes` — cheap, dependency-free, and stable across
+/// platforms.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// Watches a checkpoint path for changes between decision windows.
 ///
 /// The serve loop is single-threaded by design: the watcher is polled at
 /// the window boundary (never mid-decision), so a swap can never drop or
 /// tear a request — the Nth decision comes entirely from the old policy or
-/// entirely from the new one. Change detection is by `(mtime, len)`
-/// fingerprint; the PR-3 checkpoint writer is atomic (temp + fsync +
-/// rename), so a changed fingerprint always points at a complete file.
+/// entirely from the new one. Change detection is by
+/// `(mtime, len, content checksum)` fingerprint (see [`Fingerprint`]); the
+/// PR-3 checkpoint writer is atomic (temp + fsync + rename), so a changed
+/// fingerprint always points at a complete file. Length and checksum are
+/// computed from one open file handle, so a rename racing the probe yields
+/// a self-consistent fingerprint of one version or the other — never a mix.
 ///
 /// A file that appears but fails to load (e.g. hand-corrupted) is reported
 /// once via [`SwapOutcome::Failed`] and not retried until its fingerprint
 /// changes again; the service keeps the old policy, which is the safe
-/// behaviour for a live control loop.
+/// behaviour for a live control loop. Transient probe failures are retried
+/// with bounded exponential backoff ([`RetryPolicy`]); the retry count is
+/// surfaced through [`CheckpointWatcher::take_retries`] so the service can
+/// fold it into the `serve.retries` counter.
 #[derive(Debug)]
 pub struct CheckpointWatcher {
     path: PathBuf,
-    fingerprint: Option<(SystemTime, u64)>,
+    fingerprint: Option<Fingerprint>,
+    retry: RetryPolicy,
+    retries: u64,
 }
 
 /// What a watcher poll produced.
@@ -109,6 +157,8 @@ impl CheckpointWatcher {
         CheckpointWatcher {
             path,
             fingerprint: None,
+            retry: RetryPolicy::default(),
+            retries: 0,
         }
     }
 
@@ -117,8 +167,20 @@ impl CheckpointWatcher {
     /// service loads its initial policy from the same path at startup.
     #[must_use]
     pub fn new_deployed(path: PathBuf) -> Self {
-        let fingerprint = Self::read_fingerprint(&path);
-        CheckpointWatcher { path, fingerprint }
+        let fingerprint = Self::probe(&path).ok().flatten();
+        CheckpointWatcher {
+            path,
+            fingerprint,
+            retry: RetryPolicy::default(),
+            retries: 0,
+        }
+    }
+
+    /// Overrides the transient-failure retry policy for filesystem probes.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The watched path.
@@ -127,14 +189,55 @@ impl CheckpointWatcher {
         &self.path
     }
 
-    fn read_fingerprint(path: &Path) -> Option<(SystemTime, u64)> {
-        let meta = std::fs::metadata(path).ok()?;
-        Some((meta.modified().ok()?, meta.len()))
+    /// Drains the count of transient-probe retries performed since the last
+    /// call (the service folds this into `serve.retries`).
+    pub fn take_retries(&mut self) -> u64 {
+        std::mem::take(&mut self.retries)
     }
 
-    /// Checks the path; `None` means no change since the last poll.
+    /// One probe: open, stat (same handle, so mtime/len/bytes are the same
+    /// inode even mid-rename), read, checksum. `Ok(None)` when the file
+    /// does not exist.
+    fn probe(path: &Path) -> std::io::Result<Option<Fingerprint>> {
+        let mut file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let meta = file.metadata()?;
+        let mut bytes = Vec::with_capacity(usize::try_from(meta.len()).unwrap_or(0));
+        file.read_to_end(&mut bytes)?;
+        Ok(Some(Fingerprint {
+            mtime: meta.modified()?,
+            len: bytes.len() as u64,
+            checksum: fnv1a64(&bytes),
+        }))
+    }
+
+    /// Checks the path; `None` means no change since the last poll (or the
+    /// probe failed transiently even after retry — the next window polls
+    /// again, so a flaky filesystem delays a swap rather than killing it).
     pub fn poll(&mut self) -> Option<SwapOutcome> {
-        let current = Self::read_fingerprint(&self.path)?;
+        let retries = &mut self.retries;
+        let probed = retry_with(
+            self.retry,
+            "watcher_fingerprint",
+            io_transient,
+            |_| *retries += 1,
+            || Self::probe(&self.path),
+        );
+        let current = match probed {
+            Ok(Some(fp)) => fp,
+            Ok(None) => return None,
+            Err(exhausted) => {
+                // Leave the stored fingerprint alone: when the filesystem
+                // recovers, the change (if any) is still detected.
+                return Some(SwapOutcome::Failed(LoadError::RetryExhausted {
+                    attempts: exhausted.attempts,
+                    last: exhausted.last,
+                }));
+            }
+        };
         if self.fingerprint == Some(current) {
             return None;
         }
@@ -143,5 +246,37 @@ impl CheckpointWatcher {
             Ok((policy, version)) => Some(SwapOutcome::Swapped { policy, version }),
             Err(e) => Some(SwapOutcome::Failed(e)),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn probe_distinguishes_same_length_content() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("miras_watch_probe_{}.json", std::process::id()));
+        std::fs::write(&path, b"AAAA").unwrap();
+        let a = CheckpointWatcher::probe(&path).unwrap().unwrap();
+        std::fs::write(&path, b"BBBB").unwrap();
+        let b = CheckpointWatcher::probe(&path).unwrap().unwrap();
+        assert_eq!(a.len, b.len);
+        assert_ne!(a.checksum, b.checksum, "same length, different bytes");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn probe_of_missing_file_is_none_not_error() {
+        let path = std::env::temp_dir().join("miras_watch_probe_never_exists.json");
+        assert!(CheckpointWatcher::probe(&path).unwrap().is_none());
     }
 }

@@ -68,9 +68,9 @@ fn mid_stream_swap_equals_cold_restart_and_replay_of_remainder() {
     assert_eq!(version, 1, "checkpoint A was saved after iteration 1");
     let mut svc = DecisionService::new(policy, Telemetry::noop())
         .with_watcher(CheckpointWatcher::new_deployed(serving.clone()));
-    let mut live = svc.handle_stream(&head.concat()).unwrap();
+    let mut live = svc.handle_stream(&head.concat());
     std::fs::copy(&ckpt_b, &serving).unwrap();
-    live.extend(svc.handle_stream(&tail.concat()).unwrap());
+    live.extend(svc.handle_stream(&tail.concat()));
     assert_eq!(svc.swaps(), 1, "exactly one hot-swap");
     assert_eq!(svc.policy_version(), 2, "checkpoint B is iteration 2");
     assert_eq!(live.len(), 8, "no decision dropped across the swap");
@@ -78,9 +78,9 @@ fn mid_stream_swap_equals_cold_restart_and_replay_of_remainder() {
     // Reference: cold runs — A over the head, a fresh restart on B over
     // the remainder.
     let (mut cold_a, _) = load_policy(&ckpt_a).unwrap();
-    let mut reference = replay_stream(cold_a.as_mut(), &head.concat()).unwrap();
+    let mut reference = replay_stream(cold_a.as_mut(), &head.concat());
     let (mut cold_b, _) = load_policy(&ckpt_b).unwrap();
-    reference.extend(replay_stream(cold_b.as_mut(), &tail.concat()).unwrap());
+    reference.extend(replay_stream(cold_b.as_mut(), &tail.concat()));
 
     assert_eq!(lines(&live), lines(&reference));
     assert!(live[..4].iter().all(|r| r.policy_version == 1));
@@ -103,21 +103,83 @@ fn corrupt_swap_keeps_the_old_policy_until_a_good_one_appears() {
     let (policy, _) = load_policy(&serving).unwrap();
     let mut svc = DecisionService::new(policy, Telemetry::noop())
         .with_watcher(CheckpointWatcher::new_deployed(serving.clone()));
-    let mut records = svc.handle_stream(&all[..2].concat()).unwrap();
+    let mut records = svc.handle_stream(&all[..2].concat());
 
     // A corrupt file lands on the watched path: the service must keep
     // deciding with the old policy.
     std::fs::write(&serving, "{ this is not a checkpoint").unwrap();
-    records.extend(svc.handle_stream(&all[2..4].concat()).unwrap());
+    records.extend(svc.handle_stream(&all[2..4].concat()));
     assert_eq!(svc.swaps(), 0);
     assert_eq!(svc.policy_version(), 1, "old policy still serving");
     assert!(records.iter().all(|r| r.policy_version == 1));
 
     // A good checkpoint replaces it: the swap goes through.
     std::fs::copy(&ckpt_b, &serving).unwrap();
-    let rest = svc.handle_stream(&all[4..].concat()).unwrap();
+    let rest = svc.handle_stream(&all[4..].concat());
     assert_eq!(svc.swaps(), 1);
     assert!(rest.iter().all(|r| r.policy_version == 2));
+
+    for p in [ckpt_a, ckpt_b, serving] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// Regression test for the `(mtime, len)` fingerprint race: a checkpoint
+/// rewritten with *different bytes of the same length* and a forced
+/// *identical mtime* must still trigger a swap, because the fingerprint
+/// also hashes the content. Before the checksum, this exact scenario —
+/// two checkpoint saves within the filesystem's mtime granularity, fixed
+/// schema so equal length — left the stale policy serving silently.
+#[test]
+fn same_mtime_same_len_rewrite_still_swaps() {
+    let (ckpt_a, ckpt_b) = two_checkpoints("fingerprint_race");
+    let serving = temp_path("fingerprint_race_live");
+
+    // Pad both checkpoints with trailing whitespace (JSON-harmless) to the
+    // same byte length.
+    let mut bytes_a = std::fs::read(&ckpt_a).unwrap();
+    let mut bytes_b = std::fs::read(&ckpt_b).unwrap();
+    let target = bytes_a.len().max(bytes_b.len()) + 4;
+    bytes_a.resize(target, b' ');
+    bytes_b.resize(target, b' ');
+    assert_eq!(bytes_a.len(), bytes_b.len());
+    assert_ne!(bytes_a, bytes_b, "same length, different content");
+
+    std::fs::write(&serving, &bytes_a).unwrap();
+    let stamp = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_700_000_000);
+    let file = std::fs::File::options()
+        .append(true)
+        .open(&serving)
+        .unwrap();
+    file.set_modified(stamp).unwrap();
+    drop(file);
+
+    let (policy, version) = load_policy(&serving).unwrap();
+    assert_eq!(version, 1);
+    let mut svc = DecisionService::new(policy, Telemetry::noop())
+        .with_watcher(CheckpointWatcher::new_deployed(serving.clone()));
+
+    let text = stream(4);
+    let all: Vec<String> = text.lines().map(|l| format!("{l}\n")).collect();
+    let head = svc.handle_stream(&all[..2].concat());
+    assert!(head.iter().all(|r| r.policy_version == 1));
+
+    // The adversarial rewrite: same length, same (forced) mtime.
+    std::fs::write(&serving, &bytes_b).unwrap();
+    let file = std::fs::File::options()
+        .append(true)
+        .open(&serving)
+        .unwrap();
+    file.set_modified(stamp).unwrap();
+    drop(file);
+    let meta = std::fs::metadata(&serving).unwrap();
+    assert_eq!(meta.modified().unwrap(), stamp, "mtime pinned");
+    assert_eq!(meta.len() as usize, target, "length pinned");
+
+    let tail = svc.handle_stream(&all[2..].concat());
+    assert_eq!(svc.swaps(), 1, "content checksum caught the rewrite");
+    assert_eq!(svc.policy_version(), 2);
+    assert!(tail.iter().all(|r| r.policy_version == 2));
 
     for p in [ckpt_a, ckpt_b, serving] {
         let _ = std::fs::remove_file(p);

@@ -7,6 +7,16 @@
 //! function of the input stream and the policy: a streaming run is
 //! byte-identical to `--replay` of the same stream at the same checkpoint.
 //!
+//! Overload hardening: `--listen` serves `--clients` concurrent
+//! connections through a bounded admission queue (`--max-inflight`,
+//! `--shed-policy`); refused windows get an immediate `status: "shed"`
+//! reply. With a deadline (`--deadline-us`) and fallback (`--fallback`),
+//! a primary decision that overruns its budget is answered by the cheap
+//! deterministic fallback policy instead, stamped `degraded: true`.
+//! Malformed input lines are skipped and counted (`serve.wire_rejected`),
+//! never fatal. `--chaos` replays a seeded fault schedule against the
+//! same machinery and exits nonzero if any robustness invariant breaks.
+//!
 //! Examples:
 //!
 //! ```text
@@ -16,22 +26,28 @@
 //! miras-serve --checkpoint ckpt.json --replay stream.jsonl > batch.jsonl
 //! cmp live.jsonl batch.jsonl
 //!
-//! # Long-running, with hot-swap and a metrics scrape page.
+//! # Long-running, multi-client, with hot-swap and a metrics scrape page.
 //! miras-serve --checkpoint ckpt.json --listen tcp:0.0.0.0:7070 \
+//!             --clients 8 --max-inflight 64 --shed-policy drop-oldest \
 //!             --metrics 0.0.0.0:9090 --telemetry serve_telemetry.jsonl
+//!
+//! # Seeded chaos run (malformed lines, overload, stalls, corruption).
+//! miras-serve --checkpoint ckpt.json --chaos seed=42 --stream stream.jsonl
 //! ```
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
-use miras::baselines::{by_name, Policy, PolicyConfig};
+use miras::baselines::{by_name, fallback, Policy, PolicyConfig, FALLBACK_POLICY};
 use miras::prelude::{BurstSpec, Ensemble};
 use miras::telemetry::{FanoutRecorder, JsonlSink, Recorder, ScrapeRecorder, Telemetry};
+use serve::chaos::{generate_schedule, run_schedule, verify, ChaosConfig};
 use serve::{
-    load_policy, record_stream, spawn_metrics_endpoint, CheckpointWatcher, DecisionService,
-    Listener, WindowObservation,
+    load_policy, record_stream, serve_clients, spawn_metrics_endpoint, AdmissionConfig,
+    CheckpointWatcher, DecisionService, Listener, ServerConfig, ShedPolicy,
 };
 
 const USAGE: &str = "\
@@ -42,6 +58,11 @@ modes (default: serve observations from stdin, decisions to stdout):
                  observation stream (input for the other modes)
   --replay FILE  batch-replay a recorded stream (the determinism
                  reference for shadow mode)
+  --chaos SPEC   replay a seeded fault schedule (malformed lines,
+                 disconnects, overload, stalls, checkpoint corruption)
+                 against the serving stack and verify the robustness
+                 invariants; SPEC is key=value pairs, e.g.
+                 seed=42,malformed=0.2,clients=4,burst=5
 
 policy source (default: --policy uniform):
   --checkpoint FILE  load a training checkpoint (or raw agent JSON) and
@@ -55,11 +76,28 @@ flags:
   --burst N,N,..        front-loaded burst for --record
   --shadow              quiet mode: stdout carries decisions only, no
                         stderr banner (decisions are never actuated)
-  --listen SPEC         serve one client from tcp:HOST:PORT or unix:PATH
+  --listen SPEC         serve clients from tcp:HOST:PORT or unix:PATH
                         instead of stdin/stdout
+  --clients N           connections to serve before graceful shutdown
+                        (default 1; admitted windows are drained first)
+  --max-inflight N      admission bound on undecided windows (default 64)
+  --shed-policy P       reject (refuse new) or drop-oldest (evict stale)
+                        when the queue is full (default reject)
+  --deadline-us N       decision deadline; a primary-policy overrun is
+                        answered by the fallback, stamped degraded
+                        (default 1000; 0 disables; off by default in
+                        --shadow/--replay so the byte-identity proof is
+                        untouched by wall-clock noise)
+  --fallback NAME       degraded-mode policy (default wip-proportional;
+                        'none' serves late instead of degrading)
+  --read-timeout-ms N   per-read socket timeout; timeouts get bounded
+                        retry, then the client is disconnected
+  --stream FILE         base observation stream for --chaos (default:
+                        50 recorded windows)
   --metrics HOST:PORT   expose telemetry as a plaintext /metrics page
   --telemetry FILE      append telemetry records to a JSONL file
-  --max-p99-us N        exit nonzero if p99 decision latency exceeds N";
+  --max-p99-us N        exit nonzero if p99 decision latency (admitted,
+                        non-degraded windows) exceeds N";
 
 type Flags = HashMap<String, String>;
 
@@ -181,8 +219,52 @@ fn record(flags: &Flags, windows: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the admission-control flags.
+fn admission_from(flags: &Flags) -> Result<AdmissionConfig, String> {
+    let max_inflight = numeric(flags, "max-inflight", 64usize)?;
+    let shed: ShedPolicy = match flags.get("shed-policy") {
+        None => ShedPolicy::Reject,
+        Some(v) => v.parse()?,
+    };
+    Ok(AdmissionConfig { max_inflight, shed })
+}
+
+/// Applies the deadline/fallback hardening flags to a service.
+///
+/// The deadline defaults on (1000us, the paper's <1 ms budget) for live
+/// serving, but off for `--shadow`/`--replay` unless explicitly set:
+/// deadline enforcement reads the wall clock, and the shadow-vs-replay
+/// byte-identity proof must not depend on scheduler noise.
+fn harden(
+    mut svc: DecisionService,
+    flags: &Flags,
+    ensemble: &Ensemble,
+    determinism_mode: bool,
+) -> Result<DecisionService, String> {
+    svc = svc.with_expected_dims(ensemble.num_task_types());
+    let deadline_us = numeric(flags, "deadline-us", 1000u64)?;
+    let deadline_on = deadline_us > 0 && (flags.contains_key("deadline-us") || !determinism_mode);
+    if deadline_on {
+        svc = svc.with_deadline(Duration::from_micros(deadline_us));
+        let fallback_name = flags
+            .get("fallback")
+            .map_or(FALLBACK_POLICY, String::as_str);
+        if fallback_name != "none" {
+            let cfg = PolicyConfig::new(ensemble);
+            let fb = if fallback_name == FALLBACK_POLICY {
+                fallback(&cfg)
+            } else {
+                by_name(fallback_name, &cfg).map_err(|e| e.to_string())?
+            };
+            svc = svc.with_fallback(fb);
+        }
+    }
+    Ok(svc)
+}
+
 /// Runs the service over a line source, emitting decisions as they are
 /// made (flushed per line so a socket peer sees each decision promptly).
+/// Malformed lines are skipped and counted, never fatal.
 fn serve_lines(
     svc: &mut DecisionService,
     reader: &mut dyn BufRead,
@@ -197,20 +279,72 @@ fn serve_lines(
             return Ok(());
         }
         lineno += 1;
-        if line.trim().is_empty() {
-            continue;
+        if let Some(record) = svc.handle_line(&line, lineno) {
+            writeln!(writer, "{}", record.to_line()).map_err(|e| e.to_string())?;
+            writer.flush().map_err(|e| e.to_string())?;
         }
-        let obs: WindowObservation = serde_json::from_str(line.trim_end())
-            .map_err(|e| format!("input line {lineno}: {e}"))?;
-        let record = svc.handle(&obs);
-        writeln!(writer, "{}", record.to_line()).map_err(|e| e.to_string())?;
-        writer.flush().map_err(|e| e.to_string())?;
     }
 }
 
-/// Prints the latency summary and enforces `--max-p99-us`.
+/// `--chaos SPEC`: replay a seeded fault schedule and verify invariants.
+fn run_chaos(mut svc: DecisionService, flags: &Flags, spec: &str) -> Result<(), String> {
+    let config = ChaosConfig::from_spec(spec)?;
+    let base_lines: Vec<String> = match flags.get("stream") {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {path}: {e}"))?
+            .lines()
+            .map(str::to_string)
+            .collect(),
+        None => {
+            let ensemble = ensemble_from(flags)?;
+            let seed = numeric(flags, "seed", 42u64)?;
+            let mut driver =
+                by_name("uniform", &PolicyConfig::new(&ensemble)).map_err(|e| e.to_string())?;
+            record_stream(&ensemble, seed, 50, None, driver.as_mut())
+                .iter()
+                .map(|obs| serde_json::to_string(obs).map_err(|e| e.to_string()))
+                .collect::<Result<_, _>>()?
+        }
+    };
+    let schedule = generate_schedule(&config, &base_lines, svc.max_line_bytes());
+    let admission = admission_from(flags)?;
+    let checkpoint = flags.get("checkpoint").map(std::path::PathBuf::from);
+    let outcome = run_schedule(&mut svc, admission, &schedule, checkpoint.as_deref());
+    let verdict = verify(&outcome);
+    let summary = format!(
+        "{{\"chaos_seed\":{},\"events\":{},\"replies\":{},\"decisions\":{},\"shed\":{},\"degraded\":{},\"wire_rejected\":{},\"dropped_replies\":{},\"disconnects\":{},\"swaps\":{},\"verified\":{}}}",
+        config.seed,
+        schedule.events.len(),
+        outcome.replies.len(),
+        outcome.decisions(),
+        outcome.counters.shed,
+        outcome.counters.degraded,
+        outcome.counters.wire_rejected,
+        outcome.counters.dropped_replies,
+        outcome.counters.disconnects,
+        outcome.swaps,
+        verdict.is_ok(),
+    );
+    println!("{summary}");
+    svc.finish();
+    verdict.map_err(|v| format!("chaos invariant violated (seed {}): {v}", config.seed))
+}
+
+/// Prints the latency/overload summary and enforces `--max-p99-us`.
 fn finish(svc: &DecisionService, flags: &Flags) -> Result<(), String> {
     svc.finish();
+    let counters = svc.counters().snapshot();
+    if counters.shed + counters.degraded + counters.wire_rejected + counters.disconnects > 0 {
+        eprintln!(
+            "serve: overload/robustness: {} shed, {} degraded, {} wire-rejected, {} retries, {} disconnects, {} dropped replies",
+            counters.shed,
+            counters.degraded,
+            counters.wire_rejected,
+            counters.retries,
+            counters.disconnects,
+            counters.dropped_replies
+        );
+    }
     let Some(stats) = svc.latency_stats() else {
         eprintln!("serve: no decisions made");
         return Ok(());
@@ -251,10 +385,16 @@ fn run(flags: &Flags) -> Result<(), String> {
     // Replay is a batch reference run: the checkpoint is pinned, never
     // swapped mid-stream.
     let replaying = flags.contains_key("replay");
+    let chaos = flags.get("chaos").cloned();
     if let Some(watcher) = watcher {
         if !replaying {
             svc = svc.with_watcher(watcher);
         }
+    }
+    svc = harden(svc, flags, &ensemble, shadow || replaying)?;
+
+    if let Some(spec) = chaos {
+        return run_chaos(svc, flags, &spec);
     }
     if !shadow {
         eprintln!(
@@ -267,7 +407,7 @@ fn run(flags: &Flags) -> Result<(), String> {
 
     if let Some(path) = flags.get("replay") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        let records = svc.handle_stream(&text).map_err(|e| e.to_string())?;
+        let records = svc.handle_stream(&text);
         let stdout = std::io::stdout();
         let mut out = stdout.lock();
         for record in &records {
@@ -275,14 +415,31 @@ fn run(flags: &Flags) -> Result<(), String> {
         }
     } else if let Some(spec) = flags.get("listen") {
         let listener = Listener::bind(spec).map_err(|e| format!("binding {spec}: {e}"))?;
+        let config = ServerConfig {
+            admission: admission_from(flags)?,
+            clients: numeric(flags, "clients", 1usize)?,
+            read_timeout: match numeric(flags, "read-timeout-ms", 0u64)? {
+                0 => None,
+                ms => Some(Duration::from_millis(ms)),
+            },
+            retry: serve::RetryPolicy::default(),
+        };
         if !shadow {
-            match listener.local_addr() {
-                Some(addr) => eprintln!("listening on tcp:{addr} (one client, then exit)"),
-                None => eprintln!("listening on {spec} (one client, then exit)"),
-            }
+            let where_ = listener
+                .local_addr()
+                .map_or_else(|| spec.clone(), |addr| format!("tcp:{addr}"));
+            eprintln!(
+                "listening on {where_} ({} clients, max {} in flight, shed {})",
+                config.clients, config.admission.max_inflight, config.admission.shed
+            );
         }
-        let (mut reader, mut writer) = listener.accept().map_err(|e| e.to_string())?;
-        serve_lines(&mut svc, reader.as_mut(), writer.as_mut())?;
+        let report = serve_clients(&listener, &mut svc, &config).map_err(|e| e.to_string())?;
+        if !shadow {
+            eprintln!(
+                "served {} clients, {} windows decided",
+                report.clients, report.decided
+            );
+        }
     } else {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
