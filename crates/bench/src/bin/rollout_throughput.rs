@@ -12,14 +12,11 @@
 
 use std::time::Instant;
 
-use miras_bench::init_telemetry;
+use miras_bench::{drain_dataset, init_telemetry, time_sequential_rollouts};
 use miras_core::{
-    BatchedSyntheticEnv, DynamicsModel, MirasConfig, RefinedModel, SyntheticEnv, Transition,
-    TransitionDataset,
+    BatchedSyntheticEnv, DynamicsModel, MirasConfig, RefinedModel, TransitionDataset,
 };
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use rl::{Ddpg, Environment};
+use rl::Ddpg;
 use serde::Serialize;
 use telemetry::Value;
 
@@ -33,6 +30,9 @@ struct ModeResult {
     env_steps: usize,
     secs: f64,
     steps_per_sec: f64,
+    /// This row's throughput over the sequential baseline's (1.0 for the
+    /// baseline itself); filled in after the sweep completes.
+    speedup_vs_sequential: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -46,33 +46,8 @@ struct BenchReport {
     speedup_lockstep16_vs_sequential: f64,
 }
 
-/// Builds a drain-dynamics dataset (`s' = max(0, s − 2a) + 1`) big enough
-/// to train the environment model; the model's accuracy is irrelevant here,
-/// only its shape and cost.
-fn build_dataset(j: usize, seed: u64) -> TransitionDataset {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut data = TransitionDataset::new(j);
-    for _ in 0..600 {
-        let s: Vec<f64> = (0..j).map(|_| rng.gen_range(0.0..20.0)).collect();
-        let a: Vec<f64> = (0..j).map(|_| rng.gen_range(0.0f64..7.0).floor()).collect();
-        let next: Vec<f64> = s
-            .iter()
-            .zip(&a)
-            .map(|(&si, &ai)| (si - 2.0 * ai).max(0.0) + 1.0)
-            .collect();
-        data.push(Transition {
-            state: s,
-            action: a,
-            next_state: next,
-        });
-    }
-    data
-}
-
-/// Times the sequential rollout path: `act_exploratory` → `SyntheticEnv::
-/// step` → `observe`, in waves of `rollout_len` steps with a reset and
-/// perturbation resample between waves (the trainer's structure, minus the
-/// gradient updates that are orthogonal to the rollout engine).
+/// Times the sequential rollout path via the shared
+/// [`time_sequential_rollouts`] harness.
 fn run_sequential(
     refined: &RefinedModel,
     data: &TransitionDataset,
@@ -82,37 +57,22 @@ fn run_sequential(
     env_steps: usize,
     telemetry: &telemetry::Telemetry,
 ) -> ModeResult {
-    let mut env = SyntheticEnv::new(refined.clone(), data.clone(), budget, 99);
-    env.set_telemetry(telemetry.clone());
-    let rollouts = (env_steps / rollout_len).max(1);
-    // Warm-up wave: fills the normaliser scratch, replay ring and the
-    // recent-state window so the timed region sees steady-state costs.
-    let mut s = env.reset();
-    for _ in 0..rollout_len {
-        let a = agent.act_exploratory(&s);
-        let t = env.step(&a);
-        agent.observe(&s, &a, t.reward, &t.next_state);
-        s = t.next_state;
-    }
-    let start = Instant::now();
-    for _ in 0..rollouts {
-        let mut s = env.reset();
-        agent.resample_perturbation();
-        for _ in 0..rollout_len {
-            let a = agent.act_exploratory(&s);
-            let t = env.step(&a);
-            agent.observe(&s, &a, t.reward, &t.next_state);
-            s = t.next_state;
-        }
-    }
-    let secs = start.elapsed().as_secs_f64();
-    let steps = rollouts * rollout_len;
+    let (steps, secs) = time_sequential_rollouts(
+        refined,
+        data,
+        budget,
+        agent,
+        rollout_len,
+        env_steps,
+        telemetry,
+    );
     ModeResult {
         mode: "sequential".to_string(),
         lanes: 1,
         env_steps: steps,
         secs,
         steps_per_sec: steps as f64 / secs,
+        speedup_vs_sequential: 1.0,
     }
 }
 
@@ -156,6 +116,44 @@ fn run_lockstep(
         env_steps: steps,
         secs,
         steps_per_sec: steps as f64 / secs,
+        speedup_vs_sequential: 0.0, // filled in once the baseline is known
+    }
+}
+
+/// Writes `BENCH_rollout.json`, carrying over the `distributed` rows that
+/// `train_throughput` may have merged into an earlier report — the two
+/// benches share the file, and either should be re-runnable without
+/// clobbering the other's section.
+fn write_report(report: &BenchReport) {
+    use serde::value::Value as Json;
+    let path = "BENCH_rollout.json";
+    let mut fields = match serde::value::to_value(report) {
+        Ok(Json::Object(fields)) => fields,
+        Ok(_) => unreachable!("a struct serialises to an object"),
+        Err(e) => {
+            eprintln!("[rollout] could not serialise report: {e}");
+            return;
+        }
+    };
+    if let Some(Json::Object(old)) = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<Json>(&text).ok())
+    {
+        for (k, v) in old {
+            if k == "distributed" || k == "speedup_workers4_vs_workers1" {
+                fields.push((k, v));
+            }
+        }
+    }
+    match serde_json::to_string(&Json::Object(fields)) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("[rollout] could not write {path}: {e}");
+            } else {
+                eprintln!("[rollout] wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("[rollout] could not serialise report: {e}"),
     }
 }
 
@@ -194,7 +192,7 @@ fn main() {
     let env_steps = steps_override.unwrap_or(if smoke { 3_200 } else { 32_000 });
 
     eprintln!("[rollout] training environment model ({j}-dim drain dynamics)");
-    let data = build_dataset(j, seed);
+    let data = drain_dataset(j, seed);
     let mut model = DynamicsModel::new(j, &config);
     let loss = model.train(&data, 10, config.model_batch);
     eprintln!("[rollout] model loss {loss:.5}; timing {env_steps} env steps per mode");
@@ -238,6 +236,9 @@ fn main() {
     }
 
     let sequential_sps = results[0].steps_per_sec;
+    for r in &mut results {
+        r.speedup_vs_sequential = r.steps_per_sec / sequential_sps;
+    }
     let lockstep16_sps = results
         .iter()
         .find(|r| r.mode == "lockstep" && r.lanes == 16)
@@ -246,8 +247,8 @@ fn main() {
     println!("\nrollout throughput (steps/sec), {env_steps} env steps per mode:");
     for r in &results {
         println!(
-            "  {:>10} lanes={:<3} {:>10.0} steps/s",
-            r.mode, r.lanes, r.steps_per_sec
+            "  {:>10} lanes={:<3} {:>10.0} steps/s  ({:>5.2}x vs sequential)",
+            r.mode, r.lanes, r.steps_per_sec, r.speedup_vs_sequential
         );
     }
     println!("  lockstep(16) vs sequential: {speedup:.2}x");
@@ -260,6 +261,10 @@ fn main() {
                 ("lanes", Value::UInt(r.lanes as u64)),
                 ("env_steps", Value::UInt(r.env_steps as u64)),
                 ("steps_per_sec", Value::Float(r.steps_per_sec)),
+                (
+                    "speedup_vs_sequential",
+                    Value::Float(r.speedup_vs_sequential),
+                ),
             ],
         );
     }
@@ -273,16 +278,7 @@ fn main() {
         results,
         speedup_lockstep16_vs_sequential: speedup,
     };
-    match serde_json::to_string(&report) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write("BENCH_rollout.json", json + "\n") {
-                eprintln!("[rollout] could not write BENCH_rollout.json: {e}");
-            } else {
-                eprintln!("[rollout] wrote BENCH_rollout.json");
-            }
-        }
-        Err(e) => eprintln!("[rollout] could not serialise report: {e}"),
-    }
+    write_report(&report);
     telemetry.flush();
     drop(sink);
 }

@@ -9,7 +9,11 @@
 //! `iteration` events from Algorithm 2. With `--require-rollout` the window
 //! requirement is replaced by a check for `rollout.bench` throughput events
 //! (the rollout engine benchmark never runs the cluster emulator, so it has
-//! no decision windows). With `--require-serve` it is replaced by a check
+//! no decision windows). With `--require-distributed` it is instead replaced
+//! by a check for the distributed actor–learner records — `train.worker_steps`
+//! counters, `train.weight_version_lag` / `train.replay_shard_depth` gauges,
+//! `distributed.wave` events, and the `train.worker_restarts` counter the
+//! learner materialises even at zero. With `--require-serve` it is replaced by a check
 //! for the serving loop's records — `serve.decisions` counters, the final
 //! `serve.latency_p99_us` gauge, and the overload counters
 //! (`serve.shed`, `serve.degraded`, `serve.wire_rejected`,
@@ -60,6 +64,7 @@ fn check(
     require_training: bool,
     require_rollout: bool,
     require_serve: bool,
+    require_distributed: bool,
 ) -> Result<String, Problem> {
     let mut events = 0usize;
     let mut windows = 0usize;
@@ -78,6 +83,11 @@ fn check(
         "serve.retries",
     ];
     let mut serve_counter_rows = [0usize; SERVE_COUNTERS.len()];
+    let mut worker_steps = 0usize;
+    let mut version_lag = 0usize;
+    let mut shard_depth = 0usize;
+    let mut worker_restarts = 0usize;
+    let mut dist_waves = 0usize;
     let mut desim_pending = 0usize;
     let mut desim_cascades = 0usize;
     let mut last_seq: Option<u64> = None;
@@ -157,6 +167,17 @@ fn check(
                         }
                     }
                     "bench.summary" => summaries += 1,
+                    "distributed.wave" => {
+                        dist_waves += 1;
+                        for field in ["worker", "wave", "version"] {
+                            if get(data, field).is_none() {
+                                return Err(Problem(
+                                    lineno,
+                                    format!("distributed.wave event missing `{field}`"),
+                                ));
+                            }
+                        }
+                    }
                     "rollout.bench" => {
                         rollouts += 1;
                         for field in ["mode", "lanes", "env_steps", "steps_per_sec"] {
@@ -186,6 +207,10 @@ fn check(
                     ("counter", "desim.wheel_cascades") => desim_cascades += 1,
                     ("counter", "serve.decisions") => serve_decisions += 1,
                     ("gauge", "serve.latency_p99_us") => serve_p99 += 1,
+                    ("counter", "train.worker_steps") => worker_steps += 1,
+                    ("counter", "train.worker_restarts") => worker_restarts += 1,
+                    ("gauge", "train.weight_version_lag") => version_lag += 1,
+                    ("gauge", "train.replay_shard_depth") => shard_depth += 1,
                     ("counter", _) => {
                         if let Some(i) = SERVE_COUNTERS.iter().position(|c| *c == name) {
                             serve_counter_rows[i] += 1;
@@ -223,7 +248,22 @@ fn check(
             other => return Err(Problem(lineno, format!("unknown record type `{other}`"))),
         }
     }
-    if require_rollout {
+    if require_distributed {
+        for (rows, what) in [
+            (worker_steps, "`train.worker_steps` counter"),
+            (version_lag, "`train.weight_version_lag` gauge"),
+            (shard_depth, "`train.replay_shard_depth` gauge"),
+            (dist_waves, "`distributed.wave` event"),
+            (
+                worker_restarts,
+                "`train.worker_restarts` counter (the learner must materialise it even at zero)",
+            ),
+        ] {
+            if rows == 0 {
+                return Err(Problem(0, format!("stream contains no {what}")));
+            }
+        }
+    } else if require_rollout {
         if rollouts == 0 {
             return Err(Problem(
                 0,
@@ -277,7 +317,8 @@ fn check(
     }
     Ok(format!(
         "{events} events ({windows} window, {iterations} iteration, {summaries} summary, \
-         {rollouts} rollout records, {serve_decisions} serve-decision counters)"
+         {rollouts} rollout records, {dist_waves} distributed waves, \
+         {serve_decisions} serve-decision counters)"
     ))
 }
 
@@ -286,17 +327,19 @@ fn main() -> ExitCode {
     let mut require_training = false;
     let mut require_rollout = false;
     let mut require_serve = false;
+    let mut require_distributed = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--require-training" => require_training = true,
             "--require-rollout" => require_rollout = true,
             "--require-serve" => require_serve = true,
+            "--require-distributed" => require_distributed = true,
             other if path.is_none() => path = Some(other.to_string()),
             other => {
                 eprintln!(
                     "unexpected argument {other}; usage: \
                      telemetry_check FILE [--require-training] [--require-rollout] \
-                     [--require-serve]"
+                     [--require-serve] [--require-distributed]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -305,7 +348,7 @@ fn main() -> ExitCode {
     let Some(path) = path else {
         eprintln!(
             "usage: telemetry_check FILE [--require-training] [--require-rollout] \
-             [--require-serve]"
+             [--require-serve] [--require-distributed]"
         );
         return ExitCode::FAILURE;
     };
@@ -316,7 +359,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match check(&text, require_training, require_rollout, require_serve) {
+    match check(
+        &text,
+        require_training,
+        require_rollout,
+        require_serve,
+        require_distributed,
+    ) {
         Ok(report) => {
             println!("telemetry_check: {path} OK — {report}");
             ExitCode::SUCCESS

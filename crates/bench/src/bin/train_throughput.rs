@@ -1,0 +1,298 @@
+//! Distributed actor–learner rollout throughput: workers × lanes sweep.
+//!
+//! Measures synthetic-environment steps per second of the distributed
+//! inner loop (`miras_core::distributed`) at several worker counts and
+//! lane widths, against the sequential single-env baseline, with gradient
+//! updates disabled (`DistributedParams::train = false`) so the numbers
+//! isolate the rollout engine exactly like `rollout_throughput` does.
+//!
+//! `workers = 1` is the synchronous remote-environment path (two channel
+//! hand-offs per environment step); `workers ≥ 2` is the asynchronous
+//! frozen-version path (one hand-off per *wave*), so the sweep quantifies
+//! what version-lag asynchrony buys even on a single core.
+//!
+//! Results are merged into `BENCH_rollout.json` under a `distributed` key
+//! — the lockstep rows written by `rollout_throughput` are preserved — and
+//! telemetry streams to `results/train_throughput.jsonl`, including the
+//! per-wave `train.worker_steps` / `train.weight_version_lag` /
+//! `train.replay_shard_depth` rows that
+//! `telemetry_check --require-distributed` validates.
+//!
+//! Usage: `train_throughput [--seed N] [--smoke] [--steps N]`
+//! (`--steps` is the per-configuration environment-step budget).
+
+use std::time::Instant;
+
+use miras_bench::{drain_dataset, init_telemetry, time_sequential_rollouts};
+use miras_core::distributed::{run_distributed_rollouts, DistributedParams};
+use miras_core::{MirasConfig, RefinedModel, TransitionDataset};
+use rl::{Ddpg, TrainHealth};
+use serde::Serialize;
+use telemetry::Value;
+
+/// Worker counts exercised by the full sweep (`--smoke` stops at 2).
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Lane widths exercised per worker count (`--smoke` keeps only the
+/// middle width). `lanes = 1` is the classic one-env-per-actor shape,
+/// where per-step synchronisation dominates the synchronous path.
+const LANE_SWEEP: [usize; 3] = [1, 4, 16];
+
+#[derive(Debug, Clone, Serialize)]
+struct DistRow {
+    mode: String,
+    workers: usize,
+    lanes: usize,
+    env_steps: usize,
+    secs: f64,
+    steps_per_sec: f64,
+    /// Throughput over the same-run sequential baseline.
+    speedup_vs_sequential: f64,
+    /// Throughput over the `workers = 1` row at the same lane width
+    /// (1.0 for that row itself; the sequential row reports 1/workers-1
+    /// speedup against itself as 1.0 too, for uniformity).
+    speedup_vs_workers1: f64,
+}
+
+/// Times one distributed configuration: an untimed warm-up loop of one
+/// wave per worker (thread spawn, shard, and normaliser costs reach steady
+/// state), then the measured run. Returns `(env_steps, secs)`.
+#[allow(clippy::too_many_arguments)]
+fn time_distributed(
+    refined: &RefinedModel,
+    data: &TransitionDataset,
+    config: &MirasConfig,
+    budget: usize,
+    workers: usize,
+    lanes: usize,
+    env_steps: usize,
+    seed: u64,
+    telemetry: &telemetry::Telemetry,
+) -> (usize, f64) {
+    let j = data.state_dim();
+    let mut agent = Ddpg::new(j, j, config.ddpg.clone());
+    let mut health = TrainHealth::default_policy();
+    let params = |rollouts: usize| DistributedParams {
+        workers,
+        lanes,
+        rollout_len: config.rollout_len,
+        rollouts,
+        patience: 0,
+        consumer_budget: budget,
+        synth_seed: seed,
+        train: false,
+        schedule: None,
+        fault: None,
+    };
+    run_distributed_rollouts(
+        &mut agent,
+        refined.clone(),
+        data,
+        &params(workers * lanes),
+        &mut health,
+        &telemetry::Telemetry::noop(),
+    )
+    .expect("warm-up rollouts never train, so they cannot trip the watchdog");
+    let rollouts = (env_steps / config.rollout_len).max(workers * lanes);
+    let start = Instant::now();
+    let outcome = run_distributed_rollouts(
+        &mut agent,
+        refined.clone(),
+        data,
+        &params(rollouts),
+        &mut health,
+        telemetry,
+    )
+    .expect("observe-only rollouts cannot trip the watchdog");
+    (outcome.env_steps as usize, start.elapsed().as_secs_f64())
+}
+
+/// Merges the distributed rows into `BENCH_rollout.json`, preserving
+/// whatever `rollout_throughput` wrote there (sequential + lockstep rows);
+/// if the file is missing or unreadable a fresh report is started.
+fn merge_into_bench_json(rows: &[DistRow], speedup_w4_vs_w1: f64) {
+    use serde::value::Value as Json;
+    let path = "BENCH_rollout.json";
+    let existing = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<Json>(&text).ok());
+    let mut fields = match existing {
+        Some(Json::Object(fields)) => fields,
+        _ => vec![(
+            "bench".to_string(),
+            Json::String("rollout_throughput".to_string()),
+        )],
+    };
+    fields.retain(|(k, _)| k != "distributed" && k != "speedup_workers4_vs_workers1");
+    match serde::value::to_value(rows) {
+        Ok(rows) => fields.push(("distributed".to_string(), rows)),
+        Err(e) => {
+            eprintln!("[train] could not serialise distributed rows: {e}");
+            return;
+        }
+    }
+    fields.push((
+        "speedup_workers4_vs_workers1".to_string(),
+        Json::Float(speedup_w4_vs_w1),
+    ));
+    match serde_json::to_string(&Json::Object(fields)) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("[train] could not write {path}: {e}");
+            } else {
+                eprintln!("[train] merged distributed rows into {path}");
+            }
+        }
+        Err(e) => eprintln!("[train] could not serialise report: {e}"),
+    }
+}
+
+fn main() {
+    let mut seed = 42u64;
+    let mut smoke = false;
+    let mut steps_override: Option<usize> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed must be an integer");
+            }
+            "--steps" => {
+                steps_override = Some(
+                    it.next()
+                        .expect("--steps needs a value")
+                        .parse()
+                        .expect("steps must be an integer"),
+                );
+            }
+            "--smoke" => smoke = true,
+            other => panic!("unknown flag {other}; usage: [--seed N] [--smoke] [--steps N]"),
+        }
+    }
+
+    let (telemetry, sink) = init_telemetry("train_throughput");
+    let config = MirasConfig::msd_fast(seed);
+    let j = 4usize;
+    let budget = 14usize;
+    let env_steps = steps_override.unwrap_or(if smoke { 3_200 } else { 32_000 });
+    let workers_sweep: Vec<usize> = WORKER_SWEEP
+        .into_iter()
+        .filter(|&w| !smoke || w <= 2)
+        .collect();
+    let lanes_sweep: Vec<usize> = if smoke {
+        vec![LANE_SWEEP[1]]
+    } else {
+        LANE_SWEEP.to_vec()
+    };
+
+    eprintln!("[train] training environment model ({j}-dim drain dynamics)");
+    let data = drain_dataset(j, seed);
+    let mut model = miras_core::DynamicsModel::new(j, &config);
+    let loss = model.train(&data, 10, config.model_batch);
+    eprintln!("[train] model loss {loss:.5}; timing {env_steps} env steps per configuration");
+    let refined = RefinedModel::fit(model, &data, config.refine_percentile);
+
+    let mut rows = Vec::new();
+    {
+        let mut agent = Ddpg::new(j, j, config.ddpg.clone());
+        let (steps, secs) = time_sequential_rollouts(
+            &refined,
+            &data,
+            budget,
+            &mut agent,
+            config.rollout_len,
+            env_steps,
+            &telemetry,
+        );
+        rows.push(DistRow {
+            mode: "sequential".to_string(),
+            workers: 0,
+            lanes: 1,
+            env_steps: steps,
+            secs,
+            steps_per_sec: steps as f64 / secs,
+            speedup_vs_sequential: 1.0,
+            speedup_vs_workers1: 1.0,
+        });
+        eprintln!(
+            "[train] {:>11} lanes={:<3} {:>9.0} steps/s",
+            "sequential", 1, rows[0].steps_per_sec
+        );
+    }
+    for &lanes in &lanes_sweep {
+        for &workers in &workers_sweep {
+            let (steps, secs) = time_distributed(
+                &refined, &data, &config, budget, workers, lanes, env_steps, seed, &telemetry,
+            );
+            let sps = steps as f64 / secs;
+            rows.push(DistRow {
+                mode: "distributed".to_string(),
+                workers,
+                lanes,
+                env_steps: steps,
+                secs,
+                steps_per_sec: sps,
+                speedup_vs_sequential: 0.0, // filled below
+                speedup_vs_workers1: 0.0,   // filled below
+            });
+            eprintln!("[train] workers={workers:<2} lanes={lanes:<3} {sps:>9.0} steps/s");
+        }
+    }
+
+    let sequential_sps = rows[0].steps_per_sec;
+    let workers1_sps = |lanes: usize| {
+        rows.iter()
+            .find(|r| r.mode == "distributed" && r.workers == 1 && r.lanes == lanes)
+            .map_or(f64::NAN, |r| r.steps_per_sec)
+    };
+    let baselines: Vec<f64> = rows.iter().map(|r| workers1_sps(r.lanes)).collect();
+    for (r, &w1) in rows.iter_mut().zip(&baselines).skip(1) {
+        r.speedup_vs_sequential = r.steps_per_sec / sequential_sps;
+        r.speedup_vs_workers1 = r.steps_per_sec / w1;
+    }
+    // The acceptance headline: workers = 4 over workers = 1 at the same
+    // lane width (best across the swept widths; the full sweep reports
+    // every width in its own row).
+    let speedup_w4_vs_w1 = rows
+        .iter()
+        .filter(|r| r.mode == "distributed" && r.workers == 4)
+        .map(|r| r.speedup_vs_workers1)
+        .fold(0.0, f64::max);
+
+    println!("\ndistributed rollout throughput (steps/sec), {env_steps} env steps per config:");
+    for r in &rows {
+        println!(
+            "  {:>11} workers={:<2} lanes={:<3} {:>10.0} steps/s  ({:>5.2}x vs sequential, {:>5.2}x vs workers=1)",
+            r.mode, r.workers, r.lanes, r.steps_per_sec, r.speedup_vs_sequential, r.speedup_vs_workers1
+        );
+    }
+    if speedup_w4_vs_w1 > 0.0 {
+        println!("  workers=4 vs workers=1 (same lanes, best width): {speedup_w4_vs_w1:.2}x");
+    }
+
+    for r in &rows {
+        telemetry.event(
+            "train.bench",
+            &[
+                ("mode", Value::String(r.mode.clone())),
+                ("workers", Value::UInt(r.workers as u64)),
+                ("lanes", Value::UInt(r.lanes as u64)),
+                ("env_steps", Value::UInt(r.env_steps as u64)),
+                ("steps_per_sec", Value::Float(r.steps_per_sec)),
+                (
+                    "speedup_vs_sequential",
+                    Value::Float(r.speedup_vs_sequential),
+                ),
+                ("speedup_vs_workers1", Value::Float(r.speedup_vs_workers1)),
+            ],
+        );
+    }
+
+    merge_into_bench_json(&rows, speedup_w4_vs_w1);
+    telemetry.flush();
+    drop(sink);
+}

@@ -24,6 +24,7 @@ use rl::DdpgSnapshot;
 use serde::{Deserialize, Serialize};
 
 use crate::adapter::AdapterSnapshot;
+use crate::distributed::VersionSchedule;
 use crate::{DynamicsModel, MirasAgent, MirasConfig, TransitionDataset};
 
 /// Format version written into every checkpoint; bumped whenever the
@@ -86,6 +87,11 @@ pub struct CheckpointPayload {
     pub(crate) trainer_rng_state: [u64; 4],
     pub(crate) lend_triggers_total: u64,
     pub(crate) adapter: AdapterSnapshot,
+    /// Version-schedule manifest of the last completed distributed inner
+    /// loop, if any. Absent in pre-distributed checkpoints (`default`
+    /// keeps them loadable) and in non-distributed runs.
+    #[serde(default)]
+    pub(crate) last_schedule: Option<VersionSchedule>,
 }
 
 impl CheckpointPayload {

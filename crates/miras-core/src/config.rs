@@ -19,6 +19,30 @@ pub enum RolloutMode {
     /// order, so they are a *throughput* option, not a replay of the
     /// sequential run.
     Lockstep(usize),
+    /// Actor–learner scale-out: `workers` asynchronous rollout workers,
+    /// each stepping its own `lanes`-lane [`BatchedSyntheticEnv`] under a
+    /// frozen versioned weight snapshot, feed a sharded replay stream that
+    /// the central learner drains in a fixed order (see the
+    /// [`distributed`](crate::distributed) module).
+    ///
+    /// `Distributed { workers: 1, lanes }` degenerates to the lockstep loop
+    /// with the environment hosted on a worker thread and is bit-identical
+    /// to `Lockstep(lanes)`. With `workers ≥ 2` the run is deterministic
+    /// given its recorded version schedule
+    /// ([`MirasTrainer::last_version_schedule`](crate::MirasTrainer::last_version_schedule)):
+    /// replaying the schedule reproduces the run bit for bit.
+    ///
+    /// Built by [`MirasConfig::with_distributed`]; requires parameter-space
+    /// or greedy exploration (workers perturb actor weights locally, so
+    /// there is no per-step action-noise stream to distribute).
+    ///
+    /// [`BatchedSyntheticEnv`]: crate::BatchedSyntheticEnv
+    Distributed {
+        /// Number of asynchronous rollout workers.
+        workers: usize,
+        /// Lockstep lanes per worker.
+        lanes: usize,
+    },
 }
 
 /// Hyper-parameters of the full MIRAS pipeline (model + policy + loop).
@@ -245,6 +269,57 @@ impl MirasConfig {
         Ok(self)
     }
 
+    /// Returns a copy running the inner loop as `workers` asynchronous
+    /// rollout workers of `lanes` lockstep lanes each (actor–learner
+    /// scale-out; see the [`distributed`](crate::distributed) module).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `lanes` is zero, or if exploration is
+    /// action-space noise; see [`MirasConfig::try_with_distributed`] for
+    /// the non-panicking form.
+    #[must_use]
+    pub fn with_distributed(self, workers: usize, lanes: usize) -> Self {
+        self.try_with_distributed(workers, lanes)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`MirasConfig::with_distributed`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Miras`] if `workers` or `lanes` is zero, or if the
+    /// DDPG exploration mode is [`Exploration::ActionNoise`]: workers
+    /// explore by perturbing a frozen copy of the actor weights, so a
+    /// per-step Ornstein–Uhlenbeck stream on the learner's agent cannot be
+    /// distributed without changing its draw order.
+    pub fn try_with_distributed(
+        mut self,
+        workers: usize,
+        lanes: usize,
+    ) -> Result<Self, ConfigError> {
+        if workers == 0 {
+            return Err(ConfigError::Miras {
+                field: "rollout_mode",
+                reason: "distributed worker count must be positive",
+            });
+        }
+        if lanes == 0 {
+            return Err(ConfigError::Miras {
+                field: "rollout_mode",
+                reason: "distributed lane count must be positive",
+            });
+        }
+        if matches!(self.ddpg.exploration, Exploration::ActionNoise { .. }) {
+            return Err(ConfigError::Miras {
+                field: "rollout_mode",
+                reason: "distributed rollouts require parameter-space or greedy exploration",
+            });
+        }
+        self.rollout_mode = RolloutMode::Distributed { workers, lanes };
+        Ok(self)
+    }
+
     /// Returns a copy with Lend–Giveback refinement switched on or off.
     #[must_use]
     pub fn with_refinement(mut self, enabled: bool) -> Self {
@@ -357,5 +432,48 @@ mod tests {
         assert!(matches!(err, ConfigError::Miras { .. }));
         let ok = MirasConfig::smoke_test(0).try_with_lockstep(4).unwrap();
         assert_eq!(ok.rollout_mode, RolloutMode::Lockstep(4));
+    }
+
+    #[test]
+    fn distributed_builder_validates_shape_and_exploration() {
+        for (workers, lanes) in [(0, 4), (2, 0)] {
+            let err = MirasConfig::smoke_test(0)
+                .try_with_distributed(workers, lanes)
+                .err()
+                .unwrap();
+            assert!(
+                matches!(
+                    err,
+                    ConfigError::Miras {
+                        field: "rollout_mode",
+                        ..
+                    }
+                ),
+                "expected rollout_mode error for workers={workers} lanes={lanes}, got {err}"
+            );
+        }
+        // Action-space noise has no distributable exploration stream.
+        let err = MirasConfig::smoke_test(0)
+            .with_action_noise(0.15, 0.2)
+            .try_with_distributed(2, 4)
+            .err()
+            .unwrap();
+        assert_eq!(
+            err,
+            ConfigError::Miras {
+                field: "rollout_mode",
+                reason: "distributed rollouts require parameter-space or greedy exploration",
+            }
+        );
+        let ok = MirasConfig::smoke_test(0)
+            .try_with_distributed(2, 4)
+            .unwrap();
+        assert_eq!(
+            ok.rollout_mode,
+            RolloutMode::Distributed {
+                workers: 2,
+                lanes: 4
+            }
+        );
     }
 }

@@ -51,6 +51,7 @@ mod batch_env;
 mod checkpoint;
 mod config;
 mod dataset;
+pub mod distributed;
 mod dynamics;
 mod ensemble_model;
 mod refine;
@@ -63,6 +64,7 @@ pub use batch_env::BatchedSyntheticEnv;
 pub use checkpoint::{CheckpointError, CheckpointPayload, CHECKPOINT_VERSION};
 pub use config::{MirasConfig, RolloutMode};
 pub use dataset::{Standardizer, Transition, TransitionDataset};
+pub use distributed::{VersionSchedule, WaveEntry, WeightVersion, WorkerFault};
 pub use dynamics::DynamicsModel;
 pub use ensemble_model::EnsembleDynamics;
 pub use microsim::ConfigError;

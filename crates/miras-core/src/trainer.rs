@@ -11,6 +11,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::{CheckpointError, CheckpointPayload, CHECKPOINT_VERSION};
 use crate::config::RolloutMode;
+use crate::distributed::{
+    run_distributed_rollouts, DistributedParams, VersionSchedule, WorkerFault,
+};
 use crate::{
     BatchedSyntheticEnv, ClusterEnvAdapter, DynamicsModel, MirasAgent, MirasConfig, RefinedModel,
     SyntheticEnv, TransitionDataset,
@@ -98,6 +101,11 @@ pub struct MirasTrainer {
     rng: SmallRng,
     telemetry: telemetry::Telemetry,
     lend_triggers_total: u64,
+    /// Manifest of the last completed distributed inner loop (see
+    /// [`MirasTrainer::last_version_schedule`]).
+    last_schedule: Option<VersionSchedule>,
+    /// One-shot chaos hook consumed by the next distributed inner loop.
+    worker_fault: Option<WorkerFault>,
 }
 
 impl MirasTrainer {
@@ -119,6 +127,8 @@ impl MirasTrainer {
             config,
             telemetry: telemetry::Telemetry::noop(),
             lend_triggers_total: 0,
+            last_schedule: None,
+            worker_fault: None,
         }
     }
 
@@ -219,6 +229,31 @@ impl MirasTrainer {
         real_env: &mut ClusterEnvAdapter,
         health: &mut TrainHealth,
     ) -> Result<IterationReport, TrainError> {
+        self.try_run_iteration_scheduled(real_env, health, None)
+    }
+
+    /// [`try_run_iteration`](MirasTrainer::try_run_iteration) with the
+    /// distributed inner loop forced to replay a recorded
+    /// [`VersionSchedule`] instead of adopting fresh weight versions:
+    /// given the schedule a previous run recorded
+    /// ([`last_version_schedule`](MirasTrainer::last_version_schedule)),
+    /// the iteration reproduces that run bit for bit. Ignored under
+    /// non-distributed rollout modes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TrainError`] raised by the first unhealthy DDPG update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedule` was recorded under a different worker/lane
+    /// configuration or fails [`VersionSchedule::validate`].
+    pub fn try_run_iteration_scheduled(
+        &mut self,
+        real_env: &mut ClusterEnvAdapter,
+        health: &mut TrainHealth,
+        schedule: Option<&VersionSchedule>,
+    ) -> Result<IterationReport, TrainError> {
         // 1. Collect real interactions, resetting periodically (§VI-A3).
         //    The first iteration uses random allocations (the untrained
         //    policy's near-constant actions carry no action-response
@@ -275,6 +310,9 @@ impl MirasTrainer {
             RolloutMode::Sequential => self.inner_loop_sequential(refined, synth_seed, health)?,
             RolloutMode::Lockstep(lanes) => {
                 self.inner_loop_lockstep(refined, synth_seed, lanes, health)?
+            }
+            RolloutMode::Distributed { workers, lanes } => {
+                self.inner_loop_distributed(refined, synth_seed, workers, lanes, schedule, health)?
             }
         };
         let synthetic_return_mean = if returns.is_empty() {
@@ -354,6 +392,7 @@ impl MirasTrainer {
             trainer_rng_state: self.rng.state(),
             lend_triggers_total: self.lend_triggers_total,
             adapter: real_env.snapshot(),
+            last_schedule: self.last_schedule.clone(),
         }
         .save(path)
     }
@@ -398,6 +437,8 @@ impl MirasTrainer {
             rng: SmallRng::from_state(payload.trainer_rng_state),
             telemetry: telemetry::Telemetry::noop(),
             lend_triggers_total: payload.lend_triggers_total,
+            last_schedule: payload.last_schedule,
+            worker_fault: None,
         };
         (trainer, adapter)
     }
@@ -615,6 +656,62 @@ impl MirasTrainer {
         Ok((returns, rollouts_run, env.lend_triggers()))
     }
 
+    /// The distributed inner loop: delegates to
+    /// [`distributed::run_distributed_rollouts`](crate::distributed::run_distributed_rollouts)
+    /// and records the run's version-schedule manifest.
+    fn inner_loop_distributed(
+        &mut self,
+        refined: RefinedModel,
+        synth_seed: u64,
+        workers: usize,
+        lanes: usize,
+        schedule: Option<&VersionSchedule>,
+        health: &mut TrainHealth,
+    ) -> Result<(Vec<f64>, usize, u64), TrainError> {
+        let params = DistributedParams {
+            workers,
+            lanes,
+            rollout_len: self.config.rollout_len,
+            rollouts: self.config.rollouts_per_iter,
+            patience: self.config.inner_patience,
+            consumer_budget: self.consumer_budget,
+            synth_seed,
+            train: true,
+            schedule: schedule.cloned(),
+            fault: self.worker_fault.take(),
+        };
+        let outcome = run_distributed_rollouts(
+            &mut self.agent,
+            refined,
+            &self.dataset,
+            &params,
+            health,
+            &self.telemetry,
+        )?;
+        self.last_schedule = Some(outcome.schedule);
+        Ok((outcome.returns, outcome.rollouts_run, outcome.lend_triggers))
+    }
+
+    /// The version-schedule manifest recorded by the most recent
+    /// distributed inner loop: which weight version each worker adopted
+    /// for each rollout wave. Replaying it through
+    /// [`try_run_iteration_scheduled`](MirasTrainer::try_run_iteration_scheduled)
+    /// (from the same pre-iteration state) reproduces the iteration bit
+    /// for bit. `None` until a distributed iteration has run; persisted in
+    /// checkpoints.
+    #[must_use]
+    pub fn last_version_schedule(&self) -> Option<&VersionSchedule> {
+        self.last_schedule.as_ref()
+    }
+
+    /// Arms a one-shot worker crash for the *next* distributed inner loop
+    /// (chaos/testing hook): the given worker silently dies right before
+    /// generating the given global wave, and the learner must respawn it.
+    /// Ignored by non-distributed rollout modes and by `workers = 1` runs.
+    pub fn inject_worker_fault(&mut self, fault: WorkerFault) {
+        self.worker_fault = Some(fault);
+    }
+
     /// Mutable access to the underlying DDPG learner. Exposed so
     /// fault-injection tests (and the resilience benchmark) can poison the
     /// replay buffer or inspect optimizer state; production drivers should
@@ -806,6 +903,139 @@ mod tests {
 
     fn temp_checkpoint(name: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("miras_trainer_test_{name}.json"))
+    }
+
+    /// Looks up a key in an object-shaped telemetry JSON value.
+    fn field<'a>(v: &'a serde::value::Value, key: &str) -> Option<&'a serde::value::Value> {
+        match v {
+            serde::value::Value::Object(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// A one-worker distributed run hosts the environment on a worker
+    /// thread but executes the exact lockstep learner body, so whole
+    /// iterations must match `Lockstep(lanes)` bit for bit — the same
+    /// base-case discipline as `Lockstep(1)` ≡ `Sequential`.
+    #[test]
+    fn distributed_one_worker_is_bit_identical_to_lockstep() {
+        let mut lock_env = real_env(31);
+        let mut lock = MirasTrainer::new(&lock_env, MirasConfig::smoke_test(32).with_lockstep(2));
+        let mut dist_env = real_env(31);
+        let mut dist = MirasTrainer::new(
+            &dist_env,
+            MirasConfig::smoke_test(32).with_distributed(1, 2),
+        );
+        for _ in 0..2 {
+            let r_lock = lock.run_iteration(&mut lock_env);
+            let r_dist = dist.run_iteration(&mut dist_env);
+            assert_eq!(r_lock, r_dist);
+        }
+        assert_eq!(lock.lend_triggers_total(), dist.lend_triggers_total());
+        assert_eq!(lock.agent_mut().snapshot(), dist.agent_mut().snapshot());
+        assert_eq!(lock_env.snapshot(), dist_env.snapshot());
+        // The degenerate manifest: one worker, zero lag everywhere.
+        let schedule = dist.last_version_schedule().unwrap();
+        schedule.validate().unwrap();
+        assert!(schedule.entries.iter().all(|e| e.worker == 0));
+    }
+
+    /// The version-schedule manifest fully determines an async N-worker
+    /// run: replaying a recorded schedule from the same starting state
+    /// reproduces reports, agent weights, and the real environment bit for
+    /// bit, however the original worker threads raced.
+    #[test]
+    fn distributed_replay_of_recorded_schedule_is_bit_identical() {
+        let config = || MirasConfig::smoke_test(34).with_distributed(2, 1);
+        let mut live_env = real_env(33);
+        let mut live = MirasTrainer::new(&live_env, config());
+        let live_report = live.run_iteration(&mut live_env);
+        let schedule = live.last_version_schedule().unwrap().clone();
+        schedule.validate().unwrap();
+        // smoke_test: 4 rollouts, 1 lane per wave, no early stop → 4 waves.
+        assert_eq!(schedule.entries.len(), 4);
+        assert_eq!(live_report.rollouts_run, 4);
+
+        // Replay twice: both runs must equal the recording run exactly.
+        for _ in 0..2 {
+            let mut env = real_env(33);
+            let mut replay = MirasTrainer::new(&env, config());
+            let mut health = TrainHealth::default_policy();
+            let report = replay
+                .try_run_iteration_scheduled(&mut env, &mut health, Some(&schedule))
+                .unwrap();
+            assert_eq!(report, live_report);
+            assert_eq!(replay.last_version_schedule(), Some(&schedule));
+            assert_eq!(replay.agent_mut().snapshot(), live.agent_mut().snapshot());
+            assert_eq!(env.snapshot(), live_env.snapshot());
+        }
+    }
+
+    /// Worker crash/restart: resume from a shared checkpoint, kill a
+    /// worker mid-iteration, and replay the uninterrupted run's recorded
+    /// schedule — the respawned worker regenerates its waves from their
+    /// seeds and the result matches the uninterrupted run byte for byte.
+    #[test]
+    fn distributed_worker_crash_resumes_from_checkpoint_byte_identical() {
+        let path = temp_checkpoint("distributed_crash");
+        let config = || MirasConfig::smoke_test(36).with_distributed(2, 1);
+        // Uninterrupted reference: two iterations, checkpoint after the
+        // first (the shared rollback point).
+        let mut ref_env = real_env(35);
+        let mut reference = MirasTrainer::new(&ref_env, config());
+        let _ = reference.run_iteration(&mut ref_env);
+        reference.save_checkpoint(&ref_env, &path).unwrap();
+        let schedule0 = reference.last_version_schedule().unwrap().clone();
+        let ref_r2 = reference.run_iteration(&mut ref_env);
+        let schedule1 = reference.last_version_schedule().unwrap().clone();
+
+        // Crashed run: resume from the checkpoint, arm a crash of worker 1
+        // right before its second wave (global wave 3), replay schedule1.
+        let (mut resumed, mut env) = MirasTrainer::resume(&path, Ensemble::msd()).unwrap();
+        // The manifest of the last completed loop survives the checkpoint.
+        assert_eq!(resumed.last_version_schedule(), Some(&schedule0));
+        let sink = telemetry::JsonlSink::in_memory();
+        resumed.set_telemetry(telemetry::Telemetry::new(sink.clone()));
+        resumed.inject_worker_fault(WorkerFault {
+            worker: 1,
+            at_wave: 3,
+        });
+        let mut health = TrainHealth::default_policy();
+        let r2 = resumed
+            .try_run_iteration_scheduled(&mut env, &mut health, Some(&schedule1))
+            .unwrap();
+        assert_eq!(r2, ref_r2);
+        assert_eq!(resumed.last_version_schedule(), Some(&schedule1));
+        resumed.set_telemetry(telemetry::Telemetry::noop());
+        assert_eq!(
+            resumed.agent_mut().snapshot(),
+            reference.agent_mut().snapshot()
+        );
+        assert_eq!(env.snapshot(), ref_env.snapshot());
+
+        // The crash actually happened: the learner recorded one respawn.
+        sink.try_flush().unwrap();
+        let out = String::from_utf8(sink.take_output()).unwrap();
+        let restarted = out
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .filter_map(|l| serde_json::from_str::<serde::value::Value>(l).ok())
+            .any(|v| {
+                matches!(field(&v, "t"), Some(serde::value::Value::String(t)) if t == "counter")
+                    && matches!(
+                        field(&v, "name"),
+                        Some(serde::value::Value::String(n)) if n == "train.worker_restarts"
+                    )
+                    && match field(&v, "value") {
+                        Some(serde::value::Value::UInt(n)) => *n >= 1,
+                        Some(serde::value::Value::Int(n)) => *n >= 1,
+                        _ => false,
+                    }
+            });
+        assert!(restarted, "no worker respawn recorded in telemetry:\n{out}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

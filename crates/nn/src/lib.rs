@@ -60,6 +60,7 @@ mod optimizer;
 mod scratch;
 pub mod telemetry;
 pub mod threads;
+pub mod ziggurat;
 
 pub use activation::Activation;
 pub use layer::{Dense, DenseGrads};

@@ -57,7 +57,8 @@ pub mod policy;
 mod replay;
 
 pub use ddpg::{
-    Critic, Ddpg, DdpgConfig, DdpgSnapshot, Exploration, TrainError, TrainHealth, TrainStats,
+    Critic, Ddpg, DdpgConfig, DdpgSnapshot, Exploration, FrozenPolicy, PolicyWeights, TrainError,
+    TrainHealth, TrainStats,
 };
 pub use env::{Environment, Transition};
 pub use noise::{AdaptiveParamNoise, OrnsteinUhlenbeck};

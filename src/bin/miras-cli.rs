@@ -61,7 +61,9 @@ commands:
             (NAME is any registry policy: uniform, wip-proportional,
              stream/drs, heft, monad)
   train     --ensemble msd|ligo [--iterations N] [--paper] [--smoke]
-            [--seed N] [--out FILE]
+            [--seed N] [--out FILE] [--workers N] [--lanes B]
+            (--workers 2+ runs the distributed actor-learner inner loop;
+             --workers 1 is the lockstep loop on a worker thread)
   evaluate  --agent FILE [--ensemble msd|ligo] [--burst N,N,..]
             [--trace FILE] [--windows N] [--seed N]
   allocate  --agent FILE --wip X,X,..
@@ -234,7 +236,7 @@ fn train(flags: &Flags) -> Result<(), String> {
         .cloned()
         .unwrap_or_else(|| format!("miras_agent_{}.json", ensemble.name().to_lowercase()));
 
-    let config = if smoke {
+    let mut config = if smoke {
         MirasConfig::smoke_test(seed)
     } else {
         match (ensemble.name(), paper) {
@@ -245,6 +247,18 @@ fn train(flags: &Flags) -> Result<(), String> {
             _ => MirasConfig::msd_fast(seed),
         }
     };
+    // --workers switches the inner loop to the distributed actor-learner
+    // system; --lanes sets the lockstep width of each worker's env.
+    let workers = numeric::<usize>(flags, "workers", 0)?;
+    if workers > 0 {
+        let lanes = numeric(flags, "lanes", 4usize)?;
+        config = config
+            .try_with_distributed(workers, lanes)
+            .map_err(|e| e.to_string())?;
+        println!("distributed inner loop: {workers} worker(s) x {lanes} lanes");
+    } else if flags.contains_key("lanes") {
+        return Err("--lanes needs --workers N".to_string());
+    }
     let env_config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
     let mut env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble, env_config));
     let mut trainer = MirasTrainer::new(&env, config);
