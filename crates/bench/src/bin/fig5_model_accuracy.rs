@@ -83,6 +83,9 @@ fn run_for(kind: EnsembleKind, args: &BenchArgs, telemetry: &telemetry::Telemetr
             (EnsembleKind::Ligo, true) => (37_000, 100),
             (EnsembleKind::Msd, false) => (2_000, 100),
             (EnsembleKind::Ligo, false) => (3_000, 100),
+            // MSD-sized state space; use the MSD budgets.
+            (EnsembleKind::GpuServe, true) => (14_000, 100),
+            (EnsembleKind::GpuServe, false) => (2_000, 100),
         }
     };
     let config = args.miras_config(kind);

@@ -15,14 +15,17 @@
 //!    predictions in `baselines::queueing`. Tolerances: 10% on times and
 //!    populations, 5% on throughput.
 //!
-//! Usage: `sim_audit [--smoke] [--seed N] [--windows N]`. Exits non-zero on
-//! any violation or out-of-tolerance differential, so CI can gate on it.
+//! Usage: `sim_audit [--smoke] [--seed N] [--windows N] [--workload SPEC]`.
+//! `--workload` shapes the invariant sweep's background traffic (stationary,
+//! diurnal, trending, flash-crowd, or trace:<path>), so the audit covers the
+//! non-stationary arrival paths too. Exits non-zero on any violation or
+//! out-of-tolerance differential, so CI can gate on it.
 
 use std::process::ExitCode;
 
 use baselines::{by_name, queueing, Observation, PolicyConfig};
 use desim::SimTime;
-use microsim::{EnvConfig, MicroserviceEnv, SimConfig};
+use microsim::{EnvConfig, MicroserviceEnv, SimConfig, WorkloadSpec};
 use miras_bench::{fault_scenarios, init_telemetry};
 use workflow::{Dag, Ensemble, TaskTypeDef, TaskTypeId, WorkflowDef};
 
@@ -31,6 +34,8 @@ struct Args {
     /// Decision windows per invariant-sweep scenario.
     windows: usize,
     smoke: bool,
+    /// Background-traffic shape for the invariant sweep.
+    workload: WorkloadSpec,
 }
 
 fn parse_args() -> Args {
@@ -38,6 +43,7 @@ fn parse_args() -> Args {
         seed: 42,
         windows: 0, // resolved after flags are read
         smoke: false,
+        workload: WorkloadSpec::Stationary,
     };
     let mut windows = None;
     let mut it = std::env::args().skip(1);
@@ -58,8 +64,17 @@ fn parse_args() -> Args {
                         .expect("windows must be an integer"),
                 );
             }
+            "--workload" => {
+                let v = it.next().expect("--workload needs a value");
+                args.workload = WorkloadSpec::parse(&v).expect(
+                    "workload must be stationary, diurnal, trending, flash-crowd or trace:<path>",
+                );
+            }
             "--smoke" => args.smoke = true,
-            other => panic!("unknown flag {other}; usage: [--smoke] [--seed N] [--windows N]"),
+            other => panic!(
+                "unknown flag {other}; usage: [--smoke] [--seed N] [--windows N] \
+                 [--workload stationary|diurnal|trending|flash-crowd|trace:<path>]"
+            ),
         }
     }
     args.windows = windows.unwrap_or(if args.smoke { 8 } else { 50 });
@@ -71,15 +86,21 @@ fn run_scenario(
     name: &str,
     sim: SimConfig,
     windows: usize,
+    workload: &WorkloadSpec,
     telemetry: &telemetry::Telemetry,
 ) -> usize {
     let ensemble = Ensemble::msd();
     let mut policy =
         by_name("uniform", &PolicyConfig::new(&ensemble)).expect("uniform is registered");
-    let config = EnvConfig::for_ensemble(&ensemble).with_sim(sim.with_audit());
+    let config = EnvConfig::for_ensemble(&ensemble)
+        .with_sim(sim.with_audit())
+        .with_workload(workload.clone());
     let mut env = MicroserviceEnv::new(ensemble, config);
     env.set_telemetry(telemetry.clone());
     let _ = env.reset();
+    let _ = env
+        .load_workload_trace()
+        .expect("workload trace file loads");
     let mut previous = None;
     for window in 0..windows {
         let wip = env.state();
@@ -188,13 +209,15 @@ fn main() -> ExitCode {
     let mut failures = 0usize;
 
     println!(
-        "=== invariant sweep (MSD, {} windows per scenario, seed {}) ===",
-        args.windows, args.seed
+        "=== invariant sweep (MSD, {} windows per scenario, seed {}, workload {}) ===",
+        args.windows,
+        args.seed,
+        args.workload.name()
     );
     println!("{:>12} {:>12}", "scenario", "violations");
     for scenario in fault_scenarios() {
         let sim = scenario.apply(SimConfig::new(args.seed));
-        let count = run_scenario(scenario.name, sim, args.windows, &telemetry);
+        let count = run_scenario(scenario.name, sim, args.windows, &args.workload, &telemetry);
         println!("{:>12} {:>12}", scenario.name, count);
         failures += count;
     }

@@ -18,7 +18,10 @@
 //! `serve.latency_p99_us` gauge, and the overload counters
 //! (`serve.shed`, `serve.degraded`, `serve.wire_rejected`,
 //! `serve.retries`), which the hardened loop materialises even at zero —
-//! since `miras-serve` only decides, never simulates.
+//! since `miras-serve` only decides, never simulates. With
+//! `--require-workload` (additive, like `--require-training`) the stream
+//! must also carry per-window `workload.target_rate` events from the
+//! workload generator.
 //!
 //! Run: `cargo run -p miras-bench --bin telemetry_check -- \
 //!       results/fig7_msd_comparison.jsonl --require-training`
@@ -65,12 +68,14 @@ fn check(
     require_rollout: bool,
     require_serve: bool,
     require_distributed: bool,
+    require_workload: bool,
 ) -> Result<String, Problem> {
     let mut events = 0usize;
     let mut windows = 0usize;
     let mut iterations = 0usize;
     let mut summaries = 0usize;
     let mut rollouts = 0usize;
+    let mut workload_rates = 0usize;
     let mut serve_decisions = 0usize;
     let mut serve_p99 = 0usize;
     // The overload/robustness counters the hardened serving loop must
@@ -167,6 +172,25 @@ fn check(
                         }
                     }
                     "bench.summary" => summaries += 1,
+                    "workload.target_rate" => {
+                        workload_rates += 1;
+                        for field in ["window_index", "workload", "factor", "rate_per_sec"] {
+                            if get(data, field).is_none() {
+                                return Err(Problem(
+                                    lineno,
+                                    format!("workload.target_rate event missing `{field}`"),
+                                ));
+                            }
+                        }
+                        for field in ["factor", "rate_per_sec"] {
+                            if !is_number(get(data, field).expect("checked above")) {
+                                return Err(Problem(
+                                    lineno,
+                                    format!("workload.target_rate `{field}` is not numeric"),
+                                ));
+                            }
+                        }
+                    }
                     "distributed.wave" => {
                         dist_waves += 1;
                         for field in ["worker", "wave", "version"] {
@@ -300,6 +324,14 @@ fn check(
     if require_training && iterations == 0 {
         return Err(Problem(0, "stream contains no `iteration` events".into()));
     }
+    if require_workload && workload_rates == 0 {
+        return Err(Problem(
+            0,
+            "stream contains no `workload.target_rate` events (the environment \
+             emits one per decision window)"
+                .into(),
+        ));
+    }
     // Any run with decision windows drove the cluster's event engine, whose
     // per-window checkpoint must report queue depth and wheel-cascade
     // counts (zero-delta counters are still emitted).
@@ -318,7 +350,7 @@ fn check(
     Ok(format!(
         "{events} events ({windows} window, {iterations} iteration, {summaries} summary, \
          {rollouts} rollout records, {dist_waves} distributed waves, \
-         {serve_decisions} serve-decision counters)"
+         {serve_decisions} serve-decision counters, {workload_rates} workload rates)"
     ))
 }
 
@@ -328,18 +360,20 @@ fn main() -> ExitCode {
     let mut require_rollout = false;
     let mut require_serve = false;
     let mut require_distributed = false;
+    let mut require_workload = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--require-training" => require_training = true,
             "--require-rollout" => require_rollout = true,
             "--require-serve" => require_serve = true,
             "--require-distributed" => require_distributed = true,
+            "--require-workload" => require_workload = true,
             other if path.is_none() => path = Some(other.to_string()),
             other => {
                 eprintln!(
                     "unexpected argument {other}; usage: \
                      telemetry_check FILE [--require-training] [--require-rollout] \
-                     [--require-serve] [--require-distributed]"
+                     [--require-serve] [--require-distributed] [--require-workload]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -348,7 +382,7 @@ fn main() -> ExitCode {
     let Some(path) = path else {
         eprintln!(
             "usage: telemetry_check FILE [--require-training] [--require-rollout] \
-             [--require-serve] [--require-distributed]"
+             [--require-serve] [--require-distributed] [--require-workload]"
         );
         return ExitCode::FAILURE;
     };
@@ -365,6 +399,7 @@ fn main() -> ExitCode {
         require_rollout,
         require_serve,
         require_distributed,
+        require_workload,
     ) {
         Ok(report) => {
             println!("telemetry_check: {path} OK — {report}");

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use baselines::{by_name, Observation, Policy, PolicyConfig};
 use desim::SimTime;
-use microsim::{EnvConfig, MicroserviceEnv, SimConfig};
+use microsim::{EnvConfig, MicroserviceEnv, SimConfig, WorkloadSpec};
 use miras_core::{ClusterEnvAdapter, IterationReport, MirasAgent, MirasConfig, MirasTrainer};
 use serde::{Deserialize, Serialize};
 use telemetry::{BufferedRecorder, JsonlSink, Telemetry, Value};
@@ -143,13 +143,17 @@ pub fn time_sequential_rollouts(
     (rollouts * rollout_len, start.elapsed().as_secs_f64())
 }
 
-/// Which of the paper's two workload ensembles to run.
+/// Which workload ensemble to run: the paper's two scientific ensembles
+/// plus the GPU inference-serving ensemble.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EnsembleKind {
     /// Material Science Data: 3 workflows, 4 task types, C = 14.
     Msd,
     /// LIGO inspiral analysis: 4 workflows, 9 task types, C = 30.
     Ligo,
+    /// GPU inference serving (KIS-S style): 3 request classes, 6 task
+    /// types, C = 24.
+    GpuServe,
 }
 
 impl EnsembleKind {
@@ -159,6 +163,7 @@ impl EnsembleKind {
         match self {
             EnsembleKind::Msd => Ensemble::msd(),
             EnsembleKind::Ligo => Ensemble::ligo(),
+            EnsembleKind::GpuServe => Ensemble::gpu_serve(),
         }
     }
 
@@ -168,6 +173,7 @@ impl EnsembleKind {
         match self {
             EnsembleKind::Msd => "msd",
             EnsembleKind::Ligo => "ligo",
+            EnsembleKind::GpuServe => "gpu-serve",
         }
     }
 
@@ -180,10 +186,13 @@ impl EnsembleKind {
             (EnsembleKind::Msd, false) => MirasConfig::msd_fast(seed),
             (EnsembleKind::Ligo, true) => MirasConfig::ligo_paper(seed),
             (EnsembleKind::Ligo, false) => MirasConfig::ligo_fast(seed),
+            (EnsembleKind::GpuServe, true) => MirasConfig::gpu_serve_paper(seed),
+            (EnsembleKind::GpuServe, false) => MirasConfig::gpu_serve_fast(seed),
         }
     }
 
-    /// The paper's three burst scenarios for this ensemble (§VI-D).
+    /// The three burst scenarios for this ensemble (§VI-D for the paper's
+    /// ensembles; sized analogously for GPU serving).
     #[must_use]
     pub fn burst_scenarios(self) -> Vec<BurstSpec> {
         match self {
@@ -197,6 +206,11 @@ impl EnsembleKind {
                 BurstSpec::new(vec![150, 150, 80, 50]),
                 BurstSpec::new(vec![80, 80, 80, 80]),
             ],
+            EnsembleKind::GpuServe => vec![
+                BurstSpec::new(vec![200, 80, 20]),
+                BurstSpec::new(vec![400, 120, 40]),
+                BurstSpec::new(vec![150, 150, 60]),
+            ],
         }
     }
 
@@ -206,15 +220,17 @@ impl EnsembleKind {
         match self {
             EnsembleKind::Msd => 25,
             EnsembleKind::Ligo => 40,
+            EnsembleKind::GpuServe => 25,
         }
     }
 
-    /// Parses `"msd"` / `"ligo"`.
+    /// Parses `"msd"` / `"ligo"` / `"gpu-serve"`.
     #[must_use]
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
             "msd" => Some(EnsembleKind::Msd),
             "ligo" => Some(EnsembleKind::Ligo),
+            "gpu-serve" | "gpu_serve" | "gpuserve" => Some(EnsembleKind::GpuServe),
             _ => None,
         }
     }
@@ -239,11 +255,18 @@ pub struct BenchArgs {
     /// Shrink every budget to a seconds-scale run (used by CI to validate
     /// the pipeline and the telemetry stream, not the scientific results).
     pub smoke: bool,
+    /// Background-traffic shape applied to *evaluation* environments
+    /// (training always sees the stationary background the paper assumes).
+    /// Defaults to [`WorkloadSpec::Stationary`], which is bit-identical to
+    /// not setting a workload at all.
+    pub workload: WorkloadSpec,
 }
 
 impl BenchArgs {
-    /// Parses `std::env::args()`: `[--ensemble msd|ligo] [--seed N]
-    /// [--paper] [--iterations N] [--no-cache] [--steady] [--smoke]`.
+    /// Parses `std::env::args()`: `[--ensemble msd|ligo|gpu-serve]
+    /// [--seed N] [--paper] [--iterations N] [--no-cache] [--steady]
+    /// [--smoke] [--workload SPEC]` where SPEC is one of `stationary`,
+    /// `diurnal`, `trending`, `flash-crowd`, or `trace:<path>`.
     ///
     /// # Panics
     ///
@@ -258,14 +281,23 @@ impl BenchArgs {
             no_cache: false,
             steady: false,
             smoke: false,
+            workload: WorkloadSpec::Stationary,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
             match flag.as_str() {
                 "--ensemble" => {
                     let v = it.next().expect("--ensemble needs a value");
-                    args.ensemble =
-                        Some(EnsembleKind::parse(&v).expect("ensemble must be msd or ligo"));
+                    args.ensemble = Some(
+                        EnsembleKind::parse(&v).expect("ensemble must be msd, ligo or gpu-serve"),
+                    );
+                }
+                "--workload" => {
+                    let v = it.next().expect("--workload needs a value");
+                    args.workload = WorkloadSpec::parse(&v).expect(
+                        "workload must be stationary, diurnal, trending, flash-crowd \
+                         or trace:<path>",
+                    );
                 }
                 "--seed" => {
                     args.seed = it
@@ -287,8 +319,9 @@ impl BenchArgs {
                 "--steady" => args.steady = true,
                 "--smoke" => args.smoke = true,
                 other => panic!(
-                    "unknown flag {other}; usage: [--ensemble msd|ligo] [--seed N] \
-                     [--paper] [--iterations N] [--no-cache] [--steady] [--smoke]"
+                    "unknown flag {other}; usage: [--ensemble msd|ligo|gpu-serve] [--seed N] \
+                     [--paper] [--iterations N] [--no-cache] [--steady] [--smoke] \
+                     [--workload stationary|diurnal|trending|flash-crowd|trace:<path>]"
                 ),
             }
         }
@@ -456,6 +489,16 @@ pub fn run_allocator_configured(
         ],
     );
     let _ = env.reset();
+    // Trace-replay workloads carry their arrivals in a file rather than a
+    // generator; inject them now so they ride the event queue like any
+    // other background traffic. All other workload shapes are sampled
+    // window-by-window inside `step`.
+    let replayed = env
+        .load_workload_trace()
+        .expect("workload trace file loads");
+    if replayed > 0 {
+        eprintln!("[workload] replaying {replayed} trace arrivals");
+    }
     if let Some(b) = burst {
         env.inject_burst(b);
     }
@@ -637,7 +680,24 @@ mod tests {
     fn ensemble_kind_round_trips() {
         assert_eq!(EnsembleKind::parse("MSD"), Some(EnsembleKind::Msd));
         assert_eq!(EnsembleKind::parse("ligo"), Some(EnsembleKind::Ligo));
+        assert_eq!(
+            EnsembleKind::parse("gpu-serve"),
+            Some(EnsembleKind::GpuServe)
+        );
         assert_eq!(EnsembleKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn gpu_serve_kind_is_wired_like_the_paper_ensembles() {
+        let kind = EnsembleKind::GpuServe;
+        assert_eq!(kind.name(), "gpu-serve");
+        assert_eq!(kind.ensemble().num_workflow_types(), 3);
+        assert_eq!(kind.burst_scenarios().len(), 3);
+        for b in kind.burst_scenarios() {
+            assert_eq!(b.counts().len(), 3);
+        }
+        let cfg = kind.miras_config(5, false);
+        assert_eq!(cfg.collect_burst_max, Some(vec![300, 120, 40]));
     }
 
     #[test]
@@ -681,6 +741,7 @@ mod tests {
             no_cache: false,
             steady: false,
             smoke: true,
+            workload: WorkloadSpec::Stationary,
         };
         assert_eq!(args.resolved_iterations(), 2);
         assert_eq!(args.comparison_steps(EnsembleKind::Msd), 6);
@@ -830,7 +891,9 @@ pub fn run_resilience(
         .with_model_free(model_free.agent().clone());
     let mut tasks: Vec<Box<dyn FnOnce() -> GridCell + Send + '_>> = Vec::new();
     for scenario in &scenarios {
-        let base = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
+        let base = EnvConfig::for_ensemble(&ensemble)
+            .with_seed(seed)
+            .with_workload(args.workload.clone());
         let config = base.clone().with_sim(scenario.apply(base.sim().clone()));
         for &algorithm in algorithms {
             let config = config.clone();
@@ -966,6 +1029,9 @@ pub fn run_comparison(
     for burst in &bursts {
         for &algorithm in algorithms {
             let policy_cfg = policy_cfg.clone();
+            let config = EnvConfig::for_ensemble(&ensemble)
+                .with_seed(seed)
+                .with_workload(args.workload.clone());
             tasks.push(Box::new(move || {
                 let buffer = Arc::new(BufferedRecorder::new());
                 let cell_telemetry = if enabled {
@@ -975,9 +1041,9 @@ pub fn run_comparison(
                 };
                 let mut policy =
                     by_name(algorithm, &policy_cfg).expect("grid algorithms are registered");
-                let records = run_allocator(
+                let records = run_allocator_configured(
                     kind,
-                    seed,
+                    config,
                     Some(burst),
                     steps,
                     policy.as_mut(),
@@ -1028,6 +1094,170 @@ pub fn run_comparison(
         print_summaries(&summaries);
         for (name, records) in series {
             results.push((scenario, name, records));
+        }
+    }
+    results
+}
+
+/// The generator-backed workload shapes the `workload_grid` benchmark
+/// sweeps by default (trace replay is added separately by recording a
+/// stationary run first — see [`record_background_trace`]).
+#[must_use]
+pub fn workload_zoo() -> Vec<WorkloadSpec> {
+    ["stationary", "diurnal", "trending", "flash-crowd"]
+        .iter()
+        .map(|name| WorkloadSpec::parse(name).expect("zoo entries are known specs"))
+        .collect()
+}
+
+/// Records `steps` decision windows of the ensemble's stationary Poisson
+/// background and writes the arrivals as a JSONL trace under `results/`,
+/// for replay via [`WorkloadSpec::TraceReplay`]. Background arrivals are
+/// policy-independent (the arrival RNG never sees allocations), so a trace
+/// recorded under any allocator replays identically under all of them.
+/// Returns the trace path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating or writing the trace file.
+pub fn record_background_trace(
+    kind: EnsembleKind,
+    seed: u64,
+    steps: usize,
+) -> std::io::Result<PathBuf> {
+    let ensemble = kind.ensemble();
+    let budget = ensemble.default_consumer_budget();
+    let j = ensemble.num_task_types();
+    let config = EnvConfig::for_ensemble(&ensemble).with_seed(seed);
+    let mut env = MicroserviceEnv::new(ensemble, config);
+    let _ = env.reset();
+    env.record_trace();
+    let action = vec![(budget / j).max(1); j];
+    for _ in 0..steps {
+        let _ = env.step(&action);
+    }
+    let trace = env.take_recorded_trace();
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("workload_trace_{}.jsonl", kind.name()));
+    trace.save_jsonl(&path)?;
+    eprintln!(
+        "[workload] recorded {} arrivals over {steps} windows to {}",
+        trace.len(),
+        path.display()
+    );
+    Ok(path)
+}
+
+/// Runs the workload grid for one ensemble: MIRAS and the comparison
+/// baselines under every given workload shape, burst-free so the background
+/// shape itself is the stressor. Agents are trained once on the stationary
+/// background (the regime the paper's training protocol assumes); the grid
+/// then measures how those policies cope when the traffic drifts, cycles,
+/// spikes, or follows a recorded trace.
+///
+/// Returns `(workload, algorithm, records)` tuples and prints a summary
+/// table per workload; every run summary is also emitted as a
+/// `bench.summary` telemetry event with a string `workload` field.
+pub fn run_workload_grid(
+    kind: EnsembleKind,
+    args: &BenchArgs,
+    workloads: &[WorkloadSpec],
+    telemetry: &Telemetry,
+) -> Vec<(String, String, Vec<StepRecord>)> {
+    let seed = args.seed;
+    let ensemble = kind.ensemble();
+    let steps = args.comparison_steps(kind);
+
+    let (_, miras_agent) = train_miras(kind, args, !args.no_cache, true, telemetry);
+    let miras_cfg = args.miras_config(kind);
+    let interaction_budget =
+        args.resolved_iterations() * (miras_cfg.real_steps_per_iter + miras_cfg.eval_steps);
+    let env_config = EnvConfig::for_ensemble(&ensemble).with_seed(seed.wrapping_add(7));
+    let mut mf_env = ClusterEnvAdapter::new(MicroserviceEnv::new(ensemble.clone(), env_config));
+    mf_env.set_telemetry(telemetry.clone());
+    let model_free = baselines::train_model_free(
+        &mut mf_env,
+        interaction_budget,
+        miras_cfg.reset_every,
+        miras_cfg.ddpg.clone(),
+        miras_cfg.collect_burst_max.as_deref(),
+    );
+
+    // Fan the workload × algorithm grid out across worker threads; see
+    // `run_resilience` for the determinism contract.
+    let algorithms = COMPARISON_ALGORITHMS;
+    let enabled = telemetry.is_enabled();
+    let policy_cfg = PolicyConfig::new(&ensemble)
+        .with_miras_agent(miras_agent)
+        .with_model_free(model_free.agent().clone());
+    let mut tasks: Vec<Box<dyn FnOnce() -> GridCell + Send + '_>> = Vec::new();
+    for workload in workloads {
+        let config = EnvConfig::for_ensemble(&ensemble)
+            .with_seed(seed)
+            .with_workload(workload.clone());
+        for &algorithm in algorithms {
+            let policy_cfg = policy_cfg.clone();
+            let config = config.clone();
+            tasks.push(Box::new(move || {
+                let buffer = Arc::new(BufferedRecorder::new());
+                let cell_telemetry = if enabled {
+                    Telemetry::new(buffer.clone())
+                } else {
+                    Telemetry::noop()
+                };
+                let mut policy =
+                    by_name(algorithm, &policy_cfg).expect("grid algorithms are registered");
+                let records = run_allocator_configured(
+                    kind,
+                    config,
+                    None,
+                    steps,
+                    policy.as_mut(),
+                    &cell_telemetry,
+                );
+                GridCell {
+                    name: algorithm.to_string(),
+                    records,
+                    buffer,
+                }
+            }));
+        }
+    }
+    let cells = run_grid(tasks);
+
+    let mut results = Vec::new();
+    for (workload, row) in workloads.iter().zip(cells.chunks(algorithms.len())) {
+        let mut summaries = Vec::new();
+        for cell in row {
+            cell.buffer.replay(telemetry);
+            summaries.push(summarize(&cell.name, &cell.records));
+        }
+        if telemetry.is_enabled() {
+            for summary in &summaries {
+                if let Ok(Value::Object(mut fields)) = serde::value::to_value(summary) {
+                    fields.push((
+                        "workload".to_string(),
+                        Value::String(workload.name().to_string()),
+                    ));
+                    telemetry.event_struct("bench.summary", &Value::Object(fields));
+                }
+            }
+        }
+
+        println!(
+            "\n=== {} workload `{}` ({} windows, no burst) ===",
+            kind.name().to_uppercase(),
+            workload.name(),
+            steps
+        );
+        print_summaries(&summaries);
+        for cell in row {
+            results.push((
+                workload.name().to_string(),
+                cell.name.clone(),
+                cell.records.clone(),
+            ));
         }
     }
     results

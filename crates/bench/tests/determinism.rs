@@ -3,7 +3,8 @@
 //! no-op recorder. This is the repo's guard against instrumentation ever
 //! consuming randomness or perturbing the computation.
 
-use miras_bench::{run_comparison, BenchArgs, EnsembleKind};
+use microsim::WorkloadSpec;
+use miras_bench::{run_comparison, run_workload_grid, workload_zoo, BenchArgs, EnsembleKind};
 use telemetry::{JsonlSink, Telemetry};
 
 fn smoke_args(seed: u64) -> BenchArgs {
@@ -15,6 +16,7 @@ fn smoke_args(seed: u64) -> BenchArgs {
         no_cache: true,
         steady: false,
         smoke: true,
+        workload: WorkloadSpec::Stationary,
     }
 }
 
@@ -62,4 +64,37 @@ fn fig7_smoke_run_is_bit_identical_with_recorder_attached() {
         stream.contains("\"name\":\"bench.summary\""),
         "no summary events in stream"
     );
+}
+
+/// The workload × algorithm grid must be byte-identical at any worker
+/// count: cells are independent (no shared RNG stream), so a sequential
+/// sweep and a multi-worker sweep produce the same records.
+#[test]
+fn workload_grid_smoke_is_worker_count_invariant() {
+    let args = smoke_args(9);
+    let workloads = workload_zoo();
+
+    // Worker count does not alter any cell's inputs, so flipping the env
+    // var mid-process (it is re-read on every run_grid call) only changes
+    // scheduling, never results.
+    std::env::set_var("MIRAS_GRID_THREADS", "1");
+    let sequential = run_workload_grid(EnsembleKind::Msd, &args, &workloads, &Telemetry::noop());
+    std::env::set_var("MIRAS_GRID_THREADS", "4");
+    let parallel = run_workload_grid(EnsembleKind::Msd, &args, &workloads, &Telemetry::noop());
+    std::env::remove_var("MIRAS_GRID_THREADS");
+
+    assert_eq!(sequential.len(), parallel.len());
+    assert_eq!(sequential.len(), workloads.len() * 5);
+    for ((workload_a, name_a, records_a), (workload_b, name_b, records_b)) in
+        sequential.iter().zip(&parallel)
+    {
+        assert_eq!(workload_a, workload_b);
+        assert_eq!(name_a, name_b);
+        let json_a = serde_json::to_string(records_a).expect("serializable");
+        let json_b = serde_json::to_string(records_b).expect("serializable");
+        assert_eq!(
+            json_a, json_b,
+            "{name_a} diverged under workload {workload_a}"
+        );
+    }
 }

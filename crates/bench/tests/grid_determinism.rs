@@ -6,6 +6,7 @@
 
 use std::sync::Mutex;
 
+use microsim::WorkloadSpec;
 use miras_bench::{grid_threads, run_grid, run_resilience, BenchArgs, EnsembleKind, StepRecord};
 use telemetry::{JsonlSink, Telemetry};
 
@@ -22,6 +23,7 @@ fn smoke_args(seed: u64) -> BenchArgs {
         no_cache: true,
         steady: false,
         smoke: true,
+        workload: WorkloadSpec::Stationary,
     }
 }
 

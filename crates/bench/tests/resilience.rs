@@ -14,6 +14,7 @@ fn resilience_smoke_covers_all_scenarios_and_algorithms() {
         no_cache: true,
         steady: false,
         smoke: true,
+        workload: microsim::WorkloadSpec::Stationary,
     };
     let sink = JsonlSink::in_memory();
     let telemetry = Telemetry::new(sink.clone());

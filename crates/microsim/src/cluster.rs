@@ -169,6 +169,13 @@ impl Cluster {
     /// [`workflow::TaskTypeDef::new`]).
     #[must_use]
     pub fn new(ensemble: Ensemble, config: SimConfig) -> Self {
+        assert!(
+            config.node_speed_factors.is_empty()
+                || config.node_speed_factors.len() == config.node_count,
+            "node_speed_factors must have one entry per node (got {} for {} nodes)",
+            config.node_speed_factors.len(),
+            config.node_count,
+        );
         let j = ensemble.num_task_types();
         let service_dists = ensemble
             .task_types()
@@ -673,6 +680,14 @@ impl Cluster {
             let pending = self.queues[j].pop_front().expect("checked non-empty");
             self.pools[j].begin_work();
             let mut service = self.sample_service(task);
+            if !self.config.node_speed_factors.is_empty() {
+                // Heterogeneous nodes: pool j's host runs `speed` times
+                // nominal, so its sampled service time divides by it. The
+                // scaling is deterministic (no RNG draw), so a homogeneous
+                // config — empty factors — stays bit-identical.
+                let speed = self.config.node_speed_factors[self.node_of(j)];
+                service = SimTime::from_secs_f64(service.as_secs_f64() / speed);
+            }
             if self.config.straggler_prob > 0.0 && self.rng.gen_bool(self.config.straggler_prob) {
                 service =
                     SimTime::from_secs_f64(service.as_secs_f64() * self.config.straggler_factor);
@@ -1190,6 +1205,45 @@ mod tests {
             "stragglers must visibly inflate total response time \
              (healthy {healthy:.1}s vs straggly {straggly:.1}s)"
         );
+    }
+
+    #[test]
+    fn node_speeds_scale_service_deterministically() {
+        let run = |cfg: SimConfig| {
+            let mut c = Cluster::new(Ensemble::msd(), cfg);
+            c.set_consumers(&[1, 1, 1, 1]);
+            for s in 0..30 {
+                c.submit(SimTime::from_secs(s * 60), WorkflowTypeId::new(0));
+            }
+            c.run_until(SimTime::from_secs(3600));
+            let done = c.drain_completions();
+            assert_eq!(done.len(), 30);
+            done.iter()
+                .map(CompletionRecord::response_secs)
+                .sum::<f64>()
+        };
+        let nominal = run(instant_config(25));
+        let fast = run(instant_config(25).with_node_speeds(vec![4.0]));
+        let slow = run(instant_config(25).with_node_speeds(vec![0.5]));
+        // The speed factor divides each sampled service time after the
+        // draw, so the RNG stream is unchanged and — with no queueing at
+        // this arrival spacing — total response scales (near) exactly.
+        assert!(
+            (fast * 4.0 - nominal).abs() / nominal < 1e-3,
+            "4x node: {fast:.2}s vs nominal {nominal:.2}s"
+        );
+        assert!(
+            (slow * 0.5 - nominal).abs() / nominal < 1e-3,
+            "0.5x node: {slow:.2}s vs nominal {nominal:.2}s"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "node_speed_factors must have one entry per node")]
+    fn mismatched_node_speed_len_panics() {
+        let mut cfg = instant_config(26);
+        cfg.node_speed_factors = vec![1.0, 2.0]; // node_count is still 1
+        let _ = Cluster::new(Ensemble::msd(), cfg);
     }
 
     #[test]

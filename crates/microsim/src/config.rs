@@ -6,6 +6,8 @@ use desim::{QueueKind, SimTime};
 use serde::{Deserialize, Serialize};
 use workflow::Ensemble;
 
+use crate::workload::WorkloadSpec;
+
 /// Why a configuration builder rejected a value.
 ///
 /// One typed error across the whole config surface: every validating
@@ -118,6 +120,17 @@ pub struct SimConfig {
     /// configs, which deserialize to the wheel.
     #[serde(default)]
     pub queue: QueueKind,
+    /// Per-node service-speed multipliers for a heterogeneous cluster.
+    /// Empty (the default, and what older serialized configs deserialize
+    /// to) means every node runs at nominal speed — bit-identical to the
+    /// homogeneous behaviour. When non-empty the length must equal
+    /// [`SimConfig::node_count`] (enforced by
+    /// [`SimConfig::with_node_speeds`], which sets both together): a task
+    /// dispatched to consumer pool `j` has its sampled service time
+    /// divided by `node_speed_factors[j % node_count]`, so a factor of 2
+    /// is a node twice as fast as nominal and 0.5 one half as fast.
+    #[serde(default)]
+    pub node_speed_factors: Vec<f64>,
 }
 
 impl SimConfig {
@@ -138,6 +151,7 @@ impl SimConfig {
             delivery_delay_max: SimTime::ZERO,
             audit: false,
             queue: QueueKind::default(),
+            node_speed_factors: Vec::new(),
         }
     }
 
@@ -379,6 +393,42 @@ impl SimConfig {
         self.delivery_delay_max = max;
         Ok(self)
     }
+
+    /// Makes the cluster heterogeneous: one service-speed multiplier per
+    /// physical node (so this also sets [`SimConfig::node_count`] to
+    /// `speeds.len()`). A task dispatched to pool `j` runs at
+    /// `1 / speeds[j % node_count]` times its sampled service time. Pass an
+    /// empty vector to return to the homogeneous default.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every factor is finite and strictly positive; see
+    /// [`SimConfig::try_with_node_speeds`] for the non-panicking form.
+    #[must_use]
+    pub fn with_node_speeds(self, speeds: Vec<f64>) -> Self {
+        self.try_with_node_speeds(speeds)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`SimConfig::with_node_speeds`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Sim`] unless every factor is finite and strictly
+    /// positive.
+    pub fn try_with_node_speeds(mut self, speeds: Vec<f64>) -> Result<Self, ConfigError> {
+        if !speeds.iter().all(|s| s.is_finite() && *s > 0.0) {
+            return Err(ConfigError::Sim {
+                field: "node_speed_factors",
+                reason: "node speed factors must be finite and strictly positive",
+            });
+        }
+        if !speeds.is_empty() {
+            self.node_count = speeds.len();
+        }
+        self.node_speed_factors = speeds;
+        Ok(self)
+    }
 }
 
 impl Default for SimConfig {
@@ -415,6 +465,12 @@ pub struct EnvConfig {
     pub(crate) reset_max_windows: usize,
     /// Reset finishes once total WIP is at or below this threshold.
     pub(crate) reset_wip_threshold: usize,
+    /// How the background arrival rates evolve over the run (the workload
+    /// scenario zoo). Defaults to [`WorkloadSpec::Stationary`], which is
+    /// bit-identical to the pre-workload arrival stream; configs recorded
+    /// before the field existed deserialize to it.
+    #[serde(default)]
+    pub(crate) workload: WorkloadSpec,
 }
 
 impl EnvConfig {
@@ -431,6 +487,7 @@ impl EnvConfig {
             reset_capacity_factor: 5,
             reset_max_windows: 40,
             reset_wip_threshold: 0,
+            workload: WorkloadSpec::Stationary,
         }
     }
 
@@ -575,6 +632,30 @@ impl EnvConfig {
         self
     }
 
+    /// Selects the workload scenario modulating the background arrival
+    /// rates (see [`WorkloadSpec`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's shape parameters are out of range; see
+    /// [`EnvConfig::try_with_workload`] for the non-panicking form.
+    #[must_use]
+    pub fn with_workload(self, workload: WorkloadSpec) -> Self {
+        self.try_with_workload(workload)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`EnvConfig::with_workload`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Env`] if the spec fails [`WorkloadSpec::validate`].
+    pub fn try_with_workload(mut self, workload: WorkloadSpec) -> Result<Self, ConfigError> {
+        workload.validate()?;
+        self.workload = workload;
+        Ok(self)
+    }
+
     /// The decision-window length.
     #[must_use]
     pub fn window(&self) -> SimTime {
@@ -621,6 +702,12 @@ impl EnvConfig {
     #[must_use]
     pub fn reset_wip_threshold(&self) -> usize {
         self.reset_wip_threshold
+    }
+
+    /// The workload scenario modulating the background arrival rates.
+    #[must_use]
+    pub fn workload(&self) -> &WorkloadSpec {
+        &self.workload
     }
 }
 
@@ -825,13 +912,86 @@ mod tests {
     }
 
     #[test]
+    fn node_speeds_set_node_count_and_validate() {
+        let c = SimConfig::new(0).with_node_speeds(vec![1.0, 2.0, 0.5]);
+        assert_eq!(c.node_count, 3);
+        assert_eq!(c.node_speed_factors, vec![1.0, 2.0, 0.5]);
+        // Back to homogeneous: node_count is left alone.
+        let c = c.with_node_speeds(Vec::new());
+        assert_eq!(c.node_count, 3);
+        assert!(c.node_speed_factors.is_empty());
+        for bad in [
+            vec![0.0],
+            vec![1.0, -2.0],
+            vec![f64::NAN],
+            vec![f64::INFINITY],
+        ] {
+            assert!(matches!(
+                SimConfig::new(0).try_with_node_speeds(bad).unwrap_err(),
+                ConfigError::Sim {
+                    field: "node_speed_factors",
+                    ..
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn workload_builder_validates_and_defaults_stationary() {
+        let msd = Ensemble::msd();
+        let c = EnvConfig::for_ensemble(&msd);
+        assert_eq!(c.workload(), &WorkloadSpec::Stationary);
+        let c = c.with_workload(WorkloadSpec::parse("diurnal").unwrap());
+        assert_eq!(c.workload().name(), "diurnal");
+        let err = EnvConfig::for_ensemble(&msd)
+            .try_with_workload(WorkloadSpec::Diurnal {
+                period: SimTime::ZERO,
+                amplitude: 0.5,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::Env {
+                field: "workload.period",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn legacy_config_json_deserializes_with_new_defaults() {
+        // A config serialized before the workload axis / heterogeneous
+        // nodes existed must round-trip to the stationary, homogeneous
+        // behaviour.
+        use serde::value::{from_value, to_value, Value};
+        let env = EnvConfig::for_ensemble(&Ensemble::msd());
+        let Ok(Value::Object(mut fields)) = to_value(&env) else {
+            panic!("EnvConfig serialises to an object");
+        };
+        fields.retain(|(k, _)| k != "workload");
+        for (k, v) in &mut fields {
+            if k == "sim" {
+                let Value::Object(sim_fields) = v else {
+                    panic!("SimConfig serialises to an object");
+                };
+                sim_fields.retain(|(k, _)| k != "node_speed_factors");
+            }
+        }
+        let restored: EnvConfig = from_value::<_, serde::Error>(Value::Object(fields)).unwrap();
+        assert_eq!(restored, env);
+        assert_eq!(restored.workload(), &WorkloadSpec::Stationary);
+        assert!(restored.sim().node_speed_factors.is_empty());
+    }
+
+    #[test]
     fn configs_serde_round_trip() {
         let sim = SimConfig::new(42)
             .with_failure_rate(0.25)
             .with_total_cores(3.0)
             .with_node_model(3, 0.2)
             .with_stragglers(0.05, 8.0)
-            .with_delivery_delay_spikes(0.1, SimTime::from_secs(2));
+            .with_delivery_delay_spikes(0.1, SimTime::from_secs(2))
+            .with_node_speeds(vec![1.0, 2.0, 0.5]);
         let json = serde_json::to_string(&sim).unwrap();
         let restored: SimConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(restored, sim);
@@ -839,7 +999,8 @@ mod tests {
         let env = EnvConfig::for_ensemble(&Ensemble::msd())
             .with_sim(sim)
             .with_seed(7)
-            .with_arrival_rates(vec![0.1, 0.2, 0.3]);
+            .with_arrival_rates(vec![0.1, 0.2, 0.3])
+            .with_workload(WorkloadSpec::parse("flash-crowd").unwrap());
         let json = serde_json::to_string(&env).unwrap();
         let restored: EnvConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(restored, env);

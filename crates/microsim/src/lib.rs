@@ -50,6 +50,7 @@ mod env;
 mod metrics;
 mod pool;
 mod slab;
+mod workload;
 
 pub use audit::{audit_env_enabled, AuditViolation, SimAuditor};
 pub use cluster::{Cluster, ClusterSnapshot, CompletionRecord};
@@ -57,3 +58,4 @@ pub use config::{ConfigError, EnvConfig, SimConfig};
 pub use env::{reward_from_total_wip, EnvSnapshot, MicroserviceEnv, StepOutcome};
 pub use metrics::{LatencySummary, WindowMetrics};
 pub use pool::{ConsumerPool, PoolCounters, PoolDesync};
+pub use workload::WorkloadSpec;

@@ -172,6 +172,29 @@ impl MirasConfig {
         }
     }
 
+    /// Configuration for the GPU inference-serving ensemble
+    /// ([`workflow::Ensemble::gpu_serve`]): MSD-sized state/action spaces
+    /// (6 task types vs MSD's 4), so it reuses the MSD network shapes with
+    /// burst collection sized to the three request classes.
+    #[must_use]
+    pub fn gpu_serve_paper(seed: u64) -> Self {
+        let mut c = MirasConfig::msd_paper(seed);
+        c.collect_burst_max = Some(vec![300, 120, 40]);
+        c
+    }
+
+    /// A proportionally scaled-down GPU-serving configuration for the
+    /// benchmark harness.
+    #[must_use]
+    pub fn gpu_serve_fast(seed: u64) -> Self {
+        let mut c = MirasConfig::gpu_serve_paper(seed);
+        c.real_steps_per_iter = 250;
+        c.model_epochs = 150;
+        c.rollouts_per_iter = 100;
+        c.ddpg = DdpgConfig::paper(64, seed);
+        c
+    }
+
     /// A proportionally scaled-down MSD configuration for the benchmark
     /// harness (same structure, smaller step and network budgets).
     #[must_use]

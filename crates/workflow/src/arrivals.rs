@@ -79,9 +79,28 @@ impl<'de> Deserialize<'de> for Arrival {
 /// // Pushes keep the trace sorted.
 /// assert_eq!(trace.arrivals()[0].time, SimTime::from_secs(1));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct ArrivalTrace {
     arrivals: Vec<Arrival>,
+}
+
+// Deserialization re-establishes the sort invariant instead of trusting
+// the file's order: a hand-edited or externally recorded trace may be out
+// of order, and an unsorted `arrivals` vector would break `push`'s
+// partition-point insertion and the emulator's window attribution. The
+// sort is stable, so equal-time arrivals keep their file order.
+impl<'de> Deserialize<'de> for ArrivalTrace {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        struct Raw {
+            arrivals: Vec<Arrival>,
+        }
+        let mut raw = Raw::deserialize(d)?;
+        raw.arrivals.sort_by_key(|a| a.time);
+        Ok(ArrivalTrace {
+            arrivals: raw.arrivals,
+        })
+    }
 }
 
 impl ArrivalTrace {
@@ -144,6 +163,55 @@ impl ArrivalTrace {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
         trace.arrivals.sort_by_key(|a| a.time);
         Ok(trace)
+    }
+
+    /// Saves the trace as JSONL: one arrival object per line. The line
+    /// format streams and diffs better than the JSON array for large
+    /// recorded runs and is what the workload zoo's trace-replay mode
+    /// consumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn save_jsonl<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for a in &self.arrivals {
+            let line = serde_json::to_string(a).expect("arrivals always serialise");
+            w.write_all(line.as_bytes())?;
+            w.write_all(b"\n")?;
+        }
+        w.flush()
+    }
+
+    /// Loads a trace previously written by [`ArrivalTrace::save_jsonl`].
+    /// Blank lines are skipped and arrivals are re-sorted (stably), so an
+    /// out-of-order or hand-edited file replays identically to its sorted
+    /// form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the file cannot be read, or an
+    /// `InvalidData` error (naming the line) when a line does not parse as
+    /// an arrival.
+    pub fn load_jsonl<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let mut arrivals = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let arrival: Arrival = serde_json::from_str(line).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {}: {e}", lineno + 1),
+                )
+            })?;
+            arrivals.push(arrival);
+        }
+        arrivals.sort_by_key(|a| a.time);
+        Ok(ArrivalTrace { arrivals })
     }
 
     /// Counts arrivals per workflow type, given the number of types.
@@ -397,6 +465,63 @@ mod tests {
         let back = ArrivalTrace::load_json(&path).unwrap();
         assert_eq!(t, back);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_jsonl_round_trip() {
+        let mut t = ArrivalTrace::new();
+        for (s, wf) in [(3u64, 0usize), (1, 1), (2, 0), (1, 2)] {
+            t.push(Arrival::new(SimTime::from_secs(s), WorkflowTypeId::new(wf)));
+        }
+        let dir = std::env::temp_dir().join("miras_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        t.save_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 4, "one arrival per line");
+        let back = ArrivalTrace::load_jsonl(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_jsonl_sorts_out_of_order_files_and_names_bad_lines() {
+        let dir = std::env::temp_dir().join("miras_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ooo.jsonl");
+        std::fs::write(
+            &path,
+            "{\"time_micros\":45000000,\"workflow_type\":1}\n\n\
+             {\"time_micros\":5000000,\"workflow_type\":0}\n",
+        )
+        .unwrap();
+        let t = ArrivalTrace::load_jsonl(&path).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.arrivals()[0].time, SimTime::from_secs(5));
+        assert_eq!(t.arrivals()[1].time, SimTime::from_secs(45));
+
+        std::fs::write(&path, "{\"time_micros\":1}\nnot json\n").unwrap();
+        let err = ArrivalTrace::load_jsonl(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 1"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn deserialized_trace_is_sorted_even_when_the_file_is_not() {
+        // Regression: the derived Deserialize used to trust the file's
+        // order, so an out-of-order trace violated the sorted contract
+        // that `push`'s partition-point insertion depends on.
+        let json = "{\"arrivals\":[\
+            {\"time_micros\":45000000,\"workflow_type\":1},\
+            {\"time_micros\":5000000,\"workflow_type\":0}]}";
+        let mut t: ArrivalTrace = serde_json::from_str(json).unwrap();
+        let times: Vec<u64> = t.arrivals().iter().map(|a| a.time.as_micros()).collect();
+        assert_eq!(times, vec![5_000_000, 45_000_000]);
+        // And push keeps working on the restored trace.
+        t.push(Arrival::new(SimTime::from_secs(20), WorkflowTypeId::new(2)));
+        let times: Vec<u64> = t.arrivals().iter().map(|a| a.time.as_micros()).collect();
+        assert_eq!(times, vec![5_000_000, 20_000_000, 45_000_000]);
     }
 
     #[test]

@@ -224,6 +224,52 @@ impl Ensemble {
         )
     }
 
+    /// A GPU inference-serving ensemble in the style of KIS-S: three request
+    /// classes share CPU-side Frontend/Preprocess/Postprocess stages but hit
+    /// the GPU at different batch sizes. GPU service time follows the usual
+    /// linear batching model `t(b) = t0 + c·b` with `t0 = 2.0 s` and
+    /// `c = 0.5 s` (batch sizes 1, 8, and 32), modelled as three distinct
+    /// task types so each batch tier gets its own queue and consumer pool.
+    ///
+    /// Batching amortises the fixed cost: per-request GPU time is 2.5 s at
+    /// b=1 but only 0.5625 s at b=32, which is exactly the trade-off a
+    /// resource allocator must navigate when interactive traffic spikes.
+    #[must_use]
+    pub fn gpu_serve() -> Self {
+        let t = TaskTypeId::new;
+        // 0 Frontend, 1 Preprocess, 2 GpuBatch1, 3 GpuBatch8, 4 GpuBatch32,
+        // 5 Postprocess. GPU stages have low CV (batch execution is regular);
+        // CPU stages keep the usual 0.4.
+        let task_types = vec![
+            TaskTypeDef::new("Frontend", 1.0, 0.4),
+            TaskTypeDef::new("Preprocess", 1.5, 0.4),
+            TaskTypeDef::new("GpuBatch1", 2.5, 0.2), // t(1)  = 2.0 + 0.5·1
+            TaskTypeDef::new("GpuBatch8", 6.0, 0.2), // t(8)  = 2.0 + 0.5·8
+            TaskTypeDef::new("GpuBatch32", 18.0, 0.2), // t(32) = 2.0 + 0.5·32
+            TaskTypeDef::new("Postprocess", 1.0, 0.4),
+        ];
+        let workflows = vec![
+            WorkflowDef {
+                name: "Interactive".to_string(),
+                // Frontend → Preprocess → GpuBatch1 → Postprocess
+                dag: Dag::chain(vec![t(0), t(1), t(2), t(5)]).expect("static DAG"),
+            },
+            WorkflowDef {
+                name: "MicroBatch".to_string(),
+                // Frontend → Preprocess → GpuBatch8 → Postprocess
+                dag: Dag::chain(vec![t(0), t(1), t(3), t(5)]).expect("static DAG"),
+            },
+            WorkflowDef {
+                name: "Bulk".to_string(),
+                // Frontend → Preprocess → GpuBatch32 → Postprocess
+                dag: Dag::chain(vec![t(0), t(1), t(4), t(5)]).expect("static DAG"),
+            },
+        ];
+        // Offered load ≈ 7.2 + 4.75 + 3.2 ≈ 15.2 consumer-seconds/s against
+        // a budget of 24: sufficient but not redundant, like MSD/LIGO.
+        Ensemble::new("GPU-SERVE", task_types, workflows, 24, vec![1.2, 0.5, 0.15])
+    }
+
     /// A deterministic scaled-up ensemble for benchmarks and stress tests:
     /// `num_task_types` microservices shared by `num_workflow_types`
     /// workflows (alternating 4-node chains and fan-out/join diamonds, task
@@ -479,10 +525,41 @@ mod tests {
     }
 
     #[test]
+    fn gpu_serve_matches_model_counts() {
+        let e = Ensemble::gpu_serve();
+        assert_eq!(e.num_task_types(), 6);
+        assert_eq!(e.num_workflow_types(), 3);
+        assert_eq!(e.default_consumer_budget(), 24);
+        assert_eq!(e.name(), "GPU-SERVE");
+        for name in ["Interactive", "MicroBatch", "Bulk"] {
+            assert!(e.workflow_by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn gpu_serve_batch_tiers_follow_linear_batching_model() {
+        // t(b) = t0 + c·b with t0 = 2.0, c = 0.5.
+        let e = Ensemble::gpu_serve();
+        for (name, b) in [("GpuBatch1", 1.0), ("GpuBatch8", 8.0), ("GpuBatch32", 32.0)] {
+            let j = e.task_type_by_name(name).unwrap();
+            let mean = e.task_type(j).mean_service_secs;
+            assert!(
+                (mean - (2.0 + 0.5 * b)).abs() < 1e-12,
+                "{name}: {mean} != t({b})"
+            );
+        }
+        // CPU stages are shared by all three request classes.
+        for name in ["Frontend", "Preprocess", "Postprocess"] {
+            let j = e.task_type_by_name(name).unwrap();
+            assert_eq!(e.workflows_using(j).count(), 3, "{name} not shared");
+        }
+    }
+
+    #[test]
     fn default_load_leaves_burst_headroom() {
         // The paper picks budgets that are "sufficient but not redundant":
         // offered load should sit well below the budget but above half of it.
-        for e in [Ensemble::msd(), Ensemble::ligo()] {
+        for e in [Ensemble::msd(), Ensemble::ligo(), Ensemble::gpu_serve()] {
             let load = e.offered_load(e.default_arrival_rates());
             let budget = e.default_consumer_budget() as f64;
             assert!(

@@ -56,18 +56,18 @@ const USAGE: &str = "\
 usage: miras-cli <command> [flags]
 
 commands:
-  simulate  --ensemble msd|ligo [--policy NAME] [--burst N,N,..]
+  simulate  --ensemble msd|ligo|gpu-serve [--policy NAME] [--burst N,N,..]
             [--trace FILE] [--windows N] [--seed N]
             (NAME is any registry policy: uniform, wip-proportional,
              stream/drs, heft, monad)
-  train     --ensemble msd|ligo [--iterations N] [--paper] [--smoke]
+  train     --ensemble msd|ligo|gpu-serve [--iterations N] [--paper] [--smoke]
             [--seed N] [--out FILE] [--workers N] [--lanes B]
             (--workers 2+ runs the distributed actor-learner inner loop;
              --workers 1 is the lockstep loop on a worker thread)
-  evaluate  --agent FILE [--ensemble msd|ligo] [--burst N,N,..]
+  evaluate  --agent FILE [--ensemble msd|ligo|gpu-serve] [--burst N,N,..]
             [--trace FILE] [--windows N] [--seed N]
   allocate  --agent FILE --wip X,X,..
-  gen-trace --ensemble msd|ligo --out FILE [--horizon SECS] [--seed N]
+  gen-trace --ensemble msd|ligo|gpu-serve --out FILE [--horizon SECS] [--seed N]
             [--pattern constant|sine|ramp|step] [--period SECS]
             [--amplitude X] [--factor X] [--at SECS]";
 
@@ -94,7 +94,10 @@ fn ensemble_from(flags: &Flags) -> Result<Ensemble, String> {
     match flags.get("ensemble").map(String::as_str) {
         Some("msd") | None => Ok(Ensemble::msd()),
         Some("ligo") => Ok(Ensemble::ligo()),
-        Some(other) => Err(format!("unknown ensemble '{other}' (msd or ligo)")),
+        Some("gpu-serve") => Ok(Ensemble::gpu_serve()),
+        Some(other) => Err(format!(
+            "unknown ensemble '{other}' (msd, ligo, or gpu-serve)"
+        )),
     }
 }
 
@@ -244,6 +247,8 @@ fn train(flags: &Flags) -> Result<(), String> {
             ("MSD", true) => MirasConfig::msd_paper(seed),
             ("LIGO", false) => MirasConfig::ligo_fast(seed),
             ("LIGO", true) => MirasConfig::ligo_paper(seed),
+            ("GPU-SERVE", false) => MirasConfig::gpu_serve_fast(seed),
+            ("GPU-SERVE", true) => MirasConfig::gpu_serve_paper(seed),
             _ => MirasConfig::msd_fast(seed),
         }
     };

@@ -71,7 +71,7 @@ policy source (default: --policy uniform):
                      heft, monad
 
 flags:
-  --ensemble msd|ligo   workload ensemble (default msd)
+  --ensemble msd|ligo|gpu-serve   workload ensemble (default msd)
   --seed N              emulator seed for --record (default 42)
   --burst N,N,..        front-loaded burst for --record
   --shadow              quiet mode: stdout carries decisions only, no
@@ -131,7 +131,10 @@ fn ensemble_from(flags: &Flags) -> Result<Ensemble, String> {
     match flags.get("ensemble").map(String::as_str) {
         Some("msd") | None => Ok(Ensemble::msd()),
         Some("ligo") => Ok(Ensemble::ligo()),
-        Some(other) => Err(format!("unknown ensemble '{other}' (msd or ligo)")),
+        Some("gpu-serve") => Ok(Ensemble::gpu_serve()),
+        Some(other) => Err(format!(
+            "unknown ensemble '{other}' (msd, ligo, or gpu-serve)"
+        )),
     }
 }
 
